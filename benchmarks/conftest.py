@@ -1,0 +1,30 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper artifact (figure or claim) and
+prints the reproduced rows/series alongside the paper's qualitative
+expectation.  Scale knobs are environment variables so CI smoke runs and
+full reproductions share the same code:
+
+* ``REPRO_BENCH_FAULTS``  — faults sampled per circuit (default 12;
+  ``0`` means *all* faults, the paper's full setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def faults_per_circuit(default: int = 12) -> int | None:
+    """Fault-sample size for benchmark runs (None = all faults)."""
+    raw = os.environ.get("REPRO_BENCH_FAULTS", "")
+    if not raw:
+        return default
+    value = int(raw)
+    return None if value == 0 else value
+
+
+@pytest.fixture(scope="session")
+def bench_faults() -> int | None:
+    return faults_per_circuit()

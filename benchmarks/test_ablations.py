@@ -1,0 +1,30 @@
+"""Ablations for the paper's two modelling choices.
+
+* Sub-formula caching (Algorithm 1's defining feature, Section 4.1):
+  node counts with and without the cache.
+* MLA variable ordering (Section 5.2.1): cut-width and solver effort
+  under MLA vs topological vs random orderings.
+"""
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablation_caching_and_ordering(benchmark):
+    report = benchmark.pedantic(run_ablations, iterations=1, rounds=1)
+    print()
+    print(report.render())
+
+    # Caching never hurts and helps on at least one family.
+    assert all(r.cached_nodes <= r.uncached_nodes for r in report.caching)
+    assert any(r.speedup > 1.5 for r in report.caching)
+
+    # The MLA ordering dominates random ordering in width everywhere and
+    # in solver effort overall.
+    assert all(r.width_mla <= r.width_random for r in report.ordering)
+    total_mla = sum(r.nodes_mla for r in report.ordering)
+    total_random = sum(r.nodes_random for r in report.ordering)
+    assert total_mla < total_random
+
+    # MLA quality features never hurt and help somewhere.
+    assert all(r.width_full <= r.width_bisect_only for r in report.mla)
+    assert any(r.width_full < r.width_bisect_only for r in report.mla)

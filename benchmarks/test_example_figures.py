@@ -1,0 +1,21 @@
+"""Figures 4-7: the running example's measured quantities.
+
+Paper values: W(C, A) = 3 (Figure 6); the caching search explores a tiny
+tree (Figure 5); the f/sa1 ATPG circuit reaches cut-width 4 under the
+Lemma 4.2 ordering against the bound 2·3+2 = 8 (Figure 7).
+"""
+
+from repro.experiments.example_circuit import run_example
+
+
+def test_example_figures(benchmark):
+    report = benchmark.pedantic(run_example, iterations=1, rounds=3)
+    print()
+    print(report.render())
+
+    assert report.width_a == 3
+    assert report.width_b > report.width_a
+    assert report.solver_sat
+    assert report.solver_nodes <= report.theorem_4_1_rhs
+    assert report.miter_width == 4
+    assert report.lemma_4_2_rhs == 8

@@ -1,0 +1,35 @@
+"""Figure 1: per-instance SAT effort versus ATPG-SAT instance size.
+
+Paper: ~11,000 instances from MCNC91+ISCAS85; >90% solved under 10 ms;
+the slow tail grows roughly cubically.  Reproduced shape: the fraction of
+fast instances and a polynomial (not exponential) tail.
+"""
+
+from repro.experiments.fig1_tegus import run_fig1
+
+
+def _run(bench_faults):
+    return run_fig1(
+        suites=("mcnc", "iscas"),
+        max_faults_per_circuit=bench_faults,
+    )
+
+
+def test_fig1_tegus(benchmark, bench_faults):
+    report = benchmark.pedantic(
+        _run, args=(bench_faults,), iterations=1, rounds=1
+    )
+    print()
+    print(report.render())
+
+    # Paper shape 1: the overwhelming majority of instances are easy.
+    # (Machine-independent: solved with fewer decisions than variables.)
+    assert report.fraction_easy >= 0.85
+    assert report.fraction_fast >= 0.50  # even in Python, most are <10ms
+    # Paper shape 2: effort grows polynomially, not exponentially — the
+    # power fit of decisions vs size must have a sane small exponent.
+    fits = report.effort_fits()
+    if "power" in fits:
+        assert fits["power"].b <= 3.5, "tail grows faster than cubic"
+    # Scale: a real run produces thousands of instances.
+    assert len(report.points) >= 200

@@ -1,0 +1,31 @@
+"""Figures 8(a)/8(b): cut-width versus fault sub-circuit size.
+
+Paper: one data point per fault per circuit; the logarithmic curve gives
+the best least-squares fit among {linear, log, power} for both suites
+(multipliers excluded, mirroring the paper's C3540/C6288 omission).
+"""
+
+import pytest
+
+from repro.experiments.fig8_cutwidth_study import run_fig8
+
+
+@pytest.mark.parametrize("suite", ["mcnc", "iscas"])
+def test_fig8_cutwidth_study(benchmark, bench_faults, suite):
+    report = benchmark.pedantic(
+        run_fig8,
+        args=(suite,),
+        kwargs={"max_faults_per_circuit": bench_faults},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report.render())
+
+    assert len(report.points) >= 30
+    fits = report.fits()
+    assert {"linear", "log", "power"} <= set(fits)
+    # The paper's headline: log beats linear and power in SSE.
+    assert report.best_model() == "log"
+    # And the Definition 5.1 diagnostic stays bounded.
+    assert report.max_log_ratio() <= 6.0

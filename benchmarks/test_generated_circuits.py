@@ -1,0 +1,32 @@
+"""Section 5.2.3: the cut-width study repeated on generated circuits.
+
+Paper: circ/gen circuits parameterized to resemble the benchmarks, at
+much larger sizes, show the same logarithmic cut-width growth.
+"""
+
+from repro.experiments.fig_generated import run_generated_study
+
+
+def test_generated_circuit_study(benchmark, bench_faults):
+    sizes = [80, 160, 320, 640, 1280, 2560]
+    report = benchmark.pedantic(
+        run_generated_study,
+        kwargs={
+            "sizes": sizes,
+            "faults_per_circuit": (bench_faults or 25),
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report.render())
+
+    assert len(report.points) >= 30
+    fits = report.fits()
+    # Log must beat linear decisively on a geometric size ladder.
+    assert fits["log"].sse <= fits["linear"].sse
+    assert report.best_model() in ("log", "power")
+    if report.best_model() == "power":
+        # A sublinear power law is consistent with log-bounded growth on
+        # a finite window; a superlinear one is not.
+        assert fits["power"].b < 0.6

@@ -1,0 +1,30 @@
+"""The per-circuit suite summary table (the customary "Table 1").
+
+Not a figure from the paper, but the standard artifact tying the runs
+together: gates, faults, coverage, redundancies, effort and measured
+cut-width per benchmark circuit.
+"""
+
+from repro.experiments.suite_table import run_suite_table
+
+
+def test_suite_table(benchmark, bench_faults):
+    report = benchmark.pedantic(
+        run_suite_table,
+        args=("mcnc",),
+        kwargs={"max_faults_per_circuit": bench_faults},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report.render())
+
+    assert len(report.rows) >= 10
+    for row in report.rows:
+        # No aborted faults anywhere: every sampled instance resolved.
+        assert row.aborted == 0
+        # Coverage of testable faults is complete by construction
+        # (tested + dropped + redundant partition the sample).
+        assert row.tested + row.dropped + row.redundant <= row.faults
+        assert row.coverage == 1.0
+        assert row.cutwidth >= 1

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""BDDs versus backtracking on CIRCUIT-SAT (the paper's Section 6).
+
+Solves the same CIRCUIT-SAT queries two ways — building the output BDD
+and doing a "0 check", versus running caching backtracking on the CNF —
+and compares actual sizes against the corresponding theoretical bounds:
+
+* McMillan:  |BDD| ≤ n · 2^(w_f · 2^(w_r))   (doubly exponential in w_r)
+* Paper:     nodes ≤ n · 2^(2·k_fo·W)        (single exponential in W)
+
+The multiplier makes the contrast vivid: its BDD explodes while the
+backtracking bound stays (merely) astronomically smaller.
+
+Run:  python examples/bdd_vs_sat.py
+"""
+
+import math
+
+from repro.analysis.stats import format_table
+from repro.bdd import (
+    BddSizeLimitExceeded,
+    circuit_sat_by_bdd,
+    output_bdd_size,
+    topological_directed_widths,
+)
+from repro.circuits import tech_decompose
+from repro.core import circuit_hypergraph, min_cut_linear_arrangement, theorem_4_1_bound
+from repro.gen import array_multiplier, binary_tree_circuit, parity_tree, ripple_carry_adder
+from repro.sat import CachingBacktrackingSolver, circuit_sat_formula, solve_dpll
+
+
+def analyse(circuit):
+    circuit = tech_decompose(circuit)
+    graph = circuit_hypergraph(circuit)
+    mla = min_cut_linear_arrangement(graph)
+    formula = circuit_sat_formula(circuit)
+
+    solver = CachingBacktrackingSolver(order=mla.order, max_nodes=500_000)
+    bt = solver.solve(formula)
+    k_fo = max(1, circuit.max_fanout())
+    bt_bound = theorem_4_1_bound(formula.num_variables(), k_fo, mla.cutwidth)
+
+    widths = topological_directed_widths(circuit)
+    try:
+        bdd = str(output_bdd_size(circuit, max_nodes=200_000))
+    except BddSizeLimitExceeded:
+        bdd = ">200k (blew up)"
+
+    agree = "?"
+    try:
+        witness = circuit_sat_by_bdd(circuit)
+        agree = "yes" if (witness is not None) == solve_dpll(formula).is_sat else "NO"
+    except BddSizeLimitExceeded:
+        agree = "n/a"
+
+    return [
+        circuit.name,
+        len(circuit.nets),
+        mla.cutwidth,
+        bt.stats.nodes,
+        f"2^{math.log2(max(2, bt_bound)):.0f}",
+        f"wf={widths.forward}",
+        bdd,
+        agree,
+    ]
+
+
+def main() -> None:
+    circuits = [
+        binary_tree_circuit(5),
+        parity_tree(10),
+        ripple_carry_adder(6),
+        array_multiplier(4),
+    ]
+    rows = [analyse(circuit) for circuit in circuits]
+    print(
+        format_table(
+            [
+                "circuit",
+                "nets",
+                "W",
+                "bt nodes",
+                "bt bound",
+                "topo width",
+                "BDD size",
+                "answers agree",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNote the asymmetry the paper highlights: cut-width W ignores "
+        "signal direction and enters the bound once-exponentially, while "
+        "the BDD bound pays 2^(w_f · 2^(w_r)) — double exponential in any "
+        "reverse wiring of the chosen element order."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Why is YOUR circuit easy (or not)? A cut-width diagnosis session.
+
+Walks through the paper's analysis pipeline on three contrasting
+families:
+
+* a ripple-carry adder  — k-bounded, provably log-bounded-width;
+* a generated benchmark-like circuit — empirically log-bounded-width;
+* an array multiplier   — the C6288 case: width grows like sqrt(size),
+  the one practical family the paper had to exclude.
+
+For each circuit it prints the (fault sub-circuit size, cut-width)
+scatter, the three least-squares fits, and the Theorem 4.1 runtime bound
+the measured width implies.
+
+Run:  python examples/cutwidth_study.py
+"""
+
+import math
+
+from repro.analysis.fitting import all_fits
+from repro.analysis.stats import format_table
+from repro.circuits import tech_decompose
+from repro.core import fault_width_samples, theorem_4_1_bound
+from repro.gen import RandomCircuitSpec, array_multiplier, random_circuit, ripple_carry_adder
+
+
+def study(name: str, circuit, max_faults: int = 24) -> None:
+    circuit = tech_decompose(circuit)
+    print(f"\n=== {name}: {circuit.num_gates()} gates ===")
+    samples = fault_width_samples(circuit, max_faults=max_faults)
+
+    rows = []
+    for sample in sorted(samples, key=lambda s: s.sub_circuit_size)[-8:]:
+        ratio = sample.cutwidth / max(1.0, math.log2(sample.sub_circuit_size))
+        rows.append(
+            [
+                str(sample.fault),
+                sample.sub_circuit_size,
+                sample.cutwidth,
+                f"{ratio:.2f}",
+            ]
+        )
+    print(format_table(["fault", "|C_psi^sub|", "W", "W/log2(n)"], rows))
+
+    x = [float(s.sub_circuit_size) for s in samples if s.sub_circuit_size >= 2]
+    y = [float(s.cutwidth) for s in samples if s.sub_circuit_size >= 2]
+    if len(x) >= 4:
+        fits = all_fits(x, y)
+        best = min(fits.values(), key=lambda f: f.sse)
+        print(f"best least-squares model: {best.model} "
+              f"(a={best.a:.3f}, b={best.b:.3f}, r2={best.r_squared:.3f})")
+
+    worst = max(samples, key=lambda s: s.cutwidth)
+    k_fo = max(1, circuit.max_fanout())
+    bound = theorem_4_1_bound(worst.sub_circuit_size, k_fo, worst.cutwidth)
+    print(f"worst fault {worst.fault}: W={worst.cutwidth} → Theorem 4.1 "
+          f"node bound ≈ 2^{math.log2(bound):.0f}")
+
+
+def main() -> None:
+    study("ripple-carry adder (k-bounded)", ripple_carry_adder(12))
+    study(
+        "generated benchmark-like circuit",
+        random_circuit(
+            RandomCircuitSpec(
+                num_inputs=40,
+                num_gates=400,
+                num_outputs=12,
+                locality=0.6,
+                reconvergence=0.2,
+                seed=3,
+            )
+        ),
+    )
+    study("array multiplier (the C6288 case)", array_multiplier(5))
+    print(
+        "\nTakeaway: the adder and the benchmark-like circuit have "
+        "cut-widths a small multiple of log(n) — ATPG on them is provably "
+        "polynomial (Lemma 5.1). The multiplier's width grows like "
+        "sqrt(n): exactly the family the paper excluded from Figure 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

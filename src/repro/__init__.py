@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Why is ATPG Easy?" (Prasad, Chong, Keutzer,
+DAC 1999).
+
+The package characterises the practical tractability of automatic test
+pattern generation via circuit *cut-width*:
+
+* :mod:`repro.circuits` — Boolean network substrate (gates, netlists,
+  decomposition, simulation);
+* :mod:`repro.io` — ISCAS85 ``.bench``, BLIF and DIMACS I/O;
+* :mod:`repro.sat` — CNF encodings (Figure 2) and four SAT solvers,
+  including the paper's caching-based backtracking (Algorithm 1);
+* :mod:`repro.atpg` — stuck-at faults, the C_ψ^ATPG miter (Figure 3),
+  SAT-based and PODEM test generation, fault simulation;
+* :mod:`repro.partition` — FM / multilevel hypergraph bisection (the
+  hMETIS stand-in) and exact cut-width DP;
+* :mod:`repro.core` — cut-width theory: Definition 4.1, Lemma 4.1/4.2,
+  Theorem 4.1, Equation 4.5, log-bounded-width and k-bounded circuits;
+* :mod:`repro.bdd` — ROBDDs and the Berman/McMillan width bounds
+  (Section 6);
+* :mod:`repro.gen` — benchmark stand-in circuit generators;
+* :mod:`repro.experiments` — drivers regenerating every figure.
+
+Quickstart::
+
+    from repro.gen import c17
+    from repro.circuits import tech_decompose
+    from repro.atpg import AtpgEngine
+
+    circuit = tech_decompose(c17())
+    summary = AtpgEngine(circuit).run()
+    print(summary.fault_coverage)
+"""
+
+from repro.atpg import AtpgEngine, Fault
+from repro.circuits import Network, NetworkBuilder, tech_decompose
+from repro.core import minimum_cutwidth, multi_output_cutwidth
+from repro.sat import CnfFormula, circuit_sat_formula, solve_cdcl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtpgEngine",
+    "CnfFormula",
+    "Fault",
+    "Network",
+    "NetworkBuilder",
+    "__version__",
+    "circuit_sat_formula",
+    "minimum_cutwidth",
+    "multi_output_cutwidth",
+    "solve_cdcl",
+    "tech_decompose",
+]

@@ -1,0 +1,27 @@
+"""Analysis helpers: curve fitting and summary statistics."""
+
+from repro.analysis.ascii_plot import histogram, scatter
+from repro.analysis.fitting import (
+    FitResult,
+    all_fits,
+    best_fit,
+    fit_linear,
+    fit_log,
+    fit_power,
+)
+from repro.analysis.stats import Summary, format_table, fraction_below, summarize
+
+__all__ = [
+    "FitResult",
+    "Summary",
+    "all_fits",
+    "best_fit",
+    "fit_linear",
+    "fit_log",
+    "fit_power",
+    "format_table",
+    "fraction_below",
+    "histogram",
+    "scatter",
+    "summarize",
+]

@@ -1,0 +1,122 @@
+"""ASCII scatter plots for terminal-rendered figures.
+
+The paper's Figures 1 and 8 are scatter plots with fitted curves; in a
+text-only reproduction environment we render them as character rasters,
+optionally overlaying a fitted model so the "log curve hugs the data"
+claim is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+
+def scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    overlay: Callable[[float], float] | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render points (and an optional fitted curve) as ASCII art.
+
+    Args:
+        x, y: the data (equal length, non-empty).
+        width, height: raster size in characters.
+        log_x: use a logarithmic x axis (the paper's Figure 8 style).
+        overlay: a model ``f(x) -> y`` drawn with ``*`` characters.
+        x_label, y_label, title: annotations.
+
+    Raises:
+        ValueError: on empty/mismatched data or non-positive x with
+            ``log_x``.
+    """
+    if not x or len(x) != len(y):
+        raise ValueError("x and y must be equal-length and non-empty")
+    if log_x and min(x) <= 0:
+        raise ValueError("log_x requires positive x values")
+
+    def tx(value: float) -> float:
+        return math.log(value) if log_x else value
+
+    x_min, x_max = min(tx(v) for v in x), max(tx(v) for v in x)
+    y_min, y_max = min(y), max(y)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def column(value: float) -> int:
+        return round((tx(value) - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(value: float) -> int:
+        return (height - 1) - round(
+            (value - y_min) / (y_max - y_min) * (height - 1)
+        )
+
+    raster = [[" "] * width for _ in range(height)]
+
+    if overlay is not None:
+        for col in range(width):
+            t = x_min + (x_max - x_min) * col / (width - 1)
+            raw = math.exp(t) if log_x else t
+            value = overlay(raw)
+            if y_min <= value <= y_max:
+                raster[row(value)][col] = "*"
+
+    for xv, yv in zip(x, y):
+        raster[row(yv)][column(xv)] = "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_max:g}"
+    bottom = f"{y_min:g}"
+    pad = max(len(top), len(bottom))
+    for index, raster_row in enumerate(raster):
+        label = top if index == 0 else bottom if index == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(raster_row))
+    axis = "-" * width
+    lines.append(f"{'':>{pad}} +{axis}")
+    left = f"{math.exp(x_min):g}" if log_x else f"{x_min:g}"
+    right = f"{math.exp(x_max):g}" if log_x else f"{x_max:g}"
+    scale = " (log x)" if log_x else ""
+    lines.append(
+        f"{'':>{pad}}  {left}{' ' * max(1, width - len(left) - len(right))}"
+        f"{right}"
+    )
+    lines.append(f"{'':>{pad}}  {x_label}{scale} vs {y_label}"
+                 + ("   o=data *=fit" if overlay else "   o=data"))
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 12,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A horizontal ASCII histogram."""
+    if not values:
+        raise ValueError("no values")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / (hi - lo) * bins))
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        left = lo + (hi - lo) * index / bins
+        bar = "#" * round(count / peak * width) if peak else ""
+        lines.append(f"{left:>10.3g} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Least-squares curve fitting (paper Section 5.2.2).
+
+The paper fits linear (y = ax + b), logarithmic (y = a·log x + b) and
+power (y = a·x^b) curves to the (circuit size, cut-width) scatter and
+reports that the log curve gives the best least-squares fit.  We
+reproduce exactly that model-selection step.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FitResult:
+    """A fitted model with its residual quality."""
+
+    model: str  # "linear" | "log" | "power"
+    a: float
+    b: float
+    sse: float  # sum of squared errors in y-space
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model prediction at ``x``."""
+        if self.model == "linear":
+            return self.a * x + self.b
+        if self.model == "log":
+            return self.a * math.log(max(x, 1e-12)) + self.b
+        if self.model == "power":
+            return self.a * (max(x, 1e-12) ** self.b)
+        raise ValueError(f"unknown model {self.model!r}")
+
+
+def _sse_and_r2(y: np.ndarray, predictions: np.ndarray) -> tuple[float, float]:
+    residual = y - predictions
+    sse = float(np.dot(residual, residual))
+    total = float(np.dot(y - y.mean(), y - y.mean()))
+    r_squared = 1.0 - sse / total if total > 0 else 1.0
+    return sse, r_squared
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Least-squares fit of y = a·x + b."""
+    xa, ya = np.asarray(x, float), np.asarray(y, float)
+    a, b = np.polyfit(xa, ya, 1)
+    sse, r2 = _sse_and_r2(ya, a * xa + b)
+    return FitResult("linear", float(a), float(b), sse, r2)
+
+
+def fit_log(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Least-squares fit of y = a·log(x) + b (natural log)."""
+    xa, ya = np.asarray(x, float), np.asarray(y, float)
+    if np.any(xa <= 0):
+        raise ValueError("log fit requires positive x values")
+    lx = np.log(xa)
+    a, b = np.polyfit(lx, ya, 1)
+    sse, r2 = _sse_and_r2(ya, a * lx + b)
+    return FitResult("log", float(a), float(b), sse, r2)
+
+
+def fit_power(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit of y = a·x^b via log-log linear regression.
+
+    Data points with non-positive y are dropped for the regression (they
+    carry no information in log space) but still count towards the SSE,
+    which is evaluated in the original y-space as the paper's
+    least-squares comparison requires.
+    """
+    xa, ya = np.asarray(x, float), np.asarray(y, float)
+    if np.any(xa <= 0):
+        raise ValueError("power fit requires positive x values")
+    keep = ya > 0
+    if keep.sum() < 2:
+        raise ValueError("power fit needs at least two positive y values")
+    coeff_b, log_a = np.polyfit(np.log(xa[keep]), np.log(ya[keep]), 1)
+    a = math.exp(log_a)
+    predictions = a * xa**coeff_b
+    sse, r2 = _sse_and_r2(ya, predictions)
+    return FitResult("power", float(a), float(coeff_b), sse, r2)
+
+
+def best_fit(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """The paper's model selection: lowest SSE among linear/log/power."""
+    candidates = []
+    for fitter in (fit_linear, fit_log, fit_power):
+        try:
+            candidates.append(fitter(x, y))
+        except ValueError:
+            continue
+    if not candidates:
+        raise ValueError("no model could be fitted")
+    return min(candidates, key=lambda fit: fit.sse)
+
+
+def all_fits(x: Sequence[float], y: Sequence[float]) -> dict[str, FitResult]:
+    """All three fits keyed by model name (missing ones omitted)."""
+    results: dict[str, FitResult] = {}
+    for fitter in (fit_linear, fit_log, fit_power):
+        try:
+            fit = fitter(x, y)
+        except ValueError:
+            continue
+        results[fit.model] = fit
+    return results

@@ -1,0 +1,63 @@
+"""Small statistics helpers for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (empty input yields zeros)."""
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(values, float)
+    return Summary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    if not values:
+        return 0.0
+    arr = np.asarray(values, float)
+    return float((arr < threshold).mean())
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text aligned table for experiment reports."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Applications built on the ATPG/SAT machinery, mirroring the paper's
+motivating uses: verification (equivalence checking) and logic
+optimization (redundancy removal)."""
+
+from repro.apps.equivalence import (
+    EquivalenceResult,
+    InterfaceMismatch,
+    build_cec_miter,
+    check_equivalence,
+)
+from repro.apps.redundancy import RedundancyReport, remove_redundancies
+
+__all__ = [
+    "EquivalenceResult",
+    "InterfaceMismatch",
+    "RedundancyReport",
+    "build_cec_miter",
+    "check_equivalence",
+    "remove_redundancies",
+]

@@ -1,0 +1,68 @@
+"""ATPG substrate: faults, miters, SAT-based generation, fault simulation."""
+
+from repro.atpg.compaction import (
+    coverage_of,
+    greedy_cover_compaction,
+    reverse_order_compaction,
+)
+from repro.atpg.engine import (
+    AtpgEngine,
+    AtpgRecord,
+    AtpgSummary,
+    FaultStatus,
+)
+from repro.atpg.fault_sim import (
+    FaultSimResult,
+    fault_simulate,
+    pattern_detects,
+    random_pattern_coverage,
+    simulate_fault,
+)
+from repro.atpg.faults import (
+    Fault,
+    collapse_faults,
+    detectable_outputs,
+    equivalence_classes,
+    faults_on,
+    full_fault_list,
+    inject_fault,
+)
+from repro.atpg.podem import PodemEngine, PodemResult, PodemStatus
+from repro.atpg.miter import (
+    AtpgCircuit,
+    UnobservableFault,
+    atpg_sat_formula,
+    build_atpg_circuit,
+    fault_cone_nets,
+    sub_circuit,
+)
+
+__all__ = [
+    "AtpgCircuit",
+    "AtpgEngine",
+    "AtpgRecord",
+    "AtpgSummary",
+    "Fault",
+    "FaultSimResult",
+    "FaultStatus",
+    "PodemEngine",
+    "PodemResult",
+    "PodemStatus",
+    "UnobservableFault",
+    "atpg_sat_formula",
+    "build_atpg_circuit",
+    "collapse_faults",
+    "coverage_of",
+    "detectable_outputs",
+    "equivalence_classes",
+    "fault_cone_nets",
+    "fault_simulate",
+    "faults_on",
+    "full_fault_list",
+    "greedy_cover_compaction",
+    "inject_fault",
+    "pattern_detects",
+    "random_pattern_coverage",
+    "reverse_order_compaction",
+    "simulate_fault",
+]

@@ -1,0 +1,104 @@
+"""Test-set compaction.
+
+ATPG engines emit one pattern per targeted fault; production test sets
+are then *compacted* because tester time is expensive.  Two standard
+techniques, both exact about preserving coverage:
+
+* :func:`reverse_order_compaction` — fault-simulate the patterns in
+  reverse generation order with fault dropping; patterns that detect
+  nothing new are discarded (static compaction).
+* :func:`greedy_cover_compaction` — build the full pattern×fault
+  detection matrix and greedily pick the pattern covering the most
+  remaining faults (set-cover heuristic; usually smaller, costs more
+  simulation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.faults import Fault
+from repro.circuits.network import Network
+
+Pattern = Mapping[str, int]
+
+
+def detected_faults(
+    network: Network, faults: Sequence[Fault], pattern: Pattern
+) -> set[Fault]:
+    """Faults from ``faults`` detected by a single pattern."""
+    outcome = fault_simulate(network, list(faults), [pattern])
+    return set(outcome.detected)
+
+
+def reverse_order_compaction(
+    network: Network,
+    faults: Sequence[Fault],
+    patterns: Sequence[Pattern],
+) -> list[Pattern]:
+    """Static compaction by reverse-order fault simulation.
+
+    Later patterns (generated for the hard faults) tend to detect many
+    easy faults incidentally, making earlier patterns redundant —
+    the classic observation behind reverse-order compaction.
+
+    Returns:
+        A subsequence of ``patterns`` with identical fault coverage.
+    """
+    remaining = set(faults)
+    kept: list[Pattern] = []
+    for pattern in reversed(list(patterns)):
+        if not remaining:
+            break
+        hits = detected_faults(network, sorted(remaining), pattern)
+        if hits:
+            kept.append(pattern)
+            remaining -= hits
+    kept.reverse()
+    return kept
+
+
+def greedy_cover_compaction(
+    network: Network,
+    faults: Sequence[Fault],
+    patterns: Sequence[Pattern],
+) -> list[Pattern]:
+    """Set-cover compaction over the full detection matrix.
+
+    Returns:
+        A subset of ``patterns`` (original order) with identical
+        coverage, chosen greedily by marginal detection count.
+    """
+    fault_list = list(faults)
+    matrix: list[set[Fault]] = []
+    covered_any: set[Fault] = set()
+    for pattern in patterns:
+        hits = detected_faults(network, fault_list, pattern)
+        matrix.append(hits)
+        covered_any |= hits
+
+    chosen: list[int] = []
+    remaining = set(covered_any)
+    while remaining:
+        best_index = max(
+            range(len(patterns)),
+            key=lambda i: (len(matrix[i] & remaining), -i),
+        )
+        gain = matrix[best_index] & remaining
+        if not gain:  # pragma: no cover - remaining ⊆ covered_any
+            break
+        chosen.append(best_index)
+        remaining -= gain
+    chosen.sort()
+    return [patterns[i] for i in chosen]
+
+
+def coverage_of(
+    network: Network, faults: Sequence[Fault], patterns: Sequence[Pattern]
+) -> float:
+    """Fraction of ``faults`` detected by ``patterns``."""
+    if not faults:
+        return 1.0
+    outcome = fault_simulate(network, list(faults), list(patterns))
+    return outcome.coverage

@@ -1,0 +1,233 @@
+"""SAT-based test pattern generation (the TEGUS stand-in).
+
+The flow of Larrabee [18] / Stephan et al. [24]: for each fault build the
+ATPG-SAT circuit (Figure 3), translate to CNF, and hand it to a SAT
+solver.  A satisfying assignment restricted to the primary inputs is a
+test; an UNSAT answer proves the fault untestable (redundant).  The
+engine optionally performs fault dropping — each new test is
+fault-simulated against the remaining fault list, TEGUS-style.
+
+Per-instance records (instance size, solve time, search effort) are kept
+for every fault processed: they are exactly the data points of the
+paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.faults import Fault, collapse_faults
+from repro.atpg.miter import UnobservableFault, build_atpg_circuit
+from repro.circuits.network import Network
+from repro.sat.caching import CachingBacktrackingSolver
+from repro.sat.cdcl import CdclSolver
+from repro.sat.cnf import CnfFormula
+from repro.sat.dpll import DpllSolver
+from repro.sat.result import SatResult, SatStatus
+
+
+class FaultStatus(enum.Enum):
+    """Classification of a fault after ATPG."""
+
+    TESTED = "tested"  # SAT: test generated (and validated)
+    UNTESTABLE = "untestable"  # UNSAT: provably redundant
+    UNOBSERVABLE = "unobservable"  # no structural path to any output
+    ABORTED = "aborted"  # resource limit
+    DROPPED = "dropped"  # detected by an earlier pattern (fault dropping)
+
+
+@dataclass
+class AtpgRecord:
+    """One Figure-1 data point: a single ATPG-SAT instance."""
+
+    fault: Fault
+    status: FaultStatus
+    num_variables: int = 0
+    num_clauses: int = 0
+    solve_time: float = 0.0
+    decisions: int = 0
+    conflicts: int = 0
+    test: Optional[dict[str, int]] = None
+
+
+@dataclass
+class AtpgSummary:
+    """Aggregate outcome of a full-circuit ATPG run."""
+
+    circuit: str
+    records: list[AtpgRecord] = field(default_factory=list)
+
+    def by_status(self, status: FaultStatus) -> list[AtpgRecord]:
+        return [r for r in self.records if r.status is status]
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total, counting untestable faults as excluded."""
+        detected = sum(
+            1
+            for r in self.records
+            if r.status in (FaultStatus.TESTED, FaultStatus.DROPPED)
+        )
+        testable = sum(
+            1
+            for r in self.records
+            if r.status
+            in (FaultStatus.TESTED, FaultStatus.DROPPED, FaultStatus.ABORTED)
+        )
+        return detected / testable if testable else 1.0
+
+    def tests(self) -> list[dict[str, int]]:
+        """The generated test patterns, one per TESTED fault.
+
+        DROPPED records reference the pattern that covered them, so they
+        are excluded here to avoid duplicates.
+        """
+        return [
+            r.test
+            for r in self.records
+            if r.test is not None and r.status is FaultStatus.TESTED
+        ]
+
+
+SolverFactory = Callable[[], object]
+
+
+def _make_solver(name: str, **kwargs):
+    if name == "cdcl":
+        return CdclSolver(**kwargs)
+    if name == "dpll":
+        return DpllSolver(dynamic=True, **kwargs)
+    if name == "dpll-static":
+        return DpllSolver(dynamic=False, **kwargs)
+    if name == "caching":
+        return CachingBacktrackingSolver(**kwargs)
+    raise ValueError(f"unknown solver {name!r}")
+
+
+class AtpgEngine:
+    """Test generator for single stuck-at faults on a circuit.
+
+    Args:
+        network: circuit under test (any gate alphabet the CNF encoder
+            accepts; decompose first for the paper's exact setting).
+        solver: one of ``cdcl`` (default), ``dpll``, ``dpll-static``,
+            ``caching``.
+        max_conflicts: per-fault effort budget (CDCL) — aborted faults are
+            reported, not silently dropped.
+        validate: fault-simulate every generated test (defensive; adds
+            time but catches encoder bugs).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        solver: str = "cdcl",
+        max_conflicts: Optional[int] = 100_000,
+        validate: bool = True,
+    ) -> None:
+        self.network = network
+        self.solver_name = solver
+        self.max_conflicts = max_conflicts
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def generate_test(self, fault: Fault) -> AtpgRecord:
+        """Run ATPG-SAT for a single fault."""
+        start = time.perf_counter()
+        try:
+            atpg = build_atpg_circuit(self.network, fault)
+        except UnobservableFault:
+            return AtpgRecord(fault=fault, status=FaultStatus.UNOBSERVABLE)
+
+        formula = atpg.formula()
+        result = self._solve(formula)
+        elapsed = time.perf_counter() - start
+
+        record = AtpgRecord(
+            fault=fault,
+            status=FaultStatus.ABORTED,
+            num_variables=formula.num_variables(),
+            num_clauses=formula.num_clauses(),
+            solve_time=elapsed,
+            decisions=result.stats.decisions,
+            conflicts=result.stats.conflicts,
+        )
+        if result.status is SatStatus.UNSAT:
+            record.status = FaultStatus.UNTESTABLE
+        elif result.status is SatStatus.SAT:
+            assert result.assignment is not None
+            test = self._extract_test(result.assignment)
+            if self.validate:
+                outcome = fault_simulate(self.network, [fault], [test])
+                if fault not in outcome.detected:
+                    raise RuntimeError(
+                        f"SAT model for {fault} failed fault simulation — "
+                        "encoder or solver bug"
+                    )
+            record.status = FaultStatus.TESTED
+            record.test = test
+        return record
+
+    def _solve(self, formula: CnfFormula) -> SatResult:
+        if self.solver_name == "cdcl":
+            solver = CdclSolver(max_conflicts=self.max_conflicts)
+        elif self.solver_name in ("dpll", "dpll-static"):
+            solver = DpllSolver(
+                dynamic=(self.solver_name == "dpll"),
+                max_decisions=(
+                    None if self.max_conflicts is None else self.max_conflicts * 4
+                ),
+            )
+        elif self.solver_name == "caching":
+            solver = CachingBacktrackingSolver(max_nodes=self.max_conflicts)
+        else:
+            raise ValueError(f"unknown solver {self.solver_name!r}")
+        return solver.solve(formula)
+
+    def _extract_test(self, assignment: dict[str, int]) -> dict[str, int]:
+        """Project a miter model onto the circuit's primary inputs.
+
+        Inputs outside the miter (don't-cares) default to 0.
+        """
+        return {
+            net: assignment.get(net, 0) & 1 for net in self.network.inputs
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        faults: Optional[Sequence[Fault]] = None,
+        fault_dropping: bool = True,
+    ) -> AtpgSummary:
+        """ATPG over a fault list (collapsed list by default)."""
+        if faults is None:
+            faults = collapse_faults(self.network)
+        summary = AtpgSummary(circuit=self.network.name)
+        remaining = list(faults)
+        while remaining:
+            fault = remaining.pop(0)
+            record = self.generate_test(fault)
+            summary.records.append(record)
+            if (
+                fault_dropping
+                and record.test is not None
+                and remaining
+            ):
+                outcome = fault_simulate(self.network, remaining, [record.test])
+                if outcome.detected:
+                    dropped = set(outcome.detected)
+                    remaining = [f for f in remaining if f not in dropped]
+                    for covered in sorted(dropped):
+                        summary.records.append(
+                            AtpgRecord(
+                                fault=covered,
+                                status=FaultStatus.DROPPED,
+                                test=record.test,
+                            )
+                        )
+        return summary

@@ -1,0 +1,142 @@
+"""Single stuck-at fault model (paper Section 2).
+
+A fault ψ = ψ(X, B) pins net X of circuit C to the constant B.  Faults are
+modelled at nets (stems); :func:`full_fault_list` enumerates both
+polarities on every net, and :func:`collapse_faults` applies the standard
+structural equivalence rules so the ATPG experiments process one
+representative per equivalence class (as any practical tool does):
+
+* a BUF output fault is equivalent to the same-polarity input fault;
+* a NOT output fault is equivalent to the opposite-polarity input fault;
+* an AND output s-a-0 is equivalent to s-a-0 on any single-fanout input
+  stem (dually OR output s-a-1 / input s-a-1; NAND/NOR with inversion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault: net ``net`` stuck at ``value``."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.net}/sa{self.value}"
+
+
+def full_fault_list(network: Network) -> list[Fault]:
+    """Both stuck-at faults on every driven net, in deterministic order."""
+    faults: list[Fault] = []
+    for net in network.topological_order():
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    return faults
+
+
+#: Gate-type → (controlling output value, equivalent input value, inverted?)
+_EQUIVALENCE_RULES = {
+    GateType.AND: (0, 0, False),
+    GateType.OR: (1, 1, False),
+    GateType.NAND: (1, 0, True),
+    GateType.NOR: (0, 1, True),
+}
+
+
+class _UnionFind:
+    """Union-find over fault objects for equivalence collapsing."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Fault, Fault] = {}
+
+    def find(self, item: Fault) -> Fault:
+        parent = self._parent.setdefault(item, item)
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: the smaller fault.
+            if (rb.net, rb.value) < (ra.net, ra.value):
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+
+def equivalence_classes(network: Network) -> dict[Fault, list[Fault]]:
+    """Structural fault-equivalence classes of the full fault list."""
+    uf = _UnionFind()
+    for fault in full_fault_list(network):
+        uf.find(fault)
+
+    for net in network.nets:
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        if gtype is GateType.BUF:
+            (src,) = gate.inputs
+            if len(network.fanouts(src)) == 1:
+                uf.union(Fault(net, 0), Fault(src, 0))
+                uf.union(Fault(net, 1), Fault(src, 1))
+        elif gtype is GateType.NOT:
+            (src,) = gate.inputs
+            if len(network.fanouts(src)) == 1:
+                uf.union(Fault(net, 0), Fault(src, 1))
+                uf.union(Fault(net, 1), Fault(src, 0))
+        elif gtype in _EQUIVALENCE_RULES:
+            out_value, in_value, _ = _EQUIVALENCE_RULES[gtype]
+            for src in gate.inputs:
+                if len(network.fanouts(src)) == 1:
+                    uf.union(Fault(net, out_value), Fault(src, in_value))
+
+    classes: dict[Fault, list[Fault]] = {}
+    for fault in full_fault_list(network):
+        classes.setdefault(uf.find(fault), []).append(fault)
+    return classes
+
+
+def collapse_faults(network: Network) -> list[Fault]:
+    """One representative fault per structural equivalence class."""
+    return sorted(equivalence_classes(network))
+
+
+def inject_fault(network: Network, fault: Fault) -> Network:
+    """The faulted circuit C_ψ: ``fault.net`` replaced by a constant.
+
+    The returned network is a copy; the original is untouched.  The
+    faulted net keeps its name so downstream naming stays aligned.
+    """
+    if not network.has_net(fault.net):
+        raise ValueError(f"fault on unknown net {fault.net!r}")
+    faulty = network.copy(name=f"{network.name}#{fault}")
+    const = GateType.CONST1 if fault.value else GateType.CONST0
+    faulty.replace_gate(fault.net, const, ())
+    return faulty
+
+
+def detectable_outputs(network: Network, fault: Fault) -> list[str]:
+    """Primary outputs in the transitive fanout of the fault site."""
+    reach = network.transitive_fanout([fault.net])
+    return [out for out in network.outputs if out in reach]
+
+
+def faults_on(nets: Iterable[str]) -> list[Fault]:
+    """Both polarities on each given net."""
+    result = []
+    for net in nets:
+        result.append(Fault(net, 0))
+        result.append(Fault(net, 1))
+    return result

@@ -1,0 +1,155 @@
+"""Construction of the ATPG-SAT circuit C_ψ^ATPG (paper Figure 3).
+
+Given circuit C and fault ψ on net X:
+
+* ``C_ψ^fo`` — the transitive fanout of X in the *faulted* circuit C_ψ,
+  duplicated with fresh names; X itself becomes the stuck constant.
+* ``C_ψ^sub`` — the subcircuit of the *good* circuit C induced by the
+  transitive fanin of the transitive fanout of X (everything relevant to
+  exciting and observing the fault).
+* ``C_ψ^ATPG`` — C_ψ^sub and C_ψ^fo side by side, with the faulty cone
+  tapping its side inputs directly from good-circuit nets, and one XOR
+  per affected primary output.  CIRCUIT-SAT on this circuit ("at least
+  one output is 1") is exactly ATPG-SAT(C, ψ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.faults import Fault
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+from repro.sat.cnf import CnfFormula
+from repro.sat.tseitin import circuit_sat_formula
+
+#: Name prefix for the duplicated faulty-cone nets.
+FAULTY_PREFIX = "flt$"
+#: Name prefix for the XOR comparison outputs.
+XOR_PREFIX = "xor$"
+
+
+@dataclass
+class AtpgCircuit:
+    """The assembled ATPG-SAT circuit plus bookkeeping.
+
+    Attributes:
+        network: C_ψ^ATPG; its outputs are the XOR comparison nets.
+        fault: the fault ψ this circuit tests.
+        good_nets: nets of C_ψ^sub present in the miter (original names).
+        faulty_nets: original names of nets duplicated into the faulty cone.
+        observing_outputs: primary outputs of C reachable from the fault.
+    """
+
+    network: Network
+    fault: Fault
+    good_nets: tuple[str, ...]
+    faulty_nets: tuple[str, ...]
+    observing_outputs: tuple[str, ...]
+
+    def formula(self) -> CnfFormula:
+        """The ATPG-SAT CNF: CIRCUIT-SAT on C_ψ^ATPG."""
+        return circuit_sat_formula(
+            self.network, name=f"atpg({self.fault})"
+        )
+
+    def faulty_name(self, net: str) -> str:
+        """Miter-side name of the faulty copy of ``net``."""
+        return FAULTY_PREFIX + net
+
+
+class UnobservableFault(ValueError):
+    """The fault site has no path to any primary output."""
+
+
+def fault_cone_nets(network: Network, fault: Fault) -> set[str]:
+    """Nets of the transitive fanout of the fault site (inclusive)."""
+    return network.transitive_fanout([fault.net])
+
+
+def sub_circuit(network: Network, fault: Fault) -> Network:
+    """C_ψ^sub: TFI of the TFO of the fault site, as a circuit of C.
+
+    Its outputs are the primary outputs of C that can observe ψ.
+
+    Raises:
+        UnobservableFault: if no primary output lies in the fanout of X.
+    """
+    tfo = fault_cone_nets(network, fault)
+    observing = [out for out in network.outputs if out in tfo]
+    if not observing:
+        raise UnobservableFault(
+            f"fault {fault} cannot reach any primary output"
+        )
+    relevant = network.transitive_fanin(tfo)
+    return network.subnetwork(
+        relevant, outputs=observing, name=f"{network.name}.sub({fault})"
+    )
+
+
+def build_atpg_circuit(network: Network, fault: Fault) -> AtpgCircuit:
+    """Assemble C_ψ^ATPG for ``fault`` on ``network``.
+
+    Raises:
+        UnobservableFault: if the fault site reaches no primary output.
+        ValueError: if the fault net does not exist.
+    """
+    if not network.has_net(fault.net):
+        raise ValueError(f"fault on unknown net {fault.net!r}")
+
+    tfo = fault_cone_nets(network, fault)
+    observing = [out for out in network.outputs if out in tfo]
+    if not observing:
+        raise UnobservableFault(
+            f"fault {fault} cannot reach any primary output"
+        )
+
+    good = sub_circuit(network, fault)
+    miter = Network(name=f"{network.name}.atpg({fault})")
+
+    # Good side: copy C_ψ^sub verbatim.
+    for net in good.topological_order():
+        gate = good.gate(net)
+        if gate.gate_type is GateType.INPUT:
+            miter.add_input(net)
+        else:
+            miter.add_gate(net, gate.gate_type, gate.inputs)
+
+    # Faulty side: duplicate the fanout cone with fresh names.  The fault
+    # site becomes a constant; other cone gates read the faulty copy of
+    # cone inputs and tap good-circuit nets otherwise.
+    def faulty_name(net: str) -> str:
+        return FAULTY_PREFIX + net
+
+    cone_order = [net for net in good.topological_order() if net in tfo]
+    for net in cone_order:
+        if net == fault.net:
+            const = GateType.CONST1 if fault.value else GateType.CONST0
+            miter.add_gate(faulty_name(net), const, ())
+            continue
+        gate = good.gate(net)
+        mapped = [
+            faulty_name(src) if src in tfo else src for src in gate.inputs
+        ]
+        miter.add_gate(faulty_name(net), gate.gate_type, mapped)
+
+    # Pairwise XOR of good and faulty outputs.
+    xor_outputs = []
+    for out in observing:
+        xor_net = XOR_PREFIX + out
+        miter.add_gate(xor_net, GateType.XOR, [out, faulty_name(out)])
+        xor_outputs.append(xor_net)
+    miter.set_outputs(xor_outputs)
+
+    return AtpgCircuit(
+        network=miter,
+        fault=fault,
+        good_nets=tuple(good.nets),
+        faulty_nets=tuple(cone_order),
+        observing_outputs=tuple(observing),
+    )
+
+
+def atpg_sat_formula(network: Network, fault: Fault) -> CnfFormula:
+    """ATPG-SAT(C, ψ) as a CNF formula (Section 2's reduction)."""
+    return build_atpg_circuit(network, fault).formula()

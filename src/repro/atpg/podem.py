@@ -1,0 +1,290 @@
+"""PODEM: path-oriented decision making — the structural ATPG baseline.
+
+The classic pre-SAT algorithm (Goel 1981), implemented over the same
+:class:`Network`/:class:`Fault` substrate as the SAT engine so the two
+can be compared head-to-head.  Five-valued logic is represented as a pair
+of three-valued simulations (good, faulty); decisions are made only at
+primary inputs, objectives are backtraced through the easiest gate input
+(SCOAP-free: first-unassigned), and the search is bounded by a backtrack
+budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atpg.faults import Fault
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+_X = None  # unassigned / unknown in 3-valued logic
+
+
+class PodemStatus(enum.Enum):
+    """Outcome of a PODEM run for one fault."""
+
+    TESTED = "tested"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    """Result record: status, test pattern (if any) and search effort."""
+
+    status: PodemStatus
+    test: Optional[dict[str, int]] = None
+    backtracks: int = 0
+    decisions: int = 0
+
+
+def _eval3(gate_type: GateType, values: list[Optional[int]]) -> Optional[int]:
+    """Three-valued gate evaluation (X = None)."""
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.NOT:
+        return None if values[0] is None else 1 - values[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in values):
+            result = 0
+        elif all(v == 1 for v in values):
+            result = 1
+        else:
+            return _X
+        return 1 - result if gate_type is GateType.NAND else result
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in values):
+            result = 1
+        elif all(v == 0 for v in values):
+            result = 0
+        else:
+            return _X
+        return 1 - result if gate_type is GateType.NOR else result
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in values):
+            return _X
+        result = 0
+        for v in values:
+            result ^= v
+        return 1 - result if gate_type is GateType.XNOR else result
+    raise ValueError(f"unsupported gate {gate_type!r}")
+
+
+#: Controlling input value per gate type (None = no controlling value).
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Whether the gate inverts its base function.
+_INVERTS = {
+    GateType.NAND: True,
+    GateType.NOR: True,
+    GateType.NOT: True,
+    GateType.XNOR: True,
+}
+
+
+class PodemEngine:
+    """PODEM test generator.
+
+    Args:
+        network: circuit under test.
+        max_backtracks: abort threshold per fault.
+        use_scoap: guide backtrace by SCOAP controllability (choose the
+            cheapest open input for the required value) instead of the
+            first open input.  Completeness is unaffected — only the
+            exploration order changes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        max_backtracks: int = 10_000,
+        use_scoap: bool = False,
+    ) -> None:
+        self.network = network
+        self.max_backtracks = max_backtracks
+        self._topo = network.topological_order()
+        self._scoap = None
+        if use_scoap:
+            from repro.atpg.scoap import compute_scoap
+
+            self._scoap = compute_scoap(network)
+
+    # ------------------------------------------------------------------
+    def generate_test(self, fault: Fault) -> PodemResult:
+        """Attempt to generate a test for ``fault``."""
+        pi_values: dict[str, int] = {}
+        decisions: list[tuple[str, int, bool]] = []  # (pi, value, flipped)
+        result = PodemResult(status=PodemStatus.UNTESTABLE)
+
+        while True:
+            good, faulty = self._simulate(pi_values, fault)
+            if self._fault_at_output(good, faulty):
+                test = {
+                    net: pi_values.get(net, 0) for net in self.network.inputs
+                }
+                return PodemResult(
+                    status=PodemStatus.TESTED,
+                    test=test,
+                    backtracks=result.backtracks,
+                    decisions=result.decisions,
+                )
+
+            objective = self._pick_objective(fault, good, faulty)
+            if objective is not None:
+                pi, value = self._backtrace(objective, good)
+                if pi is not None:
+                    result.decisions += 1
+                    pi_values[pi] = value
+                    decisions.append((pi, value, False))
+                    continue
+                objective = None  # objective unreachable: treat as failure
+
+            # No viable objective: backtrack.
+            flipped = False
+            while decisions:
+                pi, value, was_flipped = decisions.pop()
+                del pi_values[pi]
+                if not was_flipped:
+                    result.backtracks += 1
+                    if result.backtracks > self.max_backtracks:
+                        return PodemResult(
+                            status=PodemStatus.ABORTED,
+                            backtracks=result.backtracks,
+                            decisions=result.decisions,
+                        )
+                    pi_values[pi] = 1 - value
+                    decisions.append((pi, 1 - value, True))
+                    flipped = True
+                    break
+            if not flipped:
+                return PodemResult(
+                    status=PodemStatus.UNTESTABLE,
+                    backtracks=result.backtracks,
+                    decisions=result.decisions,
+                )
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, pi_values: dict[str, int], fault: Fault
+    ) -> tuple[dict[str, Optional[int]], dict[str, Optional[int]]]:
+        """Three-valued good and faulty simulations under partial PIs."""
+        good: dict[str, Optional[int]] = {}
+        faulty: dict[str, Optional[int]] = {}
+        for net in self._topo:
+            gate = self.network.gate(net)
+            if gate.gate_type is GateType.INPUT:
+                good[net] = pi_values.get(net, _X)
+            else:
+                good[net] = _eval3(
+                    gate.gate_type, [good[src] for src in gate.inputs]
+                )
+            if net == fault.net:
+                faulty[net] = fault.value
+            elif gate.gate_type is GateType.INPUT:
+                faulty[net] = pi_values.get(net, _X)
+            else:
+                faulty[net] = _eval3(
+                    gate.gate_type, [faulty[src] for src in gate.inputs]
+                )
+        return good, faulty
+
+    def _fault_at_output(self, good, faulty) -> bool:
+        return any(
+            good[out] is not None
+            and faulty[out] is not None
+            and good[out] != faulty[out]
+            for out in self.network.outputs
+        )
+
+    def _pick_objective(
+        self, fault: Fault, good, faulty
+    ) -> Optional[tuple[str, int]]:
+        """Next (net, value) objective, or None if provably stuck.
+
+        Phase 1 — activation: the good value at the fault site must be
+        the complement of the stuck value.  Phase 2 — propagation: pick a
+        D-frontier gate and set one of its X inputs non-controlling.
+        """
+        site_good = good[fault.net]
+        if site_good is None:
+            return fault.net, 1 - fault.value
+        if site_good == fault.value:
+            return None  # activation contradicted: dead branch
+
+        # D-frontier: gates with a fault-effect input and X output.
+        for net in self._topo:
+            gate = self.network.gate(net)
+            if gate.gate_type.is_source:
+                continue
+            if good[net] is not None and faulty[net] is not None:
+                if good[net] != faulty[net]:
+                    continue  # effect already propagated past here
+            has_effect_input = any(
+                good[src] is not None
+                and faulty[src] is not None
+                and good[src] != faulty[src]
+                for src in gate.inputs
+            )
+            output_open = good[net] is None or faulty[net] is None
+            if has_effect_input and output_open:
+                control = _CONTROLLING.get(gate.gate_type)
+                for src in gate.inputs:
+                    if good[src] is None:
+                        target = 1 if control is None else 1 - control
+                        return src, target
+                # All side inputs set: objective is further downstream.
+        return None
+
+    def _backtrace(
+        self, objective: tuple[str, int], good
+    ) -> tuple[Optional[str], int]:
+        """Map an internal objective to a PI assignment (Goel's backtrace)."""
+        net, value = objective
+        guard = 0
+        while True:
+            guard += 1
+            if guard > len(self._topo) + 8:
+                return None, 0
+            gate = self.network.gate(net)
+            if gate.gate_type is GateType.INPUT:
+                return net, value
+            if gate.gate_type.is_source:
+                return None, 0  # constants cannot be justified
+            if _INVERTS.get(gate.gate_type, False):
+                value = 1 - value
+            open_inputs = [src for src in gate.inputs if good[src] is None]
+            if not open_inputs:
+                return None, 0
+            if self._scoap is not None:
+                open_inputs = sorted(
+                    open_inputs,
+                    key=lambda src: self._scoap.controllability(src, value),
+                )
+            if gate.gate_type in (GateType.XOR, GateType.XNOR):
+                # Parity: aim the first open input at the needed parity of
+                # the assigned rest (approximate; simulation validates).
+                assigned = [good[s] for s in gate.inputs if good[s] is not None]
+                parity = 0
+                for bit in assigned:
+                    parity ^= bit
+                net = open_inputs[0]
+                value = value ^ parity
+                continue
+            net = open_inputs[0]
+        # Unreachable.
+
+    # ------------------------------------------------------------------
+    def run(self, faults: list[Fault]) -> dict[Fault, PodemResult]:
+        """PODEM over a fault list."""
+        return {fault: self.generate_test(fault) for fault in faults}

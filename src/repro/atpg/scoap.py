@@ -1,0 +1,148 @@
+"""SCOAP testability measures (Goldstein; cf. Fujiwara [10]).
+
+Controllability CC0/CC1 — the cost of setting a net to 0/1 — and
+observability CO — the cost of propagating a net's value to an output —
+computed by the classic recurrences:
+
+* CC of a PI is 1; of a constant, 1 for its value and ∞ for the other.
+* AND: CC1 = Σ CC1(inputs)+1, CC0 = min CC0(input)+1 (dually OR; the
+  inverting types swap their output polarities; XOR enumerates parities).
+* CO of an output net is 0; through an AND gate input, CO(input) =
+  CO(output) + Σ CC1(side inputs) + 1, and so on.
+
+Used here to guide PODEM's backtrace (choosing the *easiest* input
+rather than the first open one) and as a cheap per-fault difficulty
+predictor to compare against the cut-width account.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+#: Sentinel for "uncontrollable" (constants' impossible value).
+INFINITY = float("inf")
+
+
+@dataclass
+class ScoapMeasures:
+    """Per-net SCOAP values for one circuit."""
+
+    cc0: dict[str, float]
+    cc1: dict[str, float]
+    co: dict[str, float]
+
+    def controllability(self, net: str, value: int) -> float:
+        """CC0 or CC1 of ``net``."""
+        return self.cc1[net] if value else self.cc0[net]
+
+    def detection_cost(self, net: str, stuck_value: int) -> float:
+        """SCOAP estimate of testing net/sa-``stuck_value``:
+        cost of driving the opposite value plus observing the net."""
+        return self.controllability(net, 1 - stuck_value) + self.co[net]
+
+
+def _gate_controllability(
+    gate_type: GateType, in0: list[float], in1: list[float]
+) -> tuple[float, float]:
+    """(CC0, CC1) of a gate output from its input controllabilities."""
+    if gate_type is GateType.BUF:
+        return in0[0], in1[0]
+    if gate_type is GateType.NOT:
+        return in1[0], in0[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        c_all1 = sum(in1) + 1
+        c_any0 = min(in0) + 1
+        if gate_type is GateType.AND:
+            return c_any0, c_all1
+        return c_all1, c_any0
+    if gate_type in (GateType.OR, GateType.NOR):
+        c_all0 = sum(in0) + 1
+        c_any1 = min(in1) + 1
+        if gate_type is GateType.OR:
+            return c_all0, c_any1
+        return c_any1, c_all0
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        best = {0: INFINITY, 1: INFINITY}
+        n = len(in0)
+        for combo in itertools.product((0, 1), repeat=n):
+            parity = sum(combo) & 1
+            cost = sum(
+                in1[i] if combo[i] else in0[i] for i in range(n)
+            ) + 1
+            best[parity] = min(best[parity], cost)
+        if gate_type is GateType.XNOR:
+            best = {0: best[1], 1: best[0]}
+        return best[0], best[1]
+    raise ValueError(f"no controllability rule for {gate_type!r}")
+
+
+def compute_scoap(network: Network) -> ScoapMeasures:
+    """Compute CC0/CC1/CO for every net of ``network``."""
+    cc0: dict[str, float] = {}
+    cc1: dict[str, float] = {}
+
+    for net in network.topological_order():
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        if gtype is GateType.INPUT:
+            cc0[net] = cc1[net] = 1.0
+        elif gtype is GateType.CONST0:
+            cc0[net], cc1[net] = 1.0, INFINITY
+        elif gtype is GateType.CONST1:
+            cc0[net], cc1[net] = INFINITY, 1.0
+        else:
+            in0 = [cc0[src] for src in gate.inputs]
+            in1 = [cc1[src] for src in gate.inputs]
+            cc0[net], cc1[net] = _gate_controllability(gtype, in0, in1)
+
+    co: dict[str, float] = {net: INFINITY for net in network.nets}
+    for out in network.outputs:
+        co[out] = 0.0
+    for net in reversed(network.topological_order()):
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        if gtype.is_source:
+            continue
+        base = co[net]
+        if base == INFINITY:
+            continue
+        for index, src in enumerate(gate.inputs):
+            side = [s for k, s in enumerate(gate.inputs) if k != index]
+            if gtype in (GateType.BUF, GateType.NOT):
+                cost = base + 1
+            elif gtype in (GateType.AND, GateType.NAND):
+                cost = base + sum(cc1[s] for s in side) + 1
+            elif gtype in (GateType.OR, GateType.NOR):
+                cost = base + sum(cc0[s] for s in side) + 1
+            elif gtype in (GateType.XOR, GateType.XNOR):
+                cost = base + sum(min(cc0[s], cc1[s]) for s in side) + 1
+            else:  # pragma: no cover - exhaustive
+                raise ValueError(f"no observability rule for {gtype!r}")
+            if cost < co[src]:
+                co[src] = cost
+
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)
+
+
+def hardest_faults(
+    network: Network, top: int = 10
+) -> list[tuple[str, int, float]]:
+    """The ``top`` faults with the highest SCOAP detection cost.
+
+    Returns:
+        (net, stuck value, cost) triples, most expensive first; faults
+        with infinite cost (provably unexcitable/unobservable under
+        SCOAP's approximation) come first of all.
+    """
+    measures = compute_scoap(network)
+    scored = [
+        (net, value, measures.detection_cost(net, value))
+        for net in network.nets
+        for value in (0, 1)
+    ]
+    scored.sort(key=lambda item: -item[2])
+    return scored[:top]

@@ -1,0 +1,31 @@
+"""ROBDD package for the Section 6 BDD-vs-backtracking comparison."""
+
+from repro.bdd.bdd import ONE, ZERO, BddManager
+from repro.bdd.circuit_bdd import (
+    BddSizeLimitExceeded,
+    build_output_bdds,
+    circuit_sat_by_bdd,
+    output_bdd_size,
+)
+from repro.bdd.width_bounds import (
+    DirectedWidths,
+    berman_bound,
+    directed_widths,
+    mcmillan_bound,
+    topological_directed_widths,
+)
+
+__all__ = [
+    "BddManager",
+    "BddSizeLimitExceeded",
+    "DirectedWidths",
+    "ONE",
+    "ZERO",
+    "berman_bound",
+    "build_output_bdds",
+    "circuit_sat_by_bdd",
+    "directed_widths",
+    "mcmillan_bound",
+    "output_bdd_size",
+    "topological_directed_widths",
+]

@@ -1,0 +1,199 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A compact BDD manager with a unique table (hash-consing) and a computed
+table (memoised ITE), sufficient for the paper's Section 6 comparison of
+BDD sizes against backtracking-tree sizes and the Berman/McMillan width
+bounds.  Nodes are integers; 0 and 1 are the terminals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BddManager:
+    """ROBDD manager with a fixed variable order.
+
+    Args:
+        order: variable names, outermost (top) first.
+    """
+
+    def __init__(self, order: Iterable[str]) -> None:
+        self._order = list(order)
+        if len(set(self._order)) != len(self._order):
+            raise ValueError("duplicate variables in order")
+        self._level_of = {name: i for i, name in enumerate(self._order)}
+        # node id -> (level, low, high); terminals use level = +inf sentinel.
+        self._nodes: list[tuple[int, int, int]] = [
+            (1 << 30, 0, 0),
+            (1 << 30, 1, 1),
+        ]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> list[str]:
+        return list(self._order)
+
+    def level(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def var_name(self, node: int) -> str:
+        lvl = self._nodes[node][0]
+        if lvl >= len(self._order):
+            raise ValueError("terminal node has no variable")
+        return self._order[lvl]
+
+    def low(self, node: int) -> int:
+        return self._nodes[node][1]
+
+    def high(self, node: int) -> int:
+        return self._nodes[node][2]
+
+    def is_terminal(self, node: int) -> bool:
+        return node in (ZERO, ONE)
+
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD of a single variable."""
+        return self._mk(self._level_of[name], ZERO, ONE)
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the universal connective."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.level(f), self.level(g), self.level(h))
+
+        def cofactor(node: int, branch: int) -> int:
+            if self.level(node) == top:
+                return self._nodes[node][1 + branch]
+            return node
+
+        low = self.ite(cofactor(f, 0), cofactor(g, 0), cofactor(h, 0))
+        high = self.ite(cofactor(f, 1), cofactor(g, 1), cofactor(h, 1))
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # Boolean operations -------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, ZERO, ONE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        result = ONE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        result = ZERO
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    # Queries -------------------------------------------------------------
+    def size(self, roots: int | Iterable[int]) -> int:
+        """Number of internal nodes reachable from the root(s)."""
+        if isinstance(roots, int):
+            roots = [roots]
+        seen: set[int] = set()
+        stack = [r for r in roots]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self.low(node))
+            stack.append(self.high(node))
+        return count
+
+    def evaluate(self, node: int, assignment: Mapping[str, int]) -> int:
+        """0/1 value of the function under a total assignment."""
+        while not self.is_terminal(node):
+            name = self.var_name(node)
+            node = (
+                self.high(node) if assignment.get(name, 0) else self.low(node)
+            )
+        return node
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments over the full variable set."""
+        n = len(self._order)
+        cache: dict[int, int] = {}
+
+        def clamped_level(node: int) -> int:
+            return min(self.level(node), n)
+
+        def count(node: int) -> int:
+            """Assignments of the variables at levels >= level(node)."""
+            if node == ZERO:
+                return 0
+            if node == ONE:
+                return 1
+            if node in cache:
+                return cache[node]
+            lvl = self.level(node)
+            low, high = self.low(node), self.high(node)
+            result = count(low) * (
+                1 << (clamped_level(low) - lvl - 1)
+            ) + count(high) * (1 << (clamped_level(high) - lvl - 1))
+            cache[node] = result
+            return result
+
+        return count(node) * (1 << clamped_level(node))
+
+    def any_sat(self, node: int) -> dict[str, int] | None:
+        """One satisfying assignment (partial; unmentioned vars free)."""
+        if node == ZERO:
+            return None
+        assignment: dict[str, int] = {}
+        while node != ONE:
+            name = self.var_name(node)
+            if self.low(node) != ZERO:
+                assignment[name] = 0
+                node = self.low(node)
+            else:
+                assignment[name] = 1
+                node = self.high(node)
+        return assignment
+
+    def num_nodes_allocated(self) -> int:
+        """Total unique nodes ever created (terminals included)."""
+        return len(self._nodes)

@@ -1,0 +1,56 @@
+"""Boolean network substrate: gates, netlists, decomposition, simulation."""
+
+from repro.circuits.build import NetworkBuilder, mux2, xor2
+from repro.circuits.decompose import is_decomposed, tech_decompose
+from repro.circuits.gates import GateType, evaluate_gate, gate_type_from_name
+from repro.circuits.network import Gate, Network, NetworkError
+from repro.circuits.optimize import (
+    propagate_constants,
+    remove_dangling,
+    sweep,
+    sweep_buffers,
+)
+from repro.circuits.stats import CircuitProfile, compare_profiles, profile
+from repro.circuits.simulate import (
+    PATTERNS_PER_WORD,
+    exhaustive_patterns,
+    networks_equivalent,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    simulate_pattern,
+    unpack_pattern,
+)
+from repro.circuits.validate import ValidationReport, check_network, validate_network
+
+__all__ = [
+    "CircuitProfile",
+    "Gate",
+    "GateType",
+    "Network",
+    "NetworkBuilder",
+    "NetworkError",
+    "PATTERNS_PER_WORD",
+    "ValidationReport",
+    "check_network",
+    "evaluate_gate",
+    "exhaustive_patterns",
+    "gate_type_from_name",
+    "is_decomposed",
+    "mux2",
+    "networks_equivalent",
+    "compare_profiles",
+    "pack_patterns",
+    "profile",
+    "propagate_constants",
+    "remove_dangling",
+    "random_patterns",
+    "simulate",
+    "simulate_pattern",
+    "sweep",
+    "sweep_buffers",
+    "tech_decompose",
+    "unpack_pattern",
+    "validate_network",
+    "xor2",
+]

@@ -1,0 +1,104 @@
+"""Fluent construction helpers for Boolean networks.
+
+:class:`NetworkBuilder` removes the naming boilerplate when constructing
+circuits programmatically (generators, miters, decomposition) by
+auto-generating fresh net names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+
+class NetworkBuilder:
+    """Builds a :class:`Network` with automatic fresh-name generation."""
+
+    def __init__(self, name: str = "circuit", prefix: str = "n") -> None:
+        self.network = Network(name=name)
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str | None = None) -> str:
+        """A net name guaranteed not to collide with existing nets."""
+        base = hint or self._prefix
+        while True:
+            candidate = f"{base}{self._counter}"
+            self._counter += 1
+            if not self.network.has_net(candidate):
+                return candidate
+
+    # ------------------------------------------------------------------
+    def input(self, name: str | None = None) -> str:
+        """Add a primary input, returning its net name."""
+        return self.network.add_input(name or self.fresh("in"))
+
+    def inputs(self, count: int, stem: str = "in") -> list[str]:
+        """Add ``count`` primary inputs named ``stem0..stem{count-1}``."""
+        return [self.network.add_input(f"{stem}{i}") for i in range(count)]
+
+    def gate(
+        self,
+        gate_type: GateType,
+        inputs: Sequence[str],
+        name: str | None = None,
+    ) -> str:
+        """Add a gate of ``gate_type``, returning its output net."""
+        return self.network.add_gate(name or self.fresh(), gate_type, inputs)
+
+    def and_(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.AND, inputs, name)
+
+    def or_(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.OR, inputs, name)
+
+    def nand(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.NAND, inputs, name)
+
+    def nor(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.NOR, inputs, name)
+
+    def xor(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.XOR, inputs, name)
+
+    def xnor(self, *inputs: str, name: str | None = None) -> str:
+        return self.gate(GateType.XNOR, inputs, name)
+
+    def not_(self, source: str, name: str | None = None) -> str:
+        return self.gate(GateType.NOT, [source], name)
+
+    def buf(self, source: str, name: str | None = None) -> str:
+        return self.gate(GateType.BUF, [source], name)
+
+    def const0(self, name: str | None = None) -> str:
+        return self.gate(GateType.CONST0, (), name or self.fresh("zero"))
+
+    def const1(self, name: str | None = None) -> str:
+        return self.gate(GateType.CONST1, (), name or self.fresh("one"))
+
+    def outputs(self, *nets: str) -> None:
+        """Declare the primary outputs."""
+        self.network.set_outputs(nets)
+
+    def build(self) -> Network:
+        """Return the constructed network."""
+        return self.network
+
+
+def mux2(builder: NetworkBuilder, select: str, a: str, b: str) -> str:
+    """2:1 multiplexer: ``select ? b : a`` built from AND/OR/NOT."""
+    nsel = builder.not_(select)
+    take_a = builder.and_(nsel, a)
+    take_b = builder.and_(select, b)
+    return builder.or_(take_a, take_b)
+
+
+def xor2(builder: NetworkBuilder, a: str, b: str) -> str:
+    """2-input XOR built from the simple AND/OR/NOT alphabet."""
+    na = builder.not_(a)
+    nb = builder.not_(b)
+    left = builder.and_(a, nb)
+    right = builder.and_(na, b)
+    return builder.or_(left, right)

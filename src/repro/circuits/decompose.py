@@ -1,0 +1,162 @@
+"""Technology decomposition into bounded-fanin AND/OR gates with inversions.
+
+The paper (Section 5.2.2) maps every benchmark circuit to "three (or fewer)
+input AND/OR gates, allowing inversions", using SIS's ``tech_decomp``, before
+measuring cut-widths or generating SAT formulas.  This module is our
+stand-in for that pass:
+
+* XOR/XNOR gates expand into two-level AND/OR trees of 2-input gates;
+* NAND/NOR become AND/OR followed by NOT;
+* wide AND/OR gates are split into balanced trees of at most ``max_fanin``
+  inputs per node.
+
+The pass preserves net names for every original net (new internal nets get
+a ``_d<N>`` suffix namespace), so fault sites survive decomposition.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+
+class _FreshNamer:
+    """Generates collision-free internal net names."""
+
+    def __init__(self, taken: set[str]) -> None:
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        while True:
+            candidate = f"{stem}_d{self._counter}"
+            self._counter += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+
+def _split_tree(
+    result: Network,
+    namer: _FreshNamer,
+    gate_type: GateType,
+    inputs: list[str],
+    output: str,
+    max_fanin: int,
+) -> None:
+    """Emit a balanced tree of ``gate_type`` nodes computing ``output``."""
+    frontier = list(inputs)
+    while len(frontier) > max_fanin:
+        next_frontier: list[str] = []
+        for i in range(0, len(frontier), max_fanin):
+            chunk = frontier[i : i + max_fanin]
+            if len(chunk) == 1:
+                next_frontier.append(chunk[0])
+                continue
+            net = namer.fresh(output)
+            result.add_gate(net, gate_type, chunk)
+            next_frontier.append(net)
+        frontier = next_frontier
+    if len(frontier) == 1 and gate_type in (GateType.AND, GateType.OR):
+        result.add_gate(output, GateType.BUF, frontier)
+    else:
+        result.add_gate(output, gate_type, frontier)
+
+
+def _emit_xor2(
+    result: Network, namer: _FreshNamer, a: str, b: str, output: str
+) -> None:
+    """output = a XOR b using AND/OR/NOT."""
+    na = namer.fresh(output)
+    nb = namer.fresh(output)
+    left = namer.fresh(output)
+    right = namer.fresh(output)
+    result.add_gate(na, GateType.NOT, [a])
+    result.add_gate(nb, GateType.NOT, [b])
+    result.add_gate(left, GateType.AND, [a, nb])
+    result.add_gate(right, GateType.AND, [na, b])
+    result.add_gate(output, GateType.OR, [left, right])
+
+
+def _emit_xor_chain(
+    result: Network,
+    namer: _FreshNamer,
+    inputs: list[str],
+    output: str,
+    invert: bool,
+) -> None:
+    """Multi-input XOR as a chain of 2-input XOR expansions."""
+    acc = inputs[0]
+    for idx, src in enumerate(inputs[1:]):
+        is_last = idx == len(inputs) - 2
+        target = output if (is_last and not invert) else namer.fresh(output)
+        _emit_xor2(result, namer, acc, src, target)
+        acc = target
+    if invert:
+        result.add_gate(output, GateType.NOT, [acc])
+    elif len(inputs) == 1:
+        result.add_gate(output, GateType.BUF, [acc])
+
+
+def tech_decompose(network: Network, max_fanin: int = 3) -> Network:
+    """Map ``network`` onto ≤``max_fanin``-input AND/OR gates with inversions.
+
+    Args:
+        network: source circuit; any gate alphabet.
+        max_fanin: the k_fi bound for AND/OR nodes (the paper uses 3).
+
+    Returns:
+        A new functionally equivalent network over the simple alphabet.
+        Original net names are preserved, so fault lists and output names
+        remain valid.
+
+    Raises:
+        ValueError: if ``max_fanin`` < 2.
+    """
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be at least 2")
+
+    result = Network(name=network.name)
+    namer = _FreshNamer(set(network.nets))
+
+    for net in network.topological_order():
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        inputs = list(gate.inputs)
+
+        if gtype is GateType.INPUT:
+            result.add_input(net)
+        elif gtype in (GateType.CONST0, GateType.CONST1, GateType.BUF, GateType.NOT):
+            result.add_gate(net, gtype, inputs)
+        elif gtype in (GateType.AND, GateType.OR):
+            if len(inputs) <= max_fanin:
+                result.add_gate(net, gtype, inputs)
+            else:
+                _split_tree(result, namer, gtype, inputs, net, max_fanin)
+        elif gtype in (GateType.NAND, GateType.NOR):
+            base = GateType.AND if gtype is GateType.NAND else GateType.OR
+            inner = namer.fresh(net)
+            if len(inputs) <= max_fanin:
+                result.add_gate(inner, base, inputs)
+            else:
+                _split_tree(result, namer, base, inputs, inner, max_fanin)
+            result.add_gate(net, GateType.NOT, [inner])
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            _emit_xor_chain(
+                result, namer, inputs, net, invert=(gtype is GateType.XNOR)
+            )
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"cannot decompose gate type {gtype!r}")
+
+    result.set_outputs(network.outputs)
+    return result
+
+
+def is_decomposed(network: Network, max_fanin: int = 3) -> bool:
+    """True if ``network`` already satisfies the decomposition contract."""
+    for gate in network.gates():
+        if not gate.gate_type.is_simple:
+            return False
+        if gate.fanin > max_fanin:
+            return False
+    return True

@@ -1,0 +1,154 @@
+"""Gate types and their Boolean semantics.
+
+The paper (Section 2) assumes circuits mapped to simple AND and OR gates,
+allowing inversions, with fanin bounded by ``k_fi`` and fanout by ``k_fo``.
+This module defines the richer gate alphabet needed to *describe* circuits
+(benchmark netlists use NAND/NOR/XOR/etc.) together with the evaluation
+semantics used by the logic and fault simulators.  The decomposition pass
+(:mod:`repro.circuits.decompose`) reduces everything to the paper's
+AND/OR/NOT alphabet before SAT encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+
+class GateType(enum.Enum):
+    """The gate alphabet understood by the network substrate."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def is_source(self) -> bool:
+        """True for gates with no inputs (primary inputs and constants)."""
+        return self in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_simple(self) -> bool:
+        """True for the paper's target alphabet: AND/OR/BUF/NOT (+ sources).
+
+        CNF clause generation (Figure 2 of the paper) is defined for these
+        gates only; XOR/NAND/etc. must be decomposed first or encoded via
+        the extended Tseitin rules.
+        """
+        return self in (
+            GateType.INPUT,
+            GateType.CONST0,
+            GateType.CONST1,
+            GateType.BUF,
+            GateType.NOT,
+            GateType.AND,
+            GateType.OR,
+        )
+
+    @property
+    def inverting(self) -> bool:
+        """True for gates whose output is the complement of a base function."""
+        return self in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR)
+
+
+#: Gate types that accept exactly one input.
+UNARY_GATES = frozenset({GateType.BUF, GateType.NOT})
+
+#: Gate types that accept two or more inputs.
+MULTI_INPUT_GATES = frozenset(
+    {
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    }
+)
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate ``gate_type`` on bitwise-parallel input words.
+
+    Each entry of ``inputs`` is an integer used as a bit vector, so a single
+    call simulates the gate for up to ``word_width`` patterns at once (the
+    classic parallel-pattern simulation trick).  Callers mask the result to
+    their word width; this function performs no masking of NOT-induced
+    high bits beyond what Python integers require, so callers simulating
+    with finite words must AND with their mask.
+
+    Raises:
+        ValueError: if the arity does not match the gate type.
+    """
+    if gate_type is GateType.CONST0:
+        if inputs:
+            raise ValueError("CONST0 takes no inputs")
+        return 0
+    if gate_type is GateType.CONST1:
+        if inputs:
+            raise ValueError("CONST1 takes no inputs")
+        return ~0
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT gates have no evaluation rule; supply their value")
+    if gate_type in UNARY_GATES:
+        if len(inputs) != 1:
+            raise ValueError(f"{gate_type.value} takes exactly one input")
+        value = inputs[0]
+        return ~value if gate_type is GateType.NOT else value
+    if not inputs:
+        raise ValueError(f"{gate_type.value} needs at least one input")
+
+    if gate_type in (GateType.AND, GateType.NAND):
+        acc = ~0
+        for word in inputs:
+            acc &= word
+    elif gate_type in (GateType.OR, GateType.NOR):
+        acc = 0
+        for word in inputs:
+            acc |= word
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        acc = 0
+        for word in inputs:
+            acc ^= word
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unknown gate type {gate_type!r}")
+
+    if gate_type.inverting:
+        acc = ~acc
+    return acc
+
+
+def gate_function_name(gate_type: GateType) -> str:
+    """Human-readable name used by netlist writers."""
+    return gate_type.value.upper()
+
+
+_BENCH_NAMES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Map a netlist function name (e.g. ``NAND``) to a :class:`GateType`.
+
+    Raises:
+        KeyError: if the name is not a recognised gate function.
+    """
+    return _BENCH_NAMES[name.strip().upper()]

@@ -1,0 +1,440 @@
+"""Combinational Boolean network (netlist) substrate.
+
+A :class:`Network` is a DAG of named nets.  Every net is driven either by a
+primary input or by exactly one gate; a net may fan out to any number of
+gate inputs and may additionally be designated a primary output.  This is
+the "combinational Boolean network C" of the paper's Section 2, and every
+other subsystem (SAT encoding, ATPG miters, cut-width hypergraphs, BDDs,
+simulators) consumes this representation.
+
+Design notes
+------------
+* Nets are identified by strings.  Insertion order is preserved and all
+  iteration orders are deterministic, which keeps experiments repeatable.
+* The network is append-mostly: gates are added and occasionally rewired
+  (fault insertion clones subcircuits instead of mutating them).
+* Topological order, levels, and fanout maps are computed on demand and
+  cached; any mutation invalidates the caches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import (
+    MULTI_INPUT_GATES,
+    UNARY_GATES,
+    GateType,
+    evaluate_gate,
+)
+
+
+class NetworkError(ValueError):
+    """Raised for structurally invalid network operations."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate: ``output = gate_type(inputs)``.
+
+    ``output`` doubles as the gate's identity — a net has at most one
+    driver, so gate and driven net are in one-to-one correspondence.
+    """
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.gate_type.is_source:
+            if self.inputs:
+                raise NetworkError(
+                    f"{self.gate_type.value} gate {self.output!r} cannot have inputs"
+                )
+        elif self.gate_type in UNARY_GATES:
+            if len(self.inputs) != 1:
+                raise NetworkError(
+                    f"{self.gate_type.value} gate {self.output!r} needs exactly "
+                    f"one input, got {len(self.inputs)}"
+                )
+        elif self.gate_type in MULTI_INPUT_GATES:
+            if len(self.inputs) < 1:
+                raise NetworkError(
+                    f"{self.gate_type.value} gate {self.output!r} needs inputs"
+                )
+        else:  # pragma: no cover - exhaustive over enum
+            raise NetworkError(f"unsupported gate type {self.gate_type!r}")
+
+    @property
+    def fanin(self) -> int:
+        """Number of gate inputs."""
+        return len(self.inputs)
+
+
+class Network:
+    """A combinational Boolean network over named nets.
+
+    Attributes:
+        name: Circuit name (used by netlist writers and reports).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: dict[str, Gate] = {}
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._cache_topo: list[str] | None = None
+        self._cache_fanouts: dict[str, tuple[str, ...]] | None = None
+        self._cache_levels: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare ``name`` as a primary input net."""
+        self._add_gate(Gate(name, GateType.INPUT))
+        self._inputs.append(name)
+        return name
+
+    def add_gate(
+        self, output: str, gate_type: GateType, inputs: Sequence[str] = ()
+    ) -> str:
+        """Add a gate driving net ``output`` from the given input nets.
+
+        Input nets need not exist yet; :meth:`validate` checks that every
+        referenced net eventually acquires a driver.
+        """
+        self._add_gate(Gate(output, gate_type, tuple(inputs)))
+        return output
+
+    def _add_gate(self, gate: Gate) -> None:
+        if gate.output in self._gates:
+            raise NetworkError(f"net {gate.output!r} already driven")
+        self._gates[gate.output] = gate
+        self._invalidate()
+
+    def set_outputs(self, outputs: Iterable[str]) -> None:
+        """Declare the primary outputs (replacing any previous set)."""
+        self._outputs = list(outputs)
+        self._invalidate()
+
+    def add_output(self, name: str) -> None:
+        """Append ``name`` to the primary outputs."""
+        self._outputs.append(name)
+        self._invalidate()
+
+    def replace_gate(
+        self, output: str, gate_type: GateType, inputs: Sequence[str] = ()
+    ) -> None:
+        """Replace the driver of ``output``. Used by fault insertion."""
+        if output not in self._gates:
+            raise NetworkError(f"net {output!r} has no driver to replace")
+        self._gates[output] = Gate(output, gate_type, tuple(inputs))
+        if output in self._inputs and gate_type is not GateType.INPUT:
+            self._inputs.remove(output)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._cache_topo = None
+        self._cache_fanouts = None
+        self._cache_levels = None
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Primary input nets in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Primary output nets in declaration order."""
+        return tuple(self._outputs)
+
+    @property
+    def nets(self) -> tuple[str, ...]:
+        """All driven nets in insertion order."""
+        return tuple(self._gates)
+
+    def gate(self, net: str) -> Gate:
+        """The gate driving ``net``.
+
+        Raises:
+            KeyError: if ``net`` has no driver.
+        """
+        return self._gates[net]
+
+    def has_net(self, net: str) -> bool:
+        """True if ``net`` is driven (by a gate or as a primary input)."""
+        return net in self._gates
+
+    def gates(self) -> Iterator[Gate]:
+        """All gates (including INPUT pseudo-gates) in insertion order."""
+        return iter(self._gates.values())
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, net: str) -> bool:
+        return net in self._gates
+
+    def num_gates(self) -> int:
+        """Number of logic gates (excluding primary inputs and constants)."""
+        return sum(1 for g in self._gates.values() if not g.gate_type.is_source)
+
+    def fanouts(self, net: str) -> tuple[str, ...]:
+        """Nets whose driving gates read ``net``."""
+        return self._fanout_map().get(net, ())
+
+    def _fanout_map(self) -> dict[str, tuple[str, ...]]:
+        if self._cache_fanouts is None:
+            sinks: dict[str, list[str]] = {}
+            for gate in self._gates.values():
+                for src in gate.inputs:
+                    sinks.setdefault(src, []).append(gate.output)
+            self._cache_fanouts = {net: tuple(outs) for net, outs in sinks.items()}
+        return self._cache_fanouts
+
+    def max_fanin(self) -> int:
+        """k_fi: the largest gate fanin in the network."""
+        return max((g.fanin for g in self._gates.values()), default=0)
+
+    def max_fanout(self) -> int:
+        """k_fo: the largest net fanout in the network.
+
+        Primary outputs count as one extra sink, matching the paper's use
+        of k_fo as a bound on how many clauses can mention a net.
+        """
+        fanout_map = self._fanout_map()
+        best = 0
+        output_counts: dict[str, int] = {}
+        for out in self._outputs:
+            output_counts[out] = output_counts.get(out, 0) + 1
+        for net in self._gates:
+            count = len(fanout_map.get(net, ())) + output_counts.get(net, 0)
+            best = max(best, count)
+        return best
+
+    # ------------------------------------------------------------------
+    # Orderings and cones
+    # ------------------------------------------------------------------
+    def insertion_is_topological(self) -> bool:
+        """True if the insertion order of nets is a valid topological order.
+
+        Bottom-up constructed networks (builders, generators, decomposers)
+        satisfy this; the insertion order then carries construction
+        locality that plain Kahn ordering destroys, so ordering-sensitive
+        consumers (the MLA seeding) prefer it.
+        """
+        position = {net: i for i, net in enumerate(self._gates)}
+        for gate in self._gates.values():
+            for src in gate.inputs:
+                pos = position.get(src)
+                if pos is None or pos >= position[gate.output]:
+                    return False
+        return True
+
+    def topological_order(self) -> list[str]:
+        """Nets in topological order (inputs first).
+
+        When the insertion order is already topological it is returned
+        as-is (preserving construction locality); otherwise Kahn's
+        algorithm is used.
+
+        Raises:
+            NetworkError: if the network contains a cycle or an undriven net.
+        """
+        if self._cache_topo is not None:
+            return list(self._cache_topo)
+        if self.insertion_is_topological():
+            self._cache_topo = list(self._gates)
+            return list(self._cache_topo)
+        indegree: dict[str, int] = {}
+        for gate in self._gates.values():
+            indegree.setdefault(gate.output, 0)
+            for src in gate.inputs:
+                if src not in self._gates:
+                    raise NetworkError(
+                        f"net {src!r} (input of {gate.output!r}) has no driver"
+                    )
+                indegree[gate.output] = indegree.get(gate.output, 0) + 1
+        ready = deque(net for net in self._gates if indegree[net] == 0)
+        order: list[str] = []
+        fanout_map = self._fanout_map()
+        remaining = dict(indegree)
+        while ready:
+            net = ready.popleft()
+            order.append(net)
+            for sink in fanout_map.get(net, ()):
+                remaining[sink] -= 1
+                if remaining[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self._gates):
+            raise NetworkError("network contains a combinational cycle")
+        self._cache_topo = order
+        return list(order)
+
+    def levels(self) -> dict[str, int]:
+        """Logic level of every net (inputs at level 0)."""
+        if self._cache_levels is None:
+            levels: dict[str, int] = {}
+            for net in self.topological_order():
+                gate = self._gates[net]
+                if gate.gate_type.is_source:
+                    levels[net] = 0
+                else:
+                    levels[net] = 1 + max(levels[src] for src in gate.inputs)
+            self._cache_levels = levels
+        return dict(self._cache_levels)
+
+    def depth(self) -> int:
+        """Maximum logic level over all nets."""
+        levels = self.levels()
+        return max(levels.values(), default=0)
+
+    def transitive_fanin(self, nets: Iterable[str]) -> set[str]:
+        """All nets in the transitive fanin of ``nets`` (inclusive)."""
+        seen: set[str] = set()
+        stack = [net for net in nets]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self._gates.get(net)
+            if gate is None:
+                raise NetworkError(f"unknown net {net!r}")
+            stack.extend(gate.inputs)
+        return seen
+
+    def transitive_fanout(self, nets: Iterable[str]) -> set[str]:
+        """All nets in the transitive fanout of ``nets`` (inclusive)."""
+        fanout_map = self._fanout_map()
+        seen: set[str] = set()
+        stack = [net for net in nets]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            if net not in self._gates:
+                raise NetworkError(f"unknown net {net!r}")
+            seen.add(net)
+            stack.extend(fanout_map.get(net, ()))
+        return seen
+
+    def output_cone(self, output: str) -> "Network":
+        """Extract the single-output subcircuit feeding ``output``.
+
+        This realises the paper's view (Section 4.3) of a multi-output
+        circuit as a set of single-output circuits, one per transitive
+        fanin cone.
+        """
+        cone_nets = self.transitive_fanin([output])
+        sub = Network(name=f"{self.name}.cone.{output}")
+        for net in self.topological_order():
+            if net not in cone_nets:
+                continue
+            gate = self._gates[net]
+            if gate.gate_type is GateType.INPUT:
+                sub.add_input(net)
+            else:
+                sub.add_gate(net, gate.gate_type, gate.inputs)
+        sub.set_outputs([output])
+        return sub
+
+    def subnetwork(
+        self,
+        nets: Iterable[str],
+        *,
+        outputs: Sequence[str],
+        name: str | None = None,
+    ) -> "Network":
+        """Extract the subcircuit induced by ``nets``.
+
+        Nets referenced from inside the set but driven outside it become
+        primary inputs of the extracted circuit (the paper's treatment of
+        C_ψ^fo, whose inputs are tapped from signal points of C_ψ^sub).
+        """
+        keep = set(nets)
+        boundary: set[str] = set()
+        for net in keep:
+            gate = self._gates.get(net)
+            if gate is None:
+                raise NetworkError(f"unknown net {net!r}")
+            for src in gate.inputs:
+                if src not in keep:
+                    boundary.add(src)
+        # Iterate the parent order over keep ∪ boundary so the extracted
+        # circuit's insertion order stays topological *and* inherits the
+        # parent's locality (ordering-sensitive consumers rely on this).
+        sub = Network(name=name or f"{self.name}.sub")
+        for net in self.topological_order():
+            if net in boundary:
+                sub.add_input(net)
+            elif net in keep:
+                gate = self._gates[net]
+                if gate.gate_type is GateType.INPUT:
+                    sub.add_input(net)
+                else:
+                    sub.add_gate(net, gate.gate_type, gate.inputs)
+        sub.set_outputs(list(outputs))
+        return sub
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, input_values: Mapping[str, int], mask: int = 1
+    ) -> dict[str, int]:
+        """Simulate the network on bit-parallel input words.
+
+        Args:
+            input_values: value word per primary input.  Missing inputs
+                default to 0.
+            mask: bit mask limiting word width (``(1 << n_patterns) - 1``).
+
+        Returns:
+            Value word per net (all nets, not just outputs).
+        """
+        values: dict[str, int] = {}
+        for net in self.topological_order():
+            gate = self._gates[net]
+            if gate.gate_type is GateType.INPUT:
+                values[net] = input_values.get(net, 0) & mask
+            else:
+                words = [values[src] for src in gate.inputs]
+                values[net] = evaluate_gate(gate.gate_type, words) & mask
+        return values
+
+    def copy(self, name: str | None = None) -> "Network":
+        """Deep-enough copy (gates are immutable, so sharing them is safe)."""
+        dup = Network(name=name or self.name)
+        dup._gates = dict(self._gates)
+        dup._inputs = list(self._inputs)
+        dup._outputs = list(self._outputs)
+        return dup
+
+    def renamed(self, prefix: str) -> "Network":
+        """Copy with every net renamed to ``prefix + original``."""
+        dup = Network(name=self.name)
+        for net in self.topological_order():
+            gate = self._gates[net]
+            if gate.gate_type is GateType.INPUT:
+                dup.add_input(prefix + net)
+            else:
+                dup.add_gate(
+                    prefix + net,
+                    gate.gate_type,
+                    [prefix + src for src in gate.inputs],
+                )
+        dup.set_outputs([prefix + out for out in self._outputs])
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network({self.name!r}, inputs={len(self._inputs)}, "
+            f"gates={self.num_gates()}, outputs={len(self._outputs)})"
+        )

@@ -1,0 +1,124 @@
+"""Bit-parallel logic simulation.
+
+Used to cross-check SAT answers, validate generated test patterns, and
+drive the fault simulator.  Patterns are packed into Python integers
+(`PATTERNS_PER_WORD` at a time by convention, though Python's arbitrary
+precision integers allow any width).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.circuits.network import Network
+
+#: Conventional word width for pattern-parallel simulation.
+PATTERNS_PER_WORD = 64
+
+
+def simulate(
+    network: Network,
+    input_words: Mapping[str, int],
+    n_patterns: int = PATTERNS_PER_WORD,
+) -> dict[str, int]:
+    """Simulate ``n_patterns`` patterns in parallel.
+
+    Args:
+        network: circuit to simulate.
+        input_words: packed pattern word per primary input (bit *i* is the
+            value of that input in pattern *i*).
+        n_patterns: number of valid pattern bits in each word.
+
+    Returns:
+        Packed output word per net.
+    """
+    mask = (1 << n_patterns) - 1
+    return network.evaluate(input_words, mask=mask)
+
+
+def simulate_pattern(
+    network: Network, assignment: Mapping[str, int]
+) -> dict[str, int]:
+    """Simulate a single pattern given 0/1 input values."""
+    return {net: word & 1 for net, word in simulate(network, assignment, 1).items()}
+
+
+def pack_patterns(
+    patterns: Sequence[Mapping[str, int]], inputs: Sequence[str]
+) -> dict[str, int]:
+    """Pack a list of single-pattern assignments into parallel words."""
+    words = {net: 0 for net in inputs}
+    for bit, pattern in enumerate(patterns):
+        for net in inputs:
+            if pattern.get(net, 0) & 1:
+                words[net] |= 1 << bit
+    return words
+
+
+def unpack_pattern(words: Mapping[str, int], bit: int) -> dict[str, int]:
+    """Extract single-pattern values from packed words at position ``bit``."""
+    return {net: (word >> bit) & 1 for net, word in words.items()}
+
+
+def random_patterns(
+    inputs: Sequence[str],
+    n_patterns: int,
+    rng: random.Random,
+) -> dict[str, int]:
+    """Draw ``n_patterns`` uniform random patterns as packed words."""
+    return {net: rng.getrandbits(n_patterns) for net in inputs}
+
+
+def exhaustive_patterns(inputs: Sequence[str]) -> tuple[dict[str, int], int]:
+    """All 2^n input patterns as packed words (for small n).
+
+    Returns:
+        (packed words, pattern count).
+
+    Raises:
+        ValueError: if there are more than 20 inputs (word would exceed 1M bits).
+    """
+    n = len(inputs)
+    if n > 20:
+        raise ValueError(f"{n} inputs is too many for exhaustive simulation")
+    count = 1 << n
+    words: dict[str, int] = {}
+    for index, net in enumerate(inputs):
+        word = 0
+        for pattern in range(count):
+            if (pattern >> index) & 1:
+                word |= 1 << pattern
+        words[net] = word
+    return words, count
+
+
+def networks_equivalent(
+    left: Network,
+    right: Network,
+    *,
+    n_random: int = 256,
+    seed: int = 0,
+) -> bool:
+    """Check functional equivalence by simulation.
+
+    Uses exhaustive simulation when the input count permits, otherwise
+    ``n_random`` random patterns.  Input and output name sets must match.
+    """
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if list(left.outputs) != list(right.outputs):
+        return False
+    inputs = list(left.inputs)
+    if len(inputs) <= 14:
+        words, count = exhaustive_patterns(inputs)
+    else:
+        count = n_random
+        words = random_patterns(inputs, count, random.Random(seed))
+    left_values = simulate(left, words, count)
+    right_values = simulate(right, words, count)
+    mask = (1 << count) - 1
+    return all(
+        (left_values[out] & mask) == (right_values[out] & mask)
+        for out in left.outputs
+    )

@@ -1,0 +1,115 @@
+"""Topological circuit statistics.
+
+Profiles the shape properties the paper's argument rests on: fanin and
+fanout distributions, depth, tree-ness (fraction of fanout-free nets),
+and reconvergence counts.  Used to check that generated suites resemble
+structured circuits and to diagnose why a given netlist falls in or out
+of the log-bounded-width class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.circuits.network import Network
+
+
+@dataclass
+class CircuitProfile:
+    """Shape summary of a combinational network."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    mean_fanout: float
+    fanout_free_fraction: float
+    reconvergent_stems: int
+    gate_histogram: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"circuit {self.name}",
+            f"  PIs={self.num_inputs} POs={self.num_outputs} "
+            f"gates={self.num_gates} depth={self.depth}",
+            f"  fanin<= {self.max_fanin}  fanout<= {self.max_fanout} "
+            f"(mean {self.mean_fanout:.2f})",
+            f"  fanout-free nets: {self.fanout_free_fraction:.1%}",
+            f"  reconvergent stems: {self.reconvergent_stems}",
+            "  gates: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.gate_histogram.items())),
+        ]
+        return "\n".join(lines)
+
+
+def reconvergent_stems(network: Network) -> int:
+    """Number of multi-fanout nets whose branches reconverge.
+
+    A stem s reconverges if two of its fanout branches reach a common
+    gate downstream — the structure that distinguishes DAGs from trees
+    and (when non-local) inflates cut-width.
+    """
+    count = 0
+    for net in network.nets:
+        branches = network.fanouts(net)
+        if len(branches) < 2:
+            continue
+        cones = [network.transitive_fanout([b]) for b in branches]
+        merged: set[str] = set()
+        reconverges = False
+        for cone in cones:
+            if merged & cone:
+                reconverges = True
+                break
+            merged |= cone
+        if reconverges:
+            count += 1
+    return count
+
+
+def profile(network: Network) -> CircuitProfile:
+    """Compute the full shape profile of ``network``."""
+    fanouts = [len(network.fanouts(net)) for net in network.nets]
+    gates = [g for g in network.gates() if not g.gate_type.is_source]
+    histogram = Counter(g.gate_type.value for g in gates)
+    return CircuitProfile(
+        name=network.name,
+        num_inputs=len(network.inputs),
+        num_outputs=len(network.outputs),
+        num_gates=len(gates),
+        depth=network.depth(),
+        max_fanin=network.max_fanin(),
+        max_fanout=network.max_fanout(),
+        mean_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        fanout_free_fraction=(
+            sum(1 for f in fanouts if f <= 1) / len(fanouts) if fanouts else 1.0
+        ),
+        reconvergent_stems=reconvergent_stems(network),
+        gate_histogram=dict(histogram),
+    )
+
+
+def compare_profiles(left: CircuitProfile, right: CircuitProfile) -> str:
+    """Side-by-side comparison table of two profiles."""
+    rows = [
+        ("gates", left.num_gates, right.num_gates),
+        ("depth", left.depth, right.depth),
+        ("max fanin", left.max_fanin, right.max_fanin),
+        ("max fanout", left.max_fanout, right.max_fanout),
+        ("mean fanout", f"{left.mean_fanout:.2f}", f"{right.mean_fanout:.2f}"),
+        (
+            "fanout-free",
+            f"{left.fanout_free_fraction:.1%}",
+            f"{right.fanout_free_fraction:.1%}",
+        ),
+        ("reconv stems", left.reconvergent_stems, right.reconvergent_stems),
+    ]
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{'':{width}}  {left.name:>14}  {right.name:>14}"]
+    for label, a, b in rows:
+        lines.append(f"{label:{width}}  {str(a):>14}  {str(b):>14}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Structural validation of Boolean networks.
+
+These checks enforce the assumptions the paper makes in Section 2: every
+net driven, no combinational cycles, and (after decomposition) the
+simple-gate alphabet with bounded fanin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network, NetworkError
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_network`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings allowed)."""
+        return not self.errors
+
+
+def validate_network(
+    network: Network,
+    *,
+    require_simple: bool = False,
+    max_fanin: int | None = None,
+) -> ValidationReport:
+    """Check structural well-formedness of ``network``.
+
+    Args:
+        network: the circuit to check.
+        require_simple: if True, also require the paper's AND/OR/NOT/BUF
+            alphabet (Section 2's mapping restriction).
+        max_fanin: if given, flag any gate whose fanin exceeds it (k_fi).
+
+    Returns:
+        A :class:`ValidationReport`; ``report.ok`` is the pass/fail verdict.
+    """
+    report = ValidationReport()
+
+    if not network.outputs:
+        report.errors.append("network declares no primary outputs")
+    for out in network.outputs:
+        if not network.has_net(out):
+            report.errors.append(f"primary output {out!r} is not a driven net")
+
+    for gate in network.gates():
+        for src in gate.inputs:
+            if not network.has_net(src):
+                report.errors.append(
+                    f"gate {gate.output!r} reads undriven net {src!r}"
+                )
+        if require_simple and not gate.gate_type.is_simple:
+            report.errors.append(
+                f"gate {gate.output!r} has non-simple type {gate.gate_type.value}"
+            )
+        if max_fanin is not None and gate.fanin > max_fanin:
+            report.errors.append(
+                f"gate {gate.output!r} fanin {gate.fanin} exceeds bound {max_fanin}"
+            )
+
+    try:
+        order = network.topological_order()
+    except NetworkError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    reachable = network.transitive_fanin(
+        [out for out in network.outputs if network.has_net(out)]
+    )
+    dangling = [net for net in order if net not in reachable]
+    for net in dangling:
+        gate = network.gate(net)
+        if gate.gate_type is not GateType.INPUT:
+            report.warnings.append(
+                f"net {net!r} does not reach any primary output"
+            )
+    return report
+
+
+def check_network(network: Network, **kwargs) -> None:
+    """Like :func:`validate_network` but raises on the first problem.
+
+    Raises:
+        NetworkError: with all error messages joined, if validation fails.
+    """
+    report = validate_network(network, **kwargs)
+    if not report.ok:
+        raise NetworkError("; ".join(report.errors))

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's figures (as text reports) and expose the
+ATPG/cut-width tooling on user netlists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from repro.experiments.example_circuit import run_example
+
+    print(run_example().render())
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1_tegus import run_fig1
+
+    report = run_fig1(
+        suites=tuple(args.suite),
+        solver=args.solver,
+        max_faults_per_circuit=args.max_faults,
+    )
+    print(report.render())
+    if args.plot:
+        print(report.render_plot())
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.experiments.fig8_cutwidth_study import run_fig8
+
+    for suite in args.suite:
+        report = run_fig8(
+            suite, max_faults_per_circuit=args.max_faults, seed=args.seed
+        )
+        print(report.render())
+        if args.plot:
+            print(report.render_plot())
+    return 0
+
+
+def _cmd_gen_study(args: argparse.Namespace) -> int:
+    from repro.experiments.fig_generated import run_generated_study
+
+    report = run_generated_study(
+        sizes=args.sizes, faults_per_circuit=args.max_faults, seed=args.seed
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_phase_transition(args: argparse.Namespace) -> int:
+    from repro.experiments.phase_transition import run_phase_transition
+
+    report = run_phase_transition(
+        local_levels=args.local_levels,
+        global_levels=args.global_levels,
+        sizes=args.sizes,
+        faults_per_circuit=args.max_faults,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_bdd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.bdd_comparison import run_bdd_comparison
+
+    print(run_bdd_comparison().render())
+    return 0
+
+
+def _cmd_width_effort(args: argparse.Namespace) -> int:
+    from repro.experiments.width_vs_effort import run_width_vs_effort
+    from repro.gen.benchmarks import load_circuit
+
+    for name in args.circuit:
+        network = load_circuit(args.suite_name, name)
+        report = run_width_vs_effort(network, max_faults=args.max_faults)
+        print(report.render())
+    return 0
+
+
+def _cmd_suite_table(args: argparse.Namespace) -> int:
+    from repro.experiments.suite_table import run_suite_table
+
+    for suite in args.suite:
+        report = run_suite_table(
+            suite, max_faults_per_circuit=args.max_faults
+        )
+        print(report.render())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import run_ablations
+
+    print(run_ablations().render())
+    return 0
+
+
+def _load_netlist(path: str):
+    from repro.io.bench import load_bench
+    from repro.io.blif import load_blif
+    from repro.io.verilog import load_verilog
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".blif":
+        return load_blif(path)
+    if suffix in (".v", ".sv"):
+        return load_verilog(path)
+    return load_bench(path)
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg.engine import AtpgEngine, FaultStatus
+    from repro.circuits.decompose import tech_decompose
+
+    network = _load_netlist(args.netlist)
+    if args.decompose:
+        network = tech_decompose(network)
+    engine = AtpgEngine(network, solver=args.solver)
+    summary = engine.run(fault_dropping=not args.no_dropping)
+    print(f"circuit {network.name}: {len(summary.records)} faults")
+    for status in FaultStatus:
+        count = len(summary.by_status(status))
+        if count:
+            print(f"  {status.value}: {count}")
+    print(f"  fault coverage: {summary.fault_coverage:.1%}")
+    if args.compact:
+        from repro.atpg.compaction import reverse_order_compaction
+        from repro.atpg.faults import collapse_faults
+
+        patterns = summary.tests()
+        compacted = reverse_order_compaction(
+            network, collapse_faults(network), patterns
+        )
+        print(f"  patterns: {len(patterns)} -> {len(compacted)} after "
+              "reverse-order compaction")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.circuits.decompose import tech_decompose
+    from repro.circuits.stats import profile
+
+    network = _load_netlist(args.netlist)
+    if args.decompose:
+        network = tech_decompose(network)
+    print(profile(network).render())
+    return 0
+
+
+def _cmd_cutwidth(args: argparse.Namespace) -> int:
+    from repro.circuits.decompose import tech_decompose
+    from repro.core.cutwidth import multi_output_cutwidth
+
+    network = _load_netlist(args.netlist)
+    if args.decompose:
+        network = tech_decompose(network)
+    result = multi_output_cutwidth(network, seed=args.seed)
+    print(f"circuit {network.name}: W(C, H) = {result.cutwidth}")
+    for output, mla in sorted(result.per_output.items()):
+        print(f"  cone {output}: |V|={len(mla.order)} W={mla.cutwidth}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Why is ATPG Easy?' (DAC 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("example", help="Figures 4-7 running example")
+    p.set_defaults(func=_cmd_example)
+
+    p = sub.add_parser("fig1", help="Figure 1: solve effort vs instance size")
+    p.add_argument("--suite", action="append", default=None)
+    p.add_argument("--solver", default="cdcl")
+    p.add_argument("--max-faults", type=int, default=None)
+    p.add_argument("--plot", action="store_true")
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig8", help="Figure 8: cut-width vs size study")
+    p.add_argument("--suite", action="append", default=None)
+    p.add_argument("--max-faults", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plot", action="store_true")
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser("gen-study", help="Section 5.2.3 generated circuits")
+    p.add_argument("--sizes", type=int, nargs="*", default=None)
+    p.add_argument("--max-faults", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen_study)
+
+    p = sub.add_parser("bdd-compare", help="Section 6 BDD bound comparison")
+    p.set_defaults(func=_cmd_bdd_compare)
+
+    p = sub.add_parser(
+        "phase-transition",
+        help="extension: width growth vs reconvergence parameter",
+    )
+    p.add_argument("--local-levels", type=float, nargs="*", default=None)
+    p.add_argument("--global-levels", type=float, nargs="*", default=None)
+    p.add_argument("--sizes", type=int, nargs="*", default=None)
+    p.add_argument("--max-faults", type=int, default=8)
+    p.set_defaults(func=_cmd_phase_transition)
+
+    p = sub.add_parser("ablations", help="caching and ordering ablations")
+    p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser(
+        "width-effort",
+        help="extension: does cut-width predict per-instance SAT effort?",
+    )
+    p.add_argument("--suite-name", default="mcnc")
+    p.add_argument(
+        "--circuit", action="append", default=None,
+    )
+    p.add_argument("--max-faults", type=int, default=30)
+    p.set_defaults(func=_cmd_width_effort)
+
+    p = sub.add_parser(
+        "suite-table", help="per-circuit summary table for a suite"
+    )
+    p.add_argument("--suite", action="append", default=None)
+    p.add_argument("--max-faults", type=int, default=None)
+    p.set_defaults(func=_cmd_suite_table)
+
+    p = sub.add_parser(
+        "atpg", help="run ATPG on a .bench/.blif/.v netlist"
+    )
+    p.add_argument("netlist")
+    p.add_argument("--solver", default="cdcl")
+    p.add_argument("--no-dropping", action="store_true")
+    p.add_argument("--decompose", action="store_true")
+    p.add_argument("--compact", action="store_true")
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("profile", help="shape statistics of a netlist")
+    p.add_argument("netlist")
+    p.add_argument("--decompose", action="store_true")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("cutwidth", help="estimate cut-width of a netlist")
+    p.add_argument("netlist")
+    p.add_argument("--decompose", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_cutwidth)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "suite", "sentinel") is None:
+        both = ("fig1", "suite-table")
+        args.suite = ["mcnc", "iscas"] if args.command in both else ["mcnc"]
+    if getattr(args, "circuit", "sentinel") is None:
+        args.circuit = ["cla8", "cmp8", "alu4"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

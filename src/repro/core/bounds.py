@@ -1,0 +1,146 @@
+"""Runtime bounds of Theorem 4.1 / Equation 4.5 and the log-bounded-width
+classification of Definition 5.1.
+
+All bound evaluations are exact integer arithmetic (the quantities are
+2-powers), so tests can assert the inequalities without floating-point
+slack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.atpg.faults import Fault, collapse_faults
+from repro.atpg.miter import UnobservableFault, sub_circuit
+from repro.circuits.network import Network
+from repro.core.cutwidth import multi_output_cutwidth
+from repro.core.hypergraph import circuit_hypergraph
+from repro.core.mla import estimate_cutwidth
+
+
+def theorem_4_1_bound(num_variables: int, k_fo: int, cutwidth: int) -> int:
+    """RHS of Theorem 4.1: n · 2^(2·k_fo·W(C,h)) node-visit bound."""
+    return num_variables * (1 << (2 * k_fo * cutwidth))
+
+
+def equation_4_5_bound(
+    num_outputs: int, n_max: int, k_fo: int, cutwidth: int
+) -> int:
+    """RHS of Equation 4.5: p · n_max · 2^(2·k_fo·W(C,H))."""
+    return num_outputs * n_max * (1 << (2 * k_fo * cutwidth))
+
+
+def lemma_4_2_bound(base_cutwidth: int) -> int:
+    """RHS of Lemma 4.2/4.3: 2·W(C,h) + 2."""
+    return 2 * base_cutwidth + 2
+
+
+@dataclass
+class FaultWidthSample:
+    """One Figure-8 data point: a fault's sub-circuit size and cut-width."""
+
+    fault: Fault
+    sub_circuit_size: int
+    cutwidth: int
+
+
+def fault_width_samples(
+    network: Network,
+    *,
+    faults: list[Fault] | None = None,
+    seed: int = 0,
+    max_faults: int | None = None,
+) -> list[FaultWidthSample]:
+    """Cut-width of C_ψ^sub versus its size, per fault (Section 5.2.2).
+
+    Args:
+        network: the (decomposed) circuit.
+        faults: fault list; collapsed list by default.
+        seed: RNG seed for the MLA estimator.
+        max_faults: optional cap (evenly subsampled) to bound runtime on
+            large circuits.
+
+    Returns:
+        One sample per observable fault.
+    """
+    if faults is None:
+        faults = collapse_faults(network)
+    if max_faults is not None and len(faults) > max_faults:
+        step = len(faults) / max_faults
+        faults = [faults[int(i * step)] for i in range(max_faults)]
+    from repro.core.ordering import dfs_cone_ordering
+
+    samples: list[FaultWidthSample] = []
+    for fault in faults:
+        try:
+            sub = sub_circuit(network, fault)
+        except UnobservableFault:
+            continue
+        graph = circuit_hypergraph(sub)
+        width = estimate_cutwidth(
+            graph, seed=seed, candidate_orders=[dfs_cone_ordering(sub)]
+        )
+        samples.append(
+            FaultWidthSample(
+                fault=fault,
+                sub_circuit_size=graph.num_vertices,
+                cutwidth=width,
+            )
+        )
+    return samples
+
+
+@dataclass
+class LogBoundedWidthVerdict:
+    """Empirical Definition 5.1 check for one circuit.
+
+    ``ratios`` holds W(C_ψ^sub) / log2(|C_ψ^sub|) per fault; the circuit
+    is judged log-bounded-width (empirically) when the ratios do not grow
+    with size — summarised by ``max_ratio`` and the fitted model from the
+    Figure-8 analysis.
+    """
+
+    circuit: str
+    samples: list[FaultWidthSample]
+    max_ratio: float
+    mean_ratio: float
+
+    @property
+    def plausibly_log_bounded(self) -> bool:
+        """Heuristic verdict: all ratios below a generous constant."""
+        return self.max_ratio <= 8.0
+
+
+def log_bounded_width_verdict(
+    network: Network, *, seed: int = 0, max_faults: int | None = None
+) -> LogBoundedWidthVerdict:
+    """Evaluate the Definition 5.1 ratio W / log2(size) across all faults."""
+    samples = fault_width_samples(network, seed=seed, max_faults=max_faults)
+    ratios = [
+        s.cutwidth / max(1.0, math.log2(s.sub_circuit_size))
+        for s in samples
+        if s.sub_circuit_size >= 2
+    ]
+    return LogBoundedWidthVerdict(
+        circuit=network.name,
+        samples=samples,
+        max_ratio=max(ratios, default=0.0),
+        mean_ratio=(sum(ratios) / len(ratios)) if ratios else 0.0,
+    )
+
+
+def lemma_5_1_runtime_bound(network: Network, *, seed: int = 0) -> int:
+    """Polynomial node bound for a log-bounded-width circuit's ATPG.
+
+    Instantiates Equation 4.5 with the measured W(C, H): if W is
+    O(log n), this value is polynomial in n — the content of Lemma 5.1.
+    """
+    k_fo = max(1, network.max_fanout())
+    result = multi_output_cutwidth(network, seed=seed)
+    return equation_4_5_bound(
+        num_outputs=max(1, len(network.outputs)),
+        n_max=max(1, result.max_cone_size),
+        k_fo=k_fo,
+        cutwidth=result.cutwidth,
+    )

@@ -1,0 +1,95 @@
+"""Circuit-level cut-width API (Definition 4.1 and Equation 4.4).
+
+Single-output circuits map to one hypergraph; multi-output circuits are
+treated as a set of single-output cones with cut-width the maximum over
+cones and orderings chosen per cone (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.circuits.network import Network
+from repro.core.hypergraph import (
+    Hypergraph,
+    circuit_hypergraph,
+    cut_width_under_order,
+)
+from repro.core.mla import MlaResult, estimate_cutwidth, min_cut_linear_arrangement
+from repro.partition.exact import MAX_EXACT_VERTICES, exact_min_cutwidth
+
+
+def circuit_cutwidth_under_order(network: Network, order: Sequence[str]) -> int:
+    """W(C, h) for a single-output (or jointly ordered) circuit."""
+    return cut_width_under_order(circuit_hypergraph(network), order)
+
+
+def minimum_cutwidth(network: Network, *, seed: int = 0) -> int:
+    """Estimate of W_min(C) for the circuit as one hypergraph.
+
+    Exact (subset DP) for small circuits; otherwise the Section 5.2.1
+    recursive-bisection MLA upper bound, seeded with a DFS cone packing
+    of the circuit (the structural candidate the pure hypergraph view
+    cannot see).
+    """
+    from repro.core.ordering import dfs_cone_ordering
+
+    graph = circuit_hypergraph(network)
+    candidates = [dfs_cone_ordering(network)] if network.outputs else []
+    return estimate_cutwidth(graph, seed=seed, candidate_orders=candidates)
+
+
+def mla_ordering(network: Network, *, seed: int = 0) -> MlaResult:
+    """A concrete low-cut-width ordering of the circuit's nets."""
+    from repro.core.ordering import dfs_cone_ordering
+
+    graph = circuit_hypergraph(network)
+    if graph.num_vertices <= MAX_EXACT_VERTICES:
+        width, order = exact_min_cutwidth(graph)
+        assert order is not None
+        return MlaResult(order=order, cutwidth=width)
+    candidates = [dfs_cone_ordering(network)] if network.outputs else []
+    return min_cut_linear_arrangement(
+        graph, seed=seed, candidate_orders=candidates
+    )
+
+
+@dataclass
+class MultiOutputCutwidth:
+    """Equation 4.4 data: per-cone orderings and the overall W(C, H)."""
+
+    per_output: dict[str, MlaResult]
+
+    @property
+    def cutwidth(self) -> int:
+        """W(C, H) = max over output cones (Equation 4.4)."""
+        return max(
+            (result.cutwidth for result in self.per_output.values()), default=0
+        )
+
+    @property
+    def max_cone_size(self) -> int:
+        """n_max of Equation 4.5: largest cone variable count."""
+        return max(
+            (len(result.order) for result in self.per_output.values()), default=0
+        )
+
+    def ordering_for(self, output: str) -> list[str]:
+        return list(self.per_output[output].order)
+
+
+def multi_output_cutwidth(
+    network: Network, *, seed: int = 0
+) -> MultiOutputCutwidth:
+    """Compute W(C, H) by arranging each output cone independently."""
+    per_output: dict[str, MlaResult] = {}
+    for output in network.outputs:
+        cone = network.output_cone(output)
+        per_output[output] = mla_ordering(cone, seed=seed)
+    return MultiOutputCutwidth(per_output=per_output)
+
+
+def cutwidth_of_hypergraph(graph: Hypergraph, *, seed: int = 0) -> int:
+    """Direct hypergraph cut-width estimate (exact when small)."""
+    return estimate_cutwidth(graph, seed=seed)

@@ -1,0 +1,165 @@
+"""Undirected hypergraph view of a Boolean network (paper Section 4.2).
+
+The network is "seen as an undirected hypergraph with the signals as the
+hyperedges, and the gates, inputs and outputs as the nodes".  A signal net
+spans its driving gate plus every gate that reads it; direction is
+deliberately discarded — this is the operational difference from the
+Berman/McMillan BDD widths discussed in Section 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.circuits.network import Network
+
+
+@dataclass
+class Hypergraph:
+    """An undirected hypergraph over string-named vertices.
+
+    Attributes:
+        vertices: all vertices, in a deterministic order.
+        edges: each hyperedge as a tuple of distinct member vertices,
+            paired with a label (the signal net name for circuit graphs).
+    """
+
+    vertices: tuple[str, ...]
+    edges: tuple[tuple[str, tuple[str, ...]], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        vertex_set = set(self.vertices)
+        if len(vertex_set) != len(self.vertices):
+            raise ValueError("duplicate vertices")
+        for label, members in self.edges:
+            for member in members:
+                if member not in vertex_set:
+                    raise ValueError(
+                        f"edge {label!r} references unknown vertex {member!r}"
+                    )
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def incident_edges(self) -> dict[str, list[int]]:
+        """Map from vertex to indices of edges containing it."""
+        incidence: dict[str, list[int]] = {v: [] for v in self.vertices}
+        for index, (_, members) in enumerate(self.edges):
+            for member in members:
+                incidence[member].append(index)
+        return incidence
+
+    def degree(self, vertex: str) -> int:
+        """Number of hyperedges containing ``vertex``."""
+        return sum(1 for _, members in self.edges if vertex in members)
+
+    def restricted_to(self, keep: Iterable[str]) -> "Hypergraph":
+        """Sub-hypergraph induced on ``keep``; edges shrink, singletons drop."""
+        keep_set = set(keep)
+        vertices = tuple(v for v in self.vertices if v in keep_set)
+        edges = []
+        for label, members in self.edges:
+            inside = tuple(m for m in members if m in keep_set)
+            if len(inside) >= 2:
+                edges.append((label, inside))
+        return Hypergraph(vertices, tuple(edges))
+
+
+def circuit_hypergraph(network: Network) -> Hypergraph:
+    """The paper's hypergraph of a circuit.
+
+    One vertex per net (i.e. per gate / primary input — the net and its
+    driver are identified); one hyperedge per signal net spanning the
+    driver and all its readers.  Nets with no readers yield singleton
+    edges which can never cross a cut and are dropped.
+    """
+    vertices = tuple(network.topological_order())
+    edges: list[tuple[str, tuple[str, ...]]] = []
+    for net in vertices:
+        readers = network.fanouts(net)
+        members = (net, *readers)
+        if len(members) >= 2:
+            edges.append((net, members))
+    return Hypergraph(vertices, tuple(edges))
+
+
+def cut_width_under_order(
+    graph: Hypergraph, order: Sequence[str]
+) -> int:
+    """W(G, h): maximum number of hyperedges crossing any gap of ``order``.
+
+    Definition 4.1 of the paper: an edge crosses position *i* if it has one
+    member at position ≤ i and another at position > i.
+
+    Args:
+        graph: the hypergraph.
+        order: a permutation of the graph's vertices.
+
+    Raises:
+        ValueError: if ``order`` is not a permutation of the vertices.
+    """
+    profile = cut_profile(graph, order)
+    return max(profile, default=0)
+
+
+def cut_profile(graph: Hypergraph, order: Sequence[str]) -> list[int]:
+    """Edge-crossing count after each prefix of ``order``.
+
+    ``profile[i]`` is the number of hyperedges with a member among
+    ``order[:i+1]`` and a member among ``order[i+1:]``.  The max of this
+    list is the cut-width under the ordering.
+    """
+    position = {vertex: i for i, vertex in enumerate(order)}
+    if len(position) != graph.num_vertices or set(position) != set(graph.vertices):
+        raise ValueError("order must be a permutation of the hypergraph vertices")
+
+    n = len(order)
+    profile = [0] * n
+    for _, members in graph.edges:
+        first = min(position[m] for m in members)
+        last = max(position[m] for m in members)
+        if first == last:
+            continue
+        # Edge is live in gaps first..last-1 (after prefix ending at i).
+        profile[first] += 1
+        profile[last] -= 1
+    # Prefix-sum the difference array.
+    running = 0
+    for i in range(n):
+        running += profile[i]
+        profile[i] = running
+    return profile
+
+
+def crossing_edges(
+    graph: Hypergraph, prefix: Iterable[str]
+) -> list[str]:
+    """Labels of edges crossing the cut (prefix, rest).
+
+    The paper's cut ``(δ_V, δ̄_V)``: an edge crosses if it has members on
+    both sides.
+    """
+    inside = set(prefix)
+    labels = []
+    for label, members in graph.edges:
+        has_in = any(m in inside for m in members)
+        has_out = any(m not in inside for m in members)
+        if has_in and has_out:
+            labels.append(label)
+    return labels
+
+
+def cut_size(graph: Hypergraph, prefix: Iterable[str]) -> int:
+    """|(δ_V, δ̄_V)|: number of distinct nets crossing the cut."""
+    return len(crossing_edges(graph, prefix))
+
+
+def order_positions(order: Sequence[str]) -> Mapping[str, int]:
+    """Utility: vertex → position map for an ordering."""
+    return {vertex: i for i, vertex in enumerate(order)}

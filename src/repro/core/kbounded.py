@@ -1,0 +1,229 @@
+"""k-bounded circuits (Fujiwara; paper Section 3.2) and tree orderings.
+
+A circuit is *k-bounded* if its nodes partition into disjoint blocks such
+that each block has at most k (external) inputs and the blocks form a DAG
+with no reconvergent paths — all reconvergence is local to a block.
+Theorem 5.1 shows every k-bounded circuit is log-bounded-width; the
+companion construction here (:func:`tree_ordering`) realises Lemma 5.2's
+(k−1)·log n cut-width orderings for fanout-free (tree) circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.circuits.network import Network
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+
+
+@dataclass
+class BlockPartition:
+    """A candidate k-bounded partition: block id per net."""
+
+    block_of: dict[str, int]
+
+    def blocks(self) -> dict[int, list[str]]:
+        grouped: dict[int, list[str]] = {}
+        for net, block in self.block_of.items():
+            grouped.setdefault(block, []).append(net)
+        return grouped
+
+
+def check_k_bounded(
+    network: Network, partition: BlockPartition, k: int
+) -> tuple[bool, str]:
+    """Verify the two k-boundedness conditions for a given partition.
+
+    Returns:
+        (ok, reason) — reason explains the first violation when not ok.
+    """
+    block_of = partition.block_of
+    for net in network.nets:
+        if net not in block_of:
+            return False, f"net {net!r} not assigned to a block"
+
+    # Condition 1: each block has at most k external inputs.
+    block_inputs: dict[int, set[str]] = {}
+    for net in network.nets:
+        gate = network.gate(net)
+        block = block_of[net]
+        for src in gate.inputs:
+            if block_of[src] != block:
+                block_inputs.setdefault(block, set()).add(src)
+        block_inputs.setdefault(block, set())
+    for block, sources in block_inputs.items():
+        if len(sources) > k:
+            return False, f"block {block} has {len(sources)} inputs (> {k})"
+
+    # Condition 2: block DAG has no reconvergent paths — i.e. between any
+    # ordered block pair there is at most one distinct path.  Equivalent:
+    # the number of paths from u to v is <= 1 for all pairs; we count
+    # paths with DP over the block DAG (counts capped at 2).
+    edges: set[tuple[int, int]] = set()
+    for net in network.nets:
+        gate = network.gate(net)
+        dst = block_of[net]
+        for src in gate.inputs:
+            if block_of[src] != dst:
+                edges.add((block_of[src], dst))
+
+    blocks = sorted({b for b in block_of.values()})
+    successors: dict[int, list[int]] = {b: [] for b in blocks}
+    indegree: dict[int, int] = {b: 0 for b in blocks}
+    for src, dst in edges:
+        successors[src].append(dst)
+        indegree[dst] += 1
+
+    # Topological order of the block graph (cycle => invalid partition).
+    ready = [b for b in blocks if indegree[b] == 0]
+    topo: list[int] = []
+    remaining = dict(indegree)
+    while ready:
+        block = ready.pop()
+        topo.append(block)
+        for nxt in successors[block]:
+            remaining[nxt] -= 1
+            if remaining[nxt] == 0:
+                ready.append(nxt)
+    if len(topo) != len(blocks):
+        return False, "block graph is cyclic"
+
+    for source in blocks:
+        paths = {b: 0 for b in blocks}
+        paths[source] = 1
+        for block in topo:
+            if paths[block] == 0:
+                continue
+            for nxt in successors[block]:
+                paths[nxt] = min(2, paths[nxt] + paths[block])
+                if paths[nxt] >= 2:
+                    return (
+                        False,
+                        f"blocks {source}->{nxt} connected by multiple paths",
+                    )
+    return True, "ok"
+
+
+def singleton_partition(network: Network) -> BlockPartition:
+    """Every net its own block — valid exactly for fanout-free circuits."""
+    return BlockPartition(
+        block_of={net: i for i, net in enumerate(network.topological_order())}
+    )
+
+
+def greedy_k_bounded_partition(
+    network: Network, k: int
+) -> BlockPartition | None:
+    """Heuristic search for a k-bounded partition.
+
+    Strategy: start from singleton blocks, then repeatedly merge each
+    reconvergence "diamond" into the block of its dominator while the
+    input bound allows.  Returns None if the heuristic fails (which does
+    *not* prove the circuit is not k-bounded — the recognition problem is
+    not known to be tractable in general).
+    """
+    partition = singleton_partition(network)
+    ok, _ = check_k_bounded(network, partition, k)
+    if ok:
+        return partition
+
+    # Merge fanout-reconvergence regions: for each net with fanout > 1,
+    # try absorbing its entire fanout cone up to the reconvergence point.
+    block_of = dict(partition.block_of)
+    changed = True
+    while changed:
+        changed = False
+        candidate = BlockPartition(block_of=dict(block_of))
+        ok, reason = check_k_bounded(network, candidate, k)
+        if ok:
+            return candidate
+        for net in network.topological_order():
+            if len(network.fanouts(net)) <= 1:
+                continue
+            cone = network.transitive_fanout([net])
+            target = block_of[net]
+            merged = dict(block_of)
+            for member in cone:
+                merged[member] = target
+            trial = BlockPartition(block_of=merged)
+            trial_ok, _ = check_k_bounded(network, trial, k)
+            if trial_ok:
+                return trial
+            # Keep the merge only if it does not break the input bound.
+            inputs = _block_external_inputs(network, merged, target)
+            if len(inputs) <= k and merged != block_of:
+                block_of = merged
+                changed = True
+                break
+    final = BlockPartition(block_of=block_of)
+    ok, _ = check_k_bounded(network, final, k)
+    return final if ok else None
+
+
+def _block_external_inputs(
+    network: Network, block_of: Mapping[str, int], block: int
+) -> set[str]:
+    inputs: set[str] = set()
+    for net in network.nets:
+        if block_of[net] != block:
+            continue
+        for src in network.gate(net).inputs:
+            if block_of[src] != block:
+                inputs.add(src)
+    return inputs
+
+
+def is_fanout_free(network: Network) -> bool:
+    """True if no net feeds more than one gate (tree circuit)."""
+    return all(len(network.fanouts(net)) <= 1 for net in network.nets)
+
+
+def tree_ordering(network: Network) -> list[str]:
+    """Lemma 5.2's ordering for a fanout-free single-output circuit.
+
+    Recursively order each child subtree (largest first), concatenating,
+    with the root last.  For a k-ary tree this achieves cut-width at most
+    (k−1)·log2(n) + O(1).
+
+    Raises:
+        ValueError: if the circuit has fanout or multiple outputs.
+    """
+    if not is_fanout_free(network):
+        raise ValueError("tree_ordering requires a fanout-free circuit")
+    if len(network.outputs) != 1:
+        raise ValueError("tree_ordering requires a single-output circuit")
+
+    sizes: dict[str, int] = {}
+    for net in network.topological_order():
+        gate = network.gate(net)
+        sizes[net] = 1 + sum(sizes[src] for src in gate.inputs)
+
+    order: list[str] = []
+
+    def visit(net: str) -> None:
+        gate = network.gate(net)
+        children = sorted(gate.inputs, key=lambda c: -sizes[c])
+        for child in children:
+            visit(child)
+        order.append(net)
+
+    visit(network.outputs[0])
+    # Nets outside the output cone (unused inputs) go first; they are
+    # isolated vertices and cannot affect the cut-width.
+    outside = [net for net in network.topological_order() if net not in set(order)]
+    return outside + order
+
+
+def lemma_5_2_bound(network: Network) -> float:
+    """(k−1)·log2(n) for a tree circuit with max fanin k."""
+    k = max(2, network.max_fanin())
+    n = max(2, len(network.nets))
+    return (k - 1) * math.log2(n)
+
+
+def tree_cutwidth(network: Network) -> int:
+    """Cut-width achieved by :func:`tree_ordering`."""
+    graph = circuit_hypergraph(network)
+    return cut_width_under_order(graph, tree_ordering(network))

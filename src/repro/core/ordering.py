@@ -1,0 +1,168 @@
+"""Variable orderings, including the Lemma 4.2 fault-ordering construction.
+
+Lemma 4.2: given any ordering h of the circuit's nets and any fault ψ,
+there is an ordering h_ψ of the ATPG circuit C_ψ^ATPG with
+
+    W(C_ψ^ATPG, h_ψ) ≤ 2·W(C, h) + 2.
+
+The constructive proof interleaves each faulty-cone copy immediately
+after its good twin and appends the XOR comparison node at the end of its
+cone: every good hyperedge contributes at most one crossing copy of
+itself plus one mirrored copy (2·W), and the two XOR input nets add at
+most one crossing each (+2).  :func:`fault_ordering` realises this
+construction; the lemma's inequality is verified empirically in the test
+suite over exhaustive fault lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.atpg.miter import FAULTY_PREFIX, XOR_PREFIX, AtpgCircuit
+from repro.circuits.network import Network
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+
+
+def topological_ordering(network: Network) -> list[str]:
+    """Plain topological order — the naive baseline ordering."""
+    return network.topological_order()
+
+
+def reverse_topological_ordering(network: Network) -> list[str]:
+    """Outputs-first order (what an output-driven search would explore)."""
+    return list(reversed(network.topological_order()))
+
+
+def bfs_ordering(network: Network) -> list[str]:
+    """Breadth-first order from the primary inputs (level order)."""
+    levels = network.levels()
+    return sorted(network.topological_order(), key=lambda n: (levels[n],))
+
+
+def dfs_cone_ordering(network: Network) -> list[str]:
+    """Depth-first cone packing: the tree-ordering generalised to DAGs.
+
+    Visits each output cone depth-first, descending into larger (estimated)
+    subtrees first and emitting each net after its fanin — on fanout-free
+    circuits this coincides with :func:`repro.core.kbounded.tree_ordering`
+    and achieves the Lemma 5.2 bound.  On DAGs with local reconvergence it
+    remains a strong low-cut-width candidate, and is fed to the MLA as a
+    seed order.
+    """
+    sizes: dict[str, int] = {}
+    for net in network.topological_order():
+        gate = network.gate(net)
+        sizes[net] = 1 + sum(sizes[src] for src in gate.inputs)
+
+    order: list[str] = []
+    visited: set[str] = set()
+
+    def visit(root: str) -> None:
+        stack: list[tuple[str, int]] = [(root, 0)]
+        while stack:
+            net, state = stack.pop()
+            if state == 0:
+                if net in visited:
+                    continue
+                visited.add(net)
+                stack.append((net, 1))
+                children = sorted(
+                    network.gate(net).inputs, key=lambda c: -sizes[c]
+                )
+                # Push in reverse so the largest subtree is visited first.
+                for child in reversed(children):
+                    if child not in visited:
+                        stack.append((child, 0))
+            else:
+                order.append(net)
+
+    # Visit output cones in circuit order (construction/topological), so
+    # cones that share logic with their neighbours stay adjacent.
+    position = {net: i for i, net in enumerate(network.topological_order())}
+    for output in sorted(set(network.outputs), key=lambda o: position[o]):
+        visit(output)
+    # Nets outside every output cone (dangling) go first; they only have
+    # edges among themselves.
+    outside = [net for net in network.topological_order() if net not in visited]
+    return outside + order
+
+
+def fault_ordering(
+    atpg: AtpgCircuit, base_order: Sequence[str], output: str
+) -> list[str]:
+    """The Lemma 4.2 ordering h_ψ for one XOR output cone of the miter.
+
+    Args:
+        atpg: the assembled ATPG circuit.
+        base_order: ordering h of the original circuit's nets (any
+            superset of the cone's nets is accepted).
+        output: the observing primary output o whose XOR cone to order;
+            must be one of ``atpg.observing_outputs``.
+
+    Returns:
+        An ordering of exactly the nets of TFI(xor$o) in the miter:
+        good nets in h-order, each faulty twin immediately after its good
+        net, the XOR node last.
+
+    Raises:
+        ValueError: if ``output`` is not observed by this miter or the
+            base order misses cone nets.
+    """
+    if output not in atpg.observing_outputs:
+        raise ValueError(f"{output!r} does not observe fault {atpg.fault}")
+    xor_net = XOR_PREFIX + output
+    cone = atpg.network.transitive_fanin([xor_net])
+
+    order: list[str] = []
+    placed: set[str] = set()
+    for net in base_order:
+        if net in cone and net not in placed:
+            order.append(net)
+            placed.add(net)
+            twin = FAULTY_PREFIX + net
+            if twin in cone and twin not in placed:
+                order.append(twin)
+                placed.add(twin)
+    remaining = sorted(cone - placed - {xor_net})
+    if remaining:
+        missing_good = [n for n in remaining if not n.startswith(FAULTY_PREFIX)]
+        if missing_good:
+            raise ValueError(
+                f"base order misses cone nets, e.g. {missing_good[:3]}"
+            )
+        order.extend(remaining)  # faulty nets whose twins were dropped
+    order.append(xor_net)
+    return order
+
+
+def fault_orderings(
+    atpg: AtpgCircuit, base_order: Sequence[str]
+) -> dict[str, list[str]]:
+    """Lemma 4.3's set H_ψ: one interleaved ordering per XOR output cone."""
+    return {
+        output: fault_ordering(atpg, base_order, output)
+        for output in atpg.observing_outputs
+    }
+
+
+def miter_cutwidth_under_fault_ordering(
+    atpg: AtpgCircuit, base_order: Sequence[str]
+) -> int:
+    """W(C_ψ^ATPG, H_ψ) — the multi-output Equation 4.4 maximum.
+
+    Each XOR cone is extracted as a single-output circuit and measured
+    under its interleaved ordering.
+    """
+    widths = []
+    for output in atpg.observing_outputs:
+        xor_net = XOR_PREFIX + output
+        cone = atpg.network.output_cone(xor_net)
+        graph = circuit_hypergraph(cone)
+        order = fault_ordering(atpg, base_order, output)
+        widths.append(cut_width_under_order(graph, order))
+    return max(widths, default=0)
+
+
+def restrict_order(order: Sequence[str], keep: set[str]) -> list[str]:
+    """The order restricted to ``keep`` (relative positions preserved)."""
+    return [net for net in order if net in keep]

@@ -1,0 +1,127 @@
+"""Vertex separation (pathwidth) — a companion width measure.
+
+Extension beyond the paper: the vertex-separation number of a circuit's
+hypergraph under an ordering counts *active vertices* (placed vertices
+that still share a hyperedge with an unplaced one) instead of crossing
+edges.  Its minimum over orderings equals the pathwidth of the underlying
+graph, and it is tied to cut-width by
+
+    vs(G, h) ≤ W(G, h) · (r − 1)
+
+where r is the maximum hyperedge size (every active vertex belongs to a
+crossing edge, and a crossing edge has at most r − 1 members on the
+prefix side; for ordinary graphs this is the classic vs ≤ cw).  Hence
+log-bounded cut-width implies log-bounded pathwidth for bounded-fanout
+circuits — connecting the paper's result to the treewidth-parameterised
+SAT literature that followed it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.hypergraph import Hypergraph
+
+#: Exact-DP size limit (same regime as exact cut-width).
+MAX_EXACT_VS = 18
+
+
+def vertex_separation_under_order(
+    graph: Hypergraph, order: Sequence[str]
+) -> int:
+    """vs(G, h): max number of active prefix vertices over all prefixes."""
+    position = {vertex: i for i, vertex in enumerate(order)}
+    if len(position) != graph.num_vertices or set(position) != set(
+        graph.vertices
+    ):
+        raise ValueError("order must be a permutation of the vertices")
+
+    # A vertex is active from its own position until the last position
+    # among members of all edges containing it (exclusive).
+    last_touch = {vertex: position[vertex] for vertex in graph.vertices}
+    for _, members in graph.edges:
+        latest = max(position[m] for m in members)
+        for member in members:
+            if latest > last_touch[member]:
+                last_touch[member] = latest
+
+    n = len(order)
+    delta = [0] * (n + 1)
+    for vertex in graph.vertices:
+        start = position[vertex]
+        end = last_touch[vertex]
+        if end > start:
+            delta[start] += 1
+            delta[end] -= 1
+    best = 0
+    running = 0
+    for i in range(n):
+        running += delta[i]
+        if running > best:
+            best = running
+    return best
+
+
+def exact_min_vertex_separation(graph: Hypergraph) -> tuple[int, list[str] | None]:
+    """Minimum vertex separation by subset DP (pathwidth of the graph).
+
+    Raises:
+        ValueError: above :data:`MAX_EXACT_VS` vertices.
+    """
+    vertices = list(graph.vertices)
+    n = len(vertices)
+    if n == 0:
+        return 0, []
+    if n > MAX_EXACT_VS:
+        raise ValueError(f"exact vertex separation limited to {MAX_EXACT_VS}")
+
+    index_of = {v: i for i, v in enumerate(vertices)}
+    neighbour_mask = [0] * n
+    for _, members in graph.edges:
+        bits = 0
+        for member in members:
+            bits |= 1 << index_of[member]
+        for member in members:
+            neighbour_mask[index_of[member]] |= bits
+    for i in range(n):
+        neighbour_mask[i] &= ~(1 << i)
+
+    full = (1 << n) - 1
+    size = 1 << n
+    cost = [0] * size
+    choice = [0] * size
+
+    def active(subset: int) -> int:
+        count = 0
+        complement = full & ~subset
+        s = subset
+        while s:
+            bit = s & (-s)
+            s ^= bit
+            if neighbour_mask[bit.bit_length() - 1] & complement:
+                count += 1
+        return count
+
+    for subset in range(1, size):
+        boundary = active(subset)
+        best = 1 << 30
+        best_vertex = -1
+        s = subset
+        while s:
+            bit = s & (-s)
+            s ^= bit
+            candidate = max(cost[subset ^ bit], boundary)
+            if candidate < best:
+                best = candidate
+                best_vertex = bit.bit_length() - 1
+        cost[subset] = best
+        choice[subset] = best_vertex
+
+    order_indices = []
+    subset = full
+    while subset:
+        last = choice[subset]
+        order_indices.append(last)
+        subset ^= 1 << last
+    order_indices.reverse()
+    return cost[full], [vertices[i] for i in order_indices]

@@ -1,0 +1,79 @@
+"""Experiment drivers, one per paper figure/claim (see DESIGN.md §4)."""
+
+from repro.experiments.ablations import (
+    AblationReport,
+    caching_ablation,
+    ordering_ablation,
+    run_ablations,
+)
+from repro.experiments.bdd_comparison import (
+    BddComparisonReport,
+    compare_circuit,
+    run_bdd_comparison,
+)
+from repro.experiments.example_circuit import (
+    EXAMPLE_FAULT,
+    ORDERING_A,
+    ORDERING_B,
+    ExampleReport,
+    example_circuit,
+    run_example,
+)
+from repro.experiments.fig1_tegus import Fig1Point, Fig1Report, run_fig1
+from repro.experiments.fig8_cutwidth_study import (
+    Fig8Point,
+    Fig8Report,
+    run_fig8,
+)
+from repro.experiments.fig_generated import (
+    GeneratedStudyReport,
+    run_generated_study,
+)
+from repro.experiments.width_vs_effort import (
+    WidthEffortPoint,
+    WidthEffortReport,
+    run_width_vs_effort,
+)
+from repro.experiments.suite_table import (
+    SuiteRow,
+    SuiteTableReport,
+    run_suite_table,
+)
+from repro.experiments.phase_transition import (
+    PhasePoint,
+    PhaseTransitionReport,
+    run_phase_transition,
+)
+
+__all__ = [
+    "AblationReport",
+    "BddComparisonReport",
+    "EXAMPLE_FAULT",
+    "ExampleReport",
+    "Fig1Point",
+    "Fig1Report",
+    "Fig8Point",
+    "Fig8Report",
+    "GeneratedStudyReport",
+    "ORDERING_A",
+    "ORDERING_B",
+    "PhasePoint",
+    "PhaseTransitionReport",
+    "run_phase_transition",
+    "SuiteRow",
+    "SuiteTableReport",
+    "run_suite_table",
+    "WidthEffortPoint",
+    "WidthEffortReport",
+    "run_width_vs_effort",
+    "caching_ablation",
+    "compare_circuit",
+    "example_circuit",
+    "ordering_ablation",
+    "run_ablations",
+    "run_bdd_comparison",
+    "run_example",
+    "run_fig1",
+    "run_fig8",
+    "run_generated_study",
+]

@@ -1,0 +1,209 @@
+"""Ablation studies for the design choices the analysis rests on.
+
+* **Caching ablation** (Section 4.1's modelling choice): Algorithm 1 with
+  the sub-formula cache versus plain simple backtracking, measured in
+  visited tree nodes on the same formulas under the same ordering.
+* **Ordering ablation** (Section 5.2.1's MLA choice): cut-width and
+  solver effort under the MLA ordering versus topological versus random
+  orderings — quantifying how much of the "easiness" the ordering buys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.circuits.network import Network
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+from repro.core.mla import min_cut_linear_arrangement
+from repro.sat.backtracking import SimpleBacktrackingSolver
+from repro.sat.caching import CachingBacktrackingSolver
+from repro.sat.tseitin import circuit_sat_formula
+
+
+@dataclass
+class CachingAblationRow:
+    """Tree sizes with and without the sub-formula cache."""
+
+    circuit: str
+    order: str
+    cached_nodes: int
+    uncached_nodes: int
+    cache_hits: int
+
+    @property
+    def speedup(self) -> float:
+        """Node-count ratio uncached/cached (≥ 1 when caching helps)."""
+        return self.uncached_nodes / max(1, self.cached_nodes)
+
+
+@dataclass
+class OrderingAblationRow:
+    """Cut-width and solver nodes under three orderings."""
+
+    circuit: str
+    width_mla: int
+    width_topo: int
+    width_random: int
+    nodes_mla: int
+    nodes_topo: int
+    nodes_random: int
+
+
+@dataclass
+class MlaAblationRow:
+    """Cut-width achieved by successive MLA quality features."""
+
+    circuit: str
+    width_bisect_only: int
+    width_with_candidates: int
+    width_full: int
+
+
+@dataclass
+class AblationReport:
+    """Container for the ablation tables."""
+
+    caching: list[CachingAblationRow] = field(default_factory=list)
+    ordering: list[OrderingAblationRow] = field(default_factory=list)
+    mla: list[MlaAblationRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["Ablation: sub-formula caching (Algorithm 1 vs simple)"]
+        for row in self.caching:
+            lines.append(
+                f"  {row.circuit:<18} nodes cached={row.cached_nodes:<8} "
+                f"uncached={row.uncached_nodes:<8} "
+                f"hits={row.cache_hits:<6} ratio={row.speedup:.2f}x"
+            )
+        lines.append("Ablation: variable ordering (MLA vs topo vs random)")
+        for row in self.ordering:
+            lines.append(
+                f"  {row.circuit:<18} W: mla={row.width_mla} "
+                f"topo={row.width_topo} rand={row.width_random}  "
+                f"nodes: mla={row.nodes_mla} topo={row.nodes_topo} "
+                f"rand={row.nodes_random}"
+            )
+        if self.mla:
+            lines.append(
+                "Ablation: MLA quality features (recursive bisection -> "
+                "+structural candidates -> +window refinement)"
+            )
+            for row in self.mla:
+                lines.append(
+                    f"  {row.circuit:<18} W: bisect={row.width_bisect_only} "
+                    f"+candidates={row.width_with_candidates} "
+                    f"full={row.width_full}"
+                )
+        return "\n".join(lines)
+
+
+def caching_ablation(
+    network: Network, *, max_nodes: int = 2_000_000, seed: int = 0
+) -> CachingAblationRow:
+    """Run both solvers on the circuit's CIRCUIT-SAT formula.
+
+    Uses the plain topological order — the natural static order a naive
+    backtracker would pick — so the measurement isolates the cache's
+    effect rather than the ordering's (the ordering has its own ablation).
+    """
+    order = network.topological_order()
+    formula = circuit_sat_formula(network)
+
+    cached = CachingBacktrackingSolver(order=order, max_nodes=max_nodes)
+    cached_result = cached.solve(formula)
+    uncached = SimpleBacktrackingSolver(order=order, max_nodes=max_nodes)
+    uncached_result = uncached.solve(formula)
+
+    return CachingAblationRow(
+        circuit=network.name,
+        order="topological",
+        cached_nodes=cached_result.stats.nodes,
+        uncached_nodes=uncached_result.stats.nodes,
+        cache_hits=cached_result.stats.cache_hits,
+    )
+
+
+def ordering_ablation(
+    network: Network, *, max_nodes: int = 2_000_000, seed: int = 0
+) -> OrderingAblationRow:
+    """Measure cut-width and caching-solver nodes under three orderings."""
+    graph = circuit_hypergraph(network)
+    formula = circuit_sat_formula(network)
+    rng = random.Random(seed)
+
+    mla_order = min_cut_linear_arrangement(graph, seed=seed).order
+    topo_order = network.topological_order()
+    random_order = list(graph.vertices)
+    rng.shuffle(random_order)
+
+    def nodes_under(order: list[str]) -> int:
+        solver = CachingBacktrackingSolver(order=order, max_nodes=max_nodes)
+        return solver.solve(formula).stats.nodes
+
+    return OrderingAblationRow(
+        circuit=network.name,
+        width_mla=cut_width_under_order(graph, mla_order),
+        width_topo=cut_width_under_order(graph, topo_order),
+        width_random=cut_width_under_order(graph, random_order),
+        nodes_mla=nodes_under(mla_order),
+        nodes_topo=nodes_under(topo_order),
+        nodes_random=nodes_under(random_order),
+    )
+
+
+def mla_ablation(network: Network, *, seed: int = 0) -> MlaAblationRow:
+    """Measure the contribution of each MLA quality feature.
+
+    * bisect-only: raw recursive bisection arrangement (with terminal
+      propagation) — what a straight §5.2.1 implementation gives;
+    * +candidates: also considering the DFS cone packing and the
+      construction order, no refinement;
+    * full: the shipped pipeline including degree-1 packing and exact
+      window refinement.
+    """
+    from repro.core.mla import _arrange, min_cut_linear_arrangement
+    from repro.core.ordering import dfs_cone_ordering
+
+    graph = circuit_hypergraph(network)
+    bisect_order = _arrange(graph, list(graph.vertices), set(), set(), 12, seed)
+    width_bisect = cut_width_under_order(graph, bisect_order)
+
+    candidates = [dfs_cone_ordering(network), list(graph.vertices)]
+    no_refine = min_cut_linear_arrangement(
+        graph, seed=seed, refine=False, candidate_orders=candidates
+    )
+    full = min_cut_linear_arrangement(
+        graph, seed=seed, refine=True, candidate_orders=candidates
+    )
+    return MlaAblationRow(
+        circuit=network.name,
+        width_bisect_only=width_bisect,
+        width_with_candidates=no_refine.cutwidth,
+        width_full=full.cutwidth,
+    )
+
+
+def run_ablations(networks: list[Network] | None = None) -> AblationReport:
+    """Both ablations over a default circuit set."""
+    if networks is None:
+        from repro.circuits.decompose import tech_decompose
+        from repro.gen.structured import (
+            binary_tree_circuit,
+            cellular_array_1d,
+            parity_tree,
+            ripple_carry_adder,
+        )
+
+        networks = [
+            tech_decompose(binary_tree_circuit(3)),
+            tech_decompose(parity_tree(6)),
+            tech_decompose(ripple_carry_adder(3)),
+            tech_decompose(cellular_array_1d(4)),
+        ]
+    report = AblationReport()
+    for network in networks:
+        report.caching.append(caching_ablation(network))
+        report.ordering.append(ordering_ablation(network))
+        report.mla.append(mla_ablation(network))
+    return report

@@ -1,0 +1,173 @@
+"""Extension experiment: the locality-of-reconvergence phase transition.
+
+The paper's closing intuition (Section 7): log-bounded width "essentially
+captures the tree-ness of the circuit — as long as a circuit has limited
+reconvergence... the property can be expected to apply".  Section 3.2
+sharpens "limited" to *local* (k-boundedness confines reconvergence to
+k-input blocks).  This experiment shows that locality — not the *amount*
+of reconvergence — is the decisive knob:
+
+* sweeping the reuse **probability** with window-local reuse leaves the
+  cut-width growth logarithmic at every level (local reconvergence is
+  harmless, however much of it there is);
+* sweeping the fraction of **global** (unbounded-span) reuse drives the
+  width-growth exponent from ≈0 (log regime) towards linear, because
+  long random links turn the circuit into an expander.
+
+Practical circuits sit at global-reuse ≈ 0; that is why ATPG is easy on
+them, and exactly where adversarially hard instances would differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.fitting import FitResult, all_fits
+from repro.circuits.decompose import tech_decompose
+from repro.core.bounds import fault_width_samples
+from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
+
+
+@dataclass
+class PhasePoint:
+    """Width-growth diagnostics at one generator setting."""
+
+    label: str
+    value: float
+    points: list[tuple[int, int]]  # (size, width)
+    fits: dict[str, FitResult]
+
+    @property
+    def power_exponent(self) -> float:
+        """Exponent b of the W ≈ a·size^b fit (≈0 ⇒ flat/log; →1 ⇒ linear)."""
+        fit = self.fits.get("power")
+        return fit.b if fit else float("nan")
+
+    @property
+    def best_model(self) -> str:
+        if not self.fits:
+            return "none"
+        return min(self.fits.values(), key=lambda f: f.sse).model
+
+    @property
+    def max_width(self) -> int:
+        return max((w for _, w in self.points), default=0)
+
+
+@dataclass
+class PhaseTransitionReport:
+    """Both sweeps: local-reuse probability and global-reuse fraction."""
+
+    sizes: list[int]
+    local_sweep: list[PhasePoint] = field(default_factory=list)
+    global_sweep: list[PhasePoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            "Extension: cut-width growth vs reconvergence structure",
+            f"  circuit sizes per setting: {self.sizes}",
+            "  -- local (window-bounded) reuse probability --",
+            "  level    best-fit   power-exp   max W",
+        ]
+        for row in self.local_sweep:
+            lines.append(
+                f"  {row.value:<8} {row.best_model:<10} "
+                f"{row.power_exponent:<11.2f} {row.max_width}"
+            )
+        lines.append("  -- global (unbounded-span) reuse fraction --")
+        lines.append("  level    best-fit   power-exp   max W")
+        for row in self.global_sweep:
+            lines.append(
+                f"  {row.value:<8} {row.best_model:<10} "
+                f"{row.power_exponent:<11.2f} {row.max_width}"
+            )
+        return "\n".join(lines)
+
+
+def _measure(
+    label: str,
+    value: float,
+    sizes: list[int],
+    seeds: tuple[int, ...],
+    faults_per_circuit: int,
+    *,
+    reconvergence: float,
+    global_reuse: float,
+) -> PhasePoint:
+    points: list[tuple[int, int]] = []
+    for size in sizes:
+        for seed in seeds:
+            spec = RandomCircuitSpec(
+                num_inputs=max(6, size // 6),
+                num_gates=size,
+                num_outputs=max(1, round(size**0.5) // 2),
+                locality=0.6,
+                reconvergence=reconvergence,
+                global_reuse=global_reuse,
+                seed=seed,
+            )
+            network = tech_decompose(random_circuit(spec))
+            for sample in fault_width_samples(
+                network, max_faults=faults_per_circuit
+            ):
+                if sample.sub_circuit_size >= 4:
+                    points.append((sample.sub_circuit_size, sample.cutwidth))
+    fits = (
+        all_fits([float(s) for s, _ in points], [float(w) for _, w in points])
+        if len(points) >= 4
+        else {}
+    )
+    return PhasePoint(label=label, value=value, points=points, fits=fits)
+
+
+def run_phase_transition(
+    local_levels: list[float] | None = None,
+    global_levels: list[float] | None = None,
+    sizes: list[int] | None = None,
+    *,
+    faults_per_circuit: int = 8,
+    seeds: tuple[int, ...] = (11, 12),
+) -> PhaseTransitionReport:
+    """Run both sweeps.
+
+    Args:
+        local_levels: window-local reuse probabilities to test.
+        global_levels: global-reuse fractions to test (at fixed local
+            reuse probability 0.25).
+        sizes: gate-count ladder per setting.
+        faults_per_circuit: fault subsample per circuit.
+        seeds: generator seeds averaged over.
+    """
+    if local_levels is None:
+        local_levels = [0.0, 0.2, 0.4]
+    if global_levels is None:
+        global_levels = [0.0, 0.3, 0.7]
+    if sizes is None:
+        sizes = [100, 250, 600, 1200]
+
+    report = PhaseTransitionReport(sizes=list(sizes))
+    for level in local_levels:
+        report.local_sweep.append(
+            _measure(
+                "local",
+                level,
+                sizes,
+                seeds,
+                faults_per_circuit,
+                reconvergence=level,
+                global_reuse=0.0,
+            )
+        )
+    for level in global_levels:
+        report.global_sweep.append(
+            _measure(
+                "global",
+                level,
+                sizes,
+                seeds,
+                faults_per_circuit,
+                reconvergence=0.25,
+                global_reuse=level,
+            )
+        )
+    return report

@@ -1,0 +1,51 @@
+"""Circuit generators: structural families, random circuits, suites."""
+
+from repro.gen.benchmarks import (
+    C17_BENCH,
+    c17,
+    circuit_names,
+    iter_suite,
+    load_circuit,
+    suite_names,
+)
+from repro.gen.random_circuits import (
+    RandomCircuitSpec,
+    benchmark_like_suite,
+    random_circuit,
+)
+from repro.gen.structured import (
+    alu_slice,
+    array_multiplier,
+    binary_tree_circuit,
+    carry_lookahead_adder,
+    cellular_array_1d,
+    cellular_array_2d,
+    comparator,
+    decoder,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+__all__ = [
+    "C17_BENCH",
+    "RandomCircuitSpec",
+    "alu_slice",
+    "array_multiplier",
+    "benchmark_like_suite",
+    "binary_tree_circuit",
+    "c17",
+    "carry_lookahead_adder",
+    "cellular_array_1d",
+    "cellular_array_2d",
+    "circuit_names",
+    "comparator",
+    "decoder",
+    "iter_suite",
+    "load_circuit",
+    "mux_tree",
+    "parity_tree",
+    "random_circuit",
+    "ripple_carry_adder",
+    "suite_names",
+]

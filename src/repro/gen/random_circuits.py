@@ -1,0 +1,296 @@
+"""Hutton-style parameterized random circuit generation (Section 5.2.3).
+
+The paper's generated-circuit study used circ/gen (Hutton et al., DAC'96),
+which synthesises random combinational netlists matching the *shape*
+statistics of real benchmarks.  The decisive shape property for this
+paper is "tree-ness": practical circuits are forests of output cones that
+are mostly trees with *limited, mostly local reconvergence* (Section 7's
+closing intuition).  A naive layered random DAG is an expander with
+linear cut-width — topologically nothing like a benchmark.
+
+This generator therefore builds each output cone top-down as a random
+tree whose leaves are primary inputs, and introduces reconvergence by
+probabilistically *reusing* an already-built subcircuit node instead of
+growing a fresh subtree.  Reuse draws from the recently built pool
+(recency ≈ locality), so reconvergent paths are short, as in real logic.
+
+Parameters map onto benchmark statistics:
+
+* ``reconvergence`` — probability that a requested operand reuses an
+  existing node (0 ⇒ pure forest; benchmark-like ≈ 0.15–0.35);
+* ``locality`` — recency bias of reuse (1 ⇒ only the most recent nodes,
+  0 ⇒ uniform over the whole pool);
+* ``depth`` — target cone depth (0 derives a benchmark-like value).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+# Inverting-heavy mix: deep chains of non-inverting gates drive signal
+# probabilities to 0/1 (mostly-constant, hence mostly-redundant logic);
+# NAND/NOR keep probabilities oscillating near 1/2, as in real mapped
+# netlists.
+_GATE_CHOICES = (
+    GateType.NAND,
+    GateType.NOR,
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+)
+
+
+@dataclass
+class RandomCircuitSpec:
+    """Shape parameters for :func:`random_circuit`.
+
+    Attributes:
+        num_inputs: primary input pool size.
+        num_gates: approximate logic gate count (generation stops once
+            reached; the final cone completes, so slight overshoot).
+        num_outputs: number of output cones to grow.
+        max_fanin: fanin bound k_fi (the paper's mapped circuits use 3).
+        depth: target cone depth; 0 derives ``~log2(gates per cone) + 2``.
+        locality: recency bias of reuse in [0, 1].
+        reconvergence: probability an operand reuses an existing node.
+        global_reuse: fraction of reuses drawn uniformly from the WHOLE
+            pool instead of the local window.  0 models real circuits
+            (local reconvergence only); raising it injects long random
+            links and drives the circuit towards an expander — the
+            adversarial regime outside the paper's easy class.
+        seed: RNG seed.
+    """
+
+    num_inputs: int
+    num_gates: int
+    num_outputs: int = 1
+    max_fanin: int = 3
+    depth: int = 0
+    locality: float = 0.5
+    reconvergence: float = 0.25
+    global_reuse: float = 0.0
+    seed: int = 0
+
+
+def random_circuit(spec: RandomCircuitSpec) -> Network:
+    """Generate a random tree-like combinational network.
+
+    Every gate output is reachable from some primary output by
+    construction (cones are grown from their roots), so the netlist has
+    no dangling logic.
+
+    Raises:
+        ValueError: on non-sensical parameters.
+    """
+    if spec.num_inputs < 1 or spec.num_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    if spec.max_fanin < 2:
+        raise ValueError("max_fanin must be at least 2")
+    if not 0.0 <= spec.reconvergence <= 1.0:
+        raise ValueError("reconvergence must be a probability")
+
+    rng = random.Random(spec.seed)
+    network = Network(
+        name=f"rand_i{spec.num_inputs}_g{spec.num_gates}_s{spec.seed}"
+    )
+    inputs = [network.add_input(f"pi{i}") for i in range(spec.num_inputs)]
+
+    gates_per_cone = max(2, spec.num_gates // max(1, spec.num_outputs))
+    depth = spec.depth or (gates_per_cone.bit_length() + 2)
+
+    state = _GenState(
+        rng=rng,
+        network=network,
+        inputs=inputs,
+        spec=spec,
+        pool=[],
+        counter=0,
+    )
+
+    outputs: list[str] = []
+    expected_cones = max(1, spec.num_outputs)
+    while state.counter < spec.num_gates or len(outputs) < spec.num_outputs:
+        # Each cone reads a *local window* of the PI space, and the window
+        # drifts with the cone index (cf. a ripple adder: s_i depends on
+        # a_0..a_i, so neighbouring outputs read neighbouring inputs).
+        # Random windows would let far-apart cones share PIs, making PI
+        # hyperedges span the whole arrangement and inflating cut-width
+        # by the PI count; uniform global PI usage is worse still.
+        progress = min(1.0, len(outputs) / expected_cones)
+        state.pi_center = progress + rng.gauss(0.0, 1.5 / max(4, spec.num_inputs))
+        # Shrink the depth budget as the gate budget runs out so the
+        # final cone cannot overshoot the target badly.
+        remaining = max(2, spec.num_gates - state.counter)
+        cone_depth = min(depth, remaining.bit_length() + 1)
+        root = _grow(state, cone_depth, force_gate=True)
+        if root not in outputs:
+            outputs.append(root)
+        if len(outputs) >= spec.num_outputs and state.counter >= spec.num_gates:
+            break
+        if len(outputs) > 4 * spec.num_outputs:
+            break  # safety valve for tiny gate budgets
+    network.set_outputs(outputs)
+    return network
+
+
+@dataclass
+class _GenState:
+    rng: random.Random
+    network: Network
+    inputs: list[str]
+    spec: RandomCircuitSpec
+    pool: list[str]  # completed gate nets, in creation order
+    counter: int
+    pi_center: float = 0.5  # current cone's window centre in PI space
+    pi_uses: dict[int, int] | None = None  # reads per PI index
+
+    def draw_input(self, center_index: float) -> str:
+        """The least-used primary input near ``center_index``.
+
+        Two locality mechanisms combine here: the window is a fixed
+        number of indices (a subfunction reads a bounded input window),
+        and within the window the least-read PI wins — real netlists
+        have small PI fanout, and a PI re-read all over a cone would
+        carry a hyperedge spanning the cone's whole extent.
+        """
+        if self.pi_uses is None:
+            self.pi_uses = {}
+        target = center_index + self.rng.gauss(0.0, 1.2)
+        base = min(len(self.inputs) - 1, max(0, round(target)))
+        lo = max(0, base - 2)
+        hi = min(len(self.inputs) - 1, base + 2)
+        index = min(
+            range(lo, hi + 1),
+            key=lambda i: (self.pi_uses.get(i, 0), abs(i - base)),
+        )
+        self.pi_uses[index] = self.pi_uses.get(index, 0) + 1
+        return self.inputs[index]
+
+    def cone_center_index(self) -> float:
+        """The current cone's window centre in absolute index units."""
+        return self.pi_center * (len(self.inputs) - 1)
+
+
+def _grow(
+    state: _GenState,
+    budget: int,
+    force_gate: bool = False,
+    center: float | None = None,
+) -> str:
+    """Build (or reuse) one node with depth at most ``budget``.
+
+    ``center`` is the node's PI-window centre (absolute index units).
+    Child subtrees receive slightly offset centres, with the offset
+    shrinking as the depth budget runs out — hierarchical input
+    locality: a cone's subfunctions read *sub-windows* of the cone's
+    input window (Rent's rule at every level).  Without this, every leaf
+    of a cone draws from the full cone window, each PI gets re-read
+    across the cone's whole extent, and the PI hyperedges alone give the
+    cone Θ(leaves) cut-width.
+    """
+    rng = state.rng
+    spec = state.spec
+    if center is None:
+        center = state.cone_center_index()
+
+    if not force_gate:
+        if budget <= 0 or rng.random() < _leaf_probability(budget):
+            return state.draw_input(center)
+        if state.pool and rng.random() < spec.reconvergence:
+            return _reuse(state)
+
+    fanin = min(spec.max_fanin, rng.choice((2, 2, 2, 3, 3, 1)))
+    if fanin == 1:
+        operand = _grow(state, budget - 1, center=center)
+        gate_type = GateType.NOT
+        operands = [operand]
+    else:
+        # Draw distinct *base* signals first (a signal together with its
+        # own inverse makes the gate constant), then flip random
+        # polarities: without inversions, reused same-polarity signals
+        # compose into heavily correlated (absorbed) logic and the
+        # circuit becomes mostly redundant — real netlists are
+        # irredundant to within a few percent.
+        bases: list[str] = []
+        subtree_spread = 0.6 * max(0, budget - 1) * (
+            1.0 + 2.0 * (1.0 - spec.locality)
+        )
+        for _ in range(fanin):
+            child_center = center + rng.gauss(0.0, subtree_spread)
+            operand = _grow(state, budget - 1, center=child_center)
+            if operand not in bases:
+                bases.append(operand)
+        operands = []
+        for operand in bases:
+            if rng.random() < 0.35:
+                state.counter += 1
+                inverted = f"g{state.counter}"
+                state.network.add_gate(inverted, GateType.NOT, [operand])
+                state.pool.append(inverted)
+                operand = inverted
+            operands.append(operand)
+        gate_type = rng.choice(_GATE_CHOICES)
+        if len(operands) == 1:
+            gate_type = rng.choice((GateType.NOT, GateType.BUF))
+
+    state.counter += 1
+    net = f"g{state.counter}"
+    state.network.add_gate(net, gate_type, operands)
+    state.pool.append(net)
+    return net
+
+
+def _leaf_probability(budget: int) -> float:
+    """Chance of terminating at a PI before the depth budget runs out."""
+    return 0.08 if budget > 2 else 0.3
+
+
+def _reuse(state: _GenState) -> str:
+    """Pick an existing node from a constant-size recency window.
+
+    The window size is independent of circuit size: reconvergent paths in
+    real logic are *local* (the paper's Section 3.2/7 observation, and
+    exactly the structure k-boundedness formalises).  A window that grew
+    with the circuit would produce random long links and hence expander
+    graphs with linear cut-width.
+    """
+    pool = state.pool
+    if state.spec.global_reuse > 0 and state.rng.random() < state.spec.global_reuse:
+        return pool[state.rng.randrange(len(pool))]
+    locality = max(0.0, min(1.0, state.spec.locality))
+    window = max(2, round(4 + 12 * (1.0 - locality)))
+    start = max(0, len(pool) - window)
+    return pool[state.rng.randrange(start, len(pool))]
+
+
+def benchmark_like_suite(
+    sizes: list[int], *, seed: int = 0, max_fanin: int = 3
+) -> list[Network]:
+    """A suite of generated circuits topologically resembling benchmarks.
+
+    Args:
+        sizes: target gate counts, one circuit per entry.
+        seed: base RNG seed (each circuit perturbs it).
+        max_fanin: fanin bound (3 matches the paper's mapping).
+    """
+    suite = []
+    for index, size in enumerate(sizes):
+        # Outputs grow sublinearly so cone sizes grow with the circuit
+        # (a fixed gates-per-cone would cap every C_ψ^sub regardless of
+        # circuit size and flatten the Figure-8 x-axis).
+        spec = RandomCircuitSpec(
+            num_inputs=max(6, size // 3),
+            num_gates=size,
+            num_outputs=max(1, round(size**0.5) // 2),
+            max_fanin=max_fanin,
+            locality=0.6,
+            reconvergence=0.2,
+            seed=seed + 1000 * index,
+        )
+        suite.append(random_circuit(spec))
+    return suite

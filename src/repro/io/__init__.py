@@ -1,0 +1,53 @@
+"""Netlist and formula I/O: ISCAS85 .bench, BLIF, DIMACS CNF."""
+
+from repro.io.bench import (
+    BenchFormatError,
+    dump_bench,
+    dumps_bench,
+    load_bench,
+    loads_bench,
+)
+from repro.io.blif import (
+    BlifFormatError,
+    dump_blif,
+    dumps_blif,
+    load_blif,
+    loads_blif,
+)
+from repro.io.verilog import (
+    VerilogFormatError,
+    dump_verilog,
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+)
+from repro.io.dimacs import (
+    DimacsFormatError,
+    dump_dimacs,
+    dumps_dimacs,
+    load_dimacs,
+    loads_dimacs,
+)
+
+__all__ = [
+    "BenchFormatError",
+    "BlifFormatError",
+    "DimacsFormatError",
+    "VerilogFormatError",
+    "dump_bench",
+    "dump_blif",
+    "dump_dimacs",
+    "dumps_bench",
+    "dumps_blif",
+    "dumps_dimacs",
+    "load_bench",
+    "load_blif",
+    "load_dimacs",
+    "loads_bench",
+    "loads_blif",
+    "loads_dimacs",
+    "dump_verilog",
+    "dumps_verilog",
+    "load_verilog",
+    "loads_verilog",
+]

@@ -1,0 +1,111 @@
+"""ISCAS85 ``.bench`` netlist reader/writer.
+
+The format used by the ISCAS85 benchmark distribution::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Gate names: AND, NAND, OR, NOR, XOR, XNOR, NOT/INV, BUF/BUFF, and the
+constants CONST0/CONST1 (an extension for generated circuits).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import GateType, gate_function_name, gate_type_from_name
+from repro.circuits.network import Network
+
+_ASSIGN_RE = re.compile(
+    r"^\s*([^\s=]+)\s*=\s*([A-Za-z01]+)\s*\(([^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def loads_bench(text: str, name: str = "bench") -> Network:
+    """Parse ``.bench`` text into a :class:`Network`.
+
+    Raises:
+        BenchFormatError: on syntax errors or unknown gate functions.
+    """
+    network = Network(name=name)
+    outputs: list[str] = []
+    pending: list[tuple[str, str, list[str], int]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2)
+            if kind == "INPUT":
+                network.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            target, func, args = assign.groups()
+            sources = [s.strip() for s in args.split(",") if s.strip()]
+            pending.append((target, func.upper(), sources, line_no))
+            continue
+        raise BenchFormatError(f"line {line_no}: cannot parse {raw!r}")
+
+    for target, func, sources, line_no in pending:
+        if func in ("CONST0", "GND", "ZERO"):
+            network.add_gate(target, GateType.CONST0, ())
+            continue
+        if func in ("CONST1", "VDD", "ONE"):
+            network.add_gate(target, GateType.CONST1, ())
+            continue
+        try:
+            gate_type = gate_type_from_name(func)
+        except KeyError as exc:
+            raise BenchFormatError(
+                f"line {line_no}: unknown gate function {func!r}"
+            ) from exc
+        network.add_gate(target, gate_type, sources)
+
+    network.set_outputs(outputs)
+    return network
+
+
+def load_bench(path: str | Path) -> Network:
+    """Read a ``.bench`` file."""
+    path = Path(path)
+    return loads_bench(path.read_text(), name=path.stem)
+
+
+def dumps_bench(network: Network) -> str:
+    """Serialise a network to ``.bench`` text (topological gate order)."""
+    lines = [f"# {network.name}"]
+    for net in network.inputs:
+        lines.append(f"INPUT({net})")
+    for net in network.outputs:
+        lines.append(f"OUTPUT({net})")
+    for net in network.topological_order():
+        gate = network.gate(net)
+        if gate.gate_type is GateType.INPUT:
+            continue
+        if gate.gate_type is GateType.CONST0:
+            lines.append(f"{net} = CONST0()")
+        elif gate.gate_type is GateType.CONST1:
+            lines.append(f"{net} = CONST1()")
+        else:
+            args = ", ".join(gate.inputs)
+            lines.append(f"{net} = {gate_function_name(gate.gate_type)}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump_bench(network: Network, path: str | Path) -> None:
+    """Write a ``.bench`` file."""
+    Path(path).write_text(dumps_bench(network))

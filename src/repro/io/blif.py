@@ -1,0 +1,245 @@
+"""BLIF netlist reader/writer (the MCNC91 distribution format).
+
+Supports the combinational core of BLIF: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` (PLA-style single-output cover) and ``.end``.
+Covers are converted to AND/OR/NOT networks: each product term becomes an
+AND of (possibly inverted) literals and the cover their OR; the
+complemented-output convention (``0`` output plane) is handled by
+inverting the result.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+
+class BlifFormatError(ValueError):
+    """Raised on malformed BLIF input."""
+
+
+def _logical_lines(text: str):
+    """BLIF lines with continuations joined and comments stripped."""
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        stripped = buffer.strip()
+        buffer = ""
+        if stripped:
+            yield stripped
+
+
+def loads_blif(text: str, name: str = "blif") -> Network:
+    """Parse BLIF text into a :class:`Network`."""
+    network = Network(name=name)
+    outputs: list[str] = []
+    covers: list[tuple[list[str], str, list[tuple[str, str]]]] = []
+
+    current: tuple[list[str], str, list[tuple[str, str]]] | None = None
+    for line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword == ".model" and len(parts) > 1:
+                network.name = parts[1]
+            elif keyword == ".inputs":
+                for net in parts[1:]:
+                    network.add_input(net)
+            elif keyword == ".outputs":
+                outputs.extend(parts[1:])
+            elif keyword == ".names":
+                if len(parts) < 2:
+                    raise BlifFormatError(f"bad .names line: {line!r}")
+                *sources, target = parts[1:]
+                current = (sources, target, [])
+                covers.append(current)
+            elif keyword == ".end":
+                current = None
+            elif keyword in (".latch", ".subckt", ".gate"):
+                raise BlifFormatError(
+                    f"sequential/hierarchical BLIF not supported: {keyword}"
+                )
+            # Other dot-commands (.default_input_arrival etc.) are ignored.
+        else:
+            if current is None:
+                raise BlifFormatError(f"cover row outside .names: {line!r}")
+            parts = line.split()
+            sources, _, rows = current
+            if not sources:
+                # Constant: single output column.
+                if len(parts) != 1 or parts[0] not in ("0", "1"):
+                    raise BlifFormatError(f"bad constant row: {line!r}")
+                rows.append(("", parts[0]))
+            else:
+                if len(parts) != 2:
+                    raise BlifFormatError(f"bad cover row: {line!r}")
+                plane, value = parts
+                if len(plane) != len(sources):
+                    raise BlifFormatError(
+                        f"cover row width mismatch: {line!r}"
+                    )
+                rows.append((plane, value))
+
+    fresh = _FreshNamer(network)
+    for sources, target, rows in covers:
+        _emit_cover(network, fresh, sources, target, rows)
+    network.set_outputs(outputs)
+    return network
+
+
+class _FreshNamer:
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        while True:
+            candidate = f"{stem}_b{self._counter}"
+            self._counter += 1
+            if not self._network.has_net(candidate):
+                return candidate
+
+
+def _emit_cover(
+    network: Network,
+    fresh: _FreshNamer,
+    sources: list[str],
+    target: str,
+    rows: list[tuple[str, str]],
+) -> None:
+    """Convert one .names cover to gates driving ``target``."""
+    if not sources:
+        value = rows[-1][1] if rows else "0"
+        const = GateType.CONST1 if value == "1" else GateType.CONST0
+        network.add_gate(target, const, ())
+        return
+
+    on_rows = [plane for plane, value in rows if value == "1"]
+    off_rows = [plane for plane, value in rows if value == "0"]
+    if on_rows and off_rows:
+        raise BlifFormatError(
+            f"mixed on/off cover for {target!r} is not supported"
+        )
+    invert = bool(off_rows) or not rows
+    planes = off_rows if off_rows else on_rows
+
+    if not planes:
+        # Empty cover: constant 0 (or 1 when the off-plane is empty).
+        const = GateType.CONST1 if invert else GateType.CONST0
+        network.add_gate(target, const, ())
+        return
+
+    inverter_cache: dict[str, str] = {}
+
+    def inverted(source: str) -> str:
+        if source not in inverter_cache:
+            inv = fresh.fresh(target)
+            network.add_gate(inv, GateType.NOT, [source])
+            inverter_cache[source] = inv
+        return inverter_cache[source]
+
+    term_nets: list[str] = []
+    for plane in planes:
+        literals: list[str] = []
+        for position, symbol in enumerate(plane):
+            if symbol == "1":
+                literals.append(sources[position])
+            elif symbol == "0":
+                literals.append(inverted(sources[position]))
+            elif symbol != "-":
+                raise BlifFormatError(f"bad cover symbol {symbol!r}")
+        if not literals:
+            # Row of all don't-cares: function is constant.
+            const = GateType.CONST0 if invert else GateType.CONST1
+            network.add_gate(target, const, ())
+            return
+        if len(literals) == 1:
+            term_nets.append(literals[0])
+        else:
+            term = fresh.fresh(target)
+            network.add_gate(term, GateType.AND, literals)
+            term_nets.append(term)
+
+    final_type = GateType.NOR if invert else GateType.OR
+    if len(term_nets) == 1:
+        if invert:
+            network.add_gate(target, GateType.NOT, term_nets)
+        else:
+            network.add_gate(target, GateType.BUF, term_nets)
+    else:
+        network.add_gate(target, final_type, term_nets)
+
+
+def load_blif(path: str | Path) -> Network:
+    """Read a BLIF file."""
+    path = Path(path)
+    return loads_blif(path.read_text(), name=path.stem)
+
+
+def dumps_blif(network: Network) -> str:
+    """Serialise a network as BLIF (each gate as a .names cover)."""
+    lines = [f".model {network.name}"]
+    if network.inputs:
+        lines.append(".inputs " + " ".join(network.inputs))
+    if network.outputs:
+        lines.append(".outputs " + " ".join(network.outputs))
+    for net in network.topological_order():
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        if gtype is GateType.INPUT:
+            continue
+        header = ".names " + " ".join((*gate.inputs, net))
+        if gtype is GateType.CONST0:
+            lines.append(f".names {net}")
+        elif gtype is GateType.CONST1:
+            lines.append(f".names {net}")
+            lines.append("1")
+        elif gtype is GateType.BUF:
+            lines.append(header)
+            lines.append("1 1")
+        elif gtype is GateType.NOT:
+            lines.append(header)
+            lines.append("0 1")
+        elif gtype is GateType.AND:
+            lines.append(header)
+            lines.append("1" * gate.fanin + " 1")
+        elif gtype is GateType.OR:
+            lines.append(header)
+            for i in range(gate.fanin):
+                row = ["-"] * gate.fanin
+                row[i] = "1"
+                lines.append("".join(row) + " 1")
+        elif gtype is GateType.NAND:
+            lines.append(header)
+            for i in range(gate.fanin):
+                row = ["-"] * gate.fanin
+                row[i] = "0"
+                lines.append("".join(row) + " 1")
+        elif gtype is GateType.NOR:
+            lines.append(header)
+            lines.append("0" * gate.fanin + " 1")
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            lines.append(header)
+            want = 1 if gtype is GateType.XOR else 0
+            for bits in range(1 << gate.fanin):
+                if bin(bits).count("1") % 2 == want:
+                    row = "".join(
+                        "1" if (bits >> i) & 1 else "0"
+                        for i in range(gate.fanin)
+                    )
+                    lines.append(row + " 1")
+        else:  # pragma: no cover - exhaustive
+            raise BlifFormatError(f"cannot serialise {gtype!r}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def dump_blif(network: Network, path: str | Path) -> None:
+    """Write a BLIF file."""
+    Path(path).write_text(dumps_blif(network))

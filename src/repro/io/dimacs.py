@@ -1,0 +1,111 @@
+"""DIMACS CNF reader/writer for interoperability with external SAT tools."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sat.cnf import CnfFormula, Literal
+
+
+class DimacsFormatError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def dumps_dimacs(formula: CnfFormula) -> tuple[str, dict[str, int]]:
+    """Serialise a formula to DIMACS text.
+
+    Returns:
+        (text, mapping from variable name to DIMACS index).  The mapping
+        follows sorted-name order, matching the solver compilation.
+    """
+    names = list(formula.variables)
+    index = {name: i + 1 for i, name in enumerate(names)}
+    lines = [f"p cnf {len(names)} {formula.num_clauses()}"]
+    for name in names:
+        lines.insert(0, f"c var {index[name]} = {name}")
+    for clause in sorted(
+        formula.clauses, key=lambda c: sorted((l.variable, l.positive) for l in c)
+    ):
+        ints = sorted(
+            (index[lit.variable] if lit.positive else -index[lit.variable])
+            for lit in clause
+        )
+        lines.append(" ".join(str(v) for v in ints) + " 0")
+    return "\n".join(lines) + "\n", index
+
+
+def dump_dimacs(formula: CnfFormula, path: str | Path) -> dict[str, int]:
+    """Write a DIMACS file; returns the name → index mapping."""
+    text, index = dumps_dimacs(formula)
+    Path(path).write_text(text)
+    return index
+
+
+def loads_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text.
+
+    Variable names are recovered from ``c var N = name`` comments when
+    present, else synthesised as ``x<N>``.
+
+    Raises:
+        DimacsFormatError: on malformed headers or literals.
+    """
+    names: dict[int, str] = {}
+    clauses: list[frozenset[Literal]] = []
+    pending: list[int] = []
+    declared: tuple[int, int] | None = None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            parts = line.split()
+            if len(parts) == 5 and parts[1] == "var" and parts[3] == "=":
+                try:
+                    names[int(parts[2])] = parts[4]
+                except ValueError as exc:
+                    raise DimacsFormatError(f"bad var comment: {raw!r}") from exc
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsFormatError(f"bad problem line: {raw!r}")
+            declared = (int(parts[2]), int(parts[3]))
+            continue
+        for token in line.split():
+            try:
+                value = int(token)
+            except ValueError as exc:
+                raise DimacsFormatError(f"bad literal {token!r}") from exc
+            if value == 0:
+                clauses.append(
+                    frozenset(
+                        Literal(names.get(abs(v), f"x{abs(v)}"), v > 0)
+                        for v in pending
+                    )
+                )
+                pending = []
+            else:
+                pending.append(value)
+    if pending:
+        clauses.append(
+            frozenset(
+                Literal(names.get(abs(v), f"x{abs(v)}"), v > 0) for v in pending
+            )
+        )
+    formula = CnfFormula(clauses)
+    if declared is not None and declared[1] != formula.num_clauses():
+        # Duplicate clauses collapse in set representation; accept but
+        # only if the declared count is not exceeded.
+        if formula.num_clauses() > declared[1]:
+            raise DimacsFormatError(
+                f"clause count {formula.num_clauses()} exceeds declared "
+                f"{declared[1]}"
+            )
+    return formula
+
+
+def load_dimacs(path: str | Path) -> CnfFormula:
+    """Read a DIMACS file."""
+    return loads_dimacs(Path(path).read_text())

@@ -1,0 +1,169 @@
+"""Structural gate-level Verilog reader/writer.
+
+Supports the flat structural subset that gate-level netlists use::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand g1 (N10, N1, N3);
+      nand g2 (N11, N3, N6);
+      ...
+    endmodule
+
+Primitive gates: ``and, or, nand, nor, xor, xnor, not, buf`` with the
+Verilog convention that the first terminal is the output.  Assignments
+of constants (``assign w = 1'b0;``) are accepted.  Hierarchical modules,
+behavioural constructs and vectors are out of scope and rejected.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
+_GATE_RE = re.compile(r"(\w+)\s+(\w+)?\s*\(([^)]*)\)\s*;")
+_ASSIGN_RE = re.compile(r"assign\s+(\w+)\s*=\s*1'b([01])\s*;")
+
+
+class VerilogFormatError(ValueError):
+    """Raised on unsupported or malformed Verilog."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def loads_verilog(text: str, name: str | None = None) -> Network:
+    """Parse structural Verilog into a :class:`Network`.
+
+    Raises:
+        VerilogFormatError: on missing module, unknown primitives, or
+            behavioural constructs.
+    """
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogFormatError("no module declaration found")
+    module_name = module.group(1)
+    body = text[module.end() : ]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogFormatError("missing endmodule")
+    body = body[:end]
+
+    if re.search(r"\b(always|reg|if|case)\b", body):
+        raise VerilogFormatError("behavioural Verilog is not supported")
+    if re.search(r"\[\s*\d+\s*:\s*\d+\s*\]", body):
+        raise VerilogFormatError("vector signals are not supported")
+
+    network = Network(name=name or module_name)
+    outputs: list[str] = []
+
+    consumed_spans: list[tuple[int, int]] = []
+    for match in _DECL_RE.finditer(body):
+        kind, names = match.group(1), match.group(2)
+        consumed_spans.append(match.span())
+        for signal in (s.strip() for s in names.split(",")):
+            if not signal:
+                continue
+            if kind == "input":
+                network.add_input(signal)
+            elif kind == "output":
+                outputs.append(signal)
+            # wires need no declaration in our model
+
+    for match in _ASSIGN_RE.finditer(body):
+        target, value = match.group(1), match.group(2)
+        consumed_spans.append(match.span())
+        network.add_gate(
+            target,
+            GateType.CONST1 if value == "1" else GateType.CONST0,
+            (),
+        )
+
+    def inside_consumed(position: int) -> bool:
+        return any(start <= position < stop for start, stop in consumed_spans)
+
+    for match in _GATE_RE.finditer(body):
+        if inside_consumed(match.start()):
+            continue
+        keyword, _instance, terminals = match.groups()
+        if keyword in ("input", "output", "wire", "assign"):
+            continue
+        gate_type = _PRIMITIVES.get(keyword.lower())
+        if gate_type is None:
+            raise VerilogFormatError(
+                f"unsupported primitive or submodule {keyword!r}"
+            )
+        pins = [p.strip() for p in terminals.split(",") if p.strip()]
+        if len(pins) < 2:
+            raise VerilogFormatError(f"gate {keyword} needs output + inputs")
+        output, *inputs = pins
+        network.add_gate(output, gate_type, inputs)
+
+    network.set_outputs(outputs)
+    return network
+
+
+def load_verilog(path: str | Path) -> Network:
+    """Read a structural Verilog file."""
+    path = Path(path)
+    return loads_verilog(path.read_text(), name=path.stem)
+
+
+def dumps_verilog(network: Network) -> str:
+    """Serialise a network as structural Verilog."""
+    ports = list(network.inputs) + list(network.outputs)
+    lines = [f"module {network.name} ({', '.join(ports)});"]
+    if network.inputs:
+        lines.append(f"  input {', '.join(network.inputs)};")
+    if network.outputs:
+        lines.append(f"  output {', '.join(network.outputs)};")
+    wires = [
+        net
+        for net in network.nets
+        if net not in set(network.inputs) and net not in set(network.outputs)
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    index = 0
+    for net in network.topological_order():
+        gate = network.gate(net)
+        gtype = gate.gate_type
+        if gtype is GateType.INPUT:
+            continue
+        if gtype is GateType.CONST0:
+            lines.append(f"  assign {net} = 1'b0;")
+            continue
+        if gtype is GateType.CONST1:
+            lines.append(f"  assign {net} = 1'b1;")
+            continue
+        index += 1
+        keyword = gtype.value
+        pins = ", ".join((net, *gate.inputs))
+        lines.append(f"  {keyword} g{index} ({pins});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump_verilog(network: Network, path: str | Path) -> None:
+    """Write a structural Verilog file."""
+    Path(path).write_text(dumps_verilog(network))

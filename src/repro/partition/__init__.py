@@ -1,0 +1,14 @@
+"""Hypergraph partitioning: FM bisection, multilevel scheme, exact DP."""
+
+from repro.partition.exact import MAX_EXACT_VERTICES, exact_min_cutwidth
+from repro.partition.fm import BisectionResult, edge_cut, fm_bisect
+from repro.partition.multilevel import multilevel_bisect
+
+__all__ = [
+    "BisectionResult",
+    "MAX_EXACT_VERTICES",
+    "edge_cut",
+    "exact_min_cutwidth",
+    "fm_bisect",
+    "multilevel_bisect",
+]

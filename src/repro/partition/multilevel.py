@@ -1,0 +1,166 @@
+"""Multilevel hypergraph bisection (the hMETIS algorithmic recipe).
+
+Coarsen the hypergraph by edge-coarsening matchings until it is small,
+bisect the coarsest graph with FM from several random starts, then project
+back through the hierarchy refining with FM at each level — the structure
+of Karypis et al.'s multilevel scheme that the paper used via hMETIS.
+
+Supports locked anchor vertices (terminal propagation): anchors are never
+matched during coarsening and stay pinned to their side at every level,
+so recursive-bisection linear arrangement can bias each split towards the
+already-placed context.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.hypergraph import Hypergraph
+from repro.partition.fm import BisectionResult, edge_cut, fm_bisect
+
+
+@dataclass
+class _Level:
+    """One coarsening level: the graph and the vertex → cluster map."""
+
+    graph: Hypergraph
+    cluster_of: dict[str, str]  # fine vertex -> coarse vertex
+
+
+def _coarsen_once(
+    graph: Hypergraph, rng: random.Random, locked: frozenset[str]
+) -> _Level | None:
+    """One edge-coarsening pass; None if no meaningful contraction."""
+    incidence = graph.incident_edges()
+    vertices = list(graph.vertices)
+    rng.shuffle(vertices)
+
+    matched: dict[str, str] = {}
+    used: set[str] = set()
+    for vertex in vertices:
+        if vertex in used:
+            continue
+        if vertex in locked:
+            matched[vertex] = vertex
+            used.add(vertex)
+            continue
+        # Prefer a partner sharing the smallest hyperedge (strongest tie).
+        best_partner: str | None = None
+        best_size = 1 << 30
+        for edge_index in incidence[vertex]:
+            _, members = graph.edges[edge_index]
+            if len(members) >= best_size:
+                continue
+            for member in members:
+                if member != vertex and member not in used and member not in locked:
+                    best_partner = member
+                    best_size = len(members)
+                    break
+        if best_partner is not None:
+            cluster = f"{vertex}+{best_partner}"
+            matched[vertex] = cluster
+            matched[best_partner] = cluster
+            used.add(vertex)
+            used.add(best_partner)
+        else:
+            matched[vertex] = vertex
+            used.add(vertex)
+
+    coarse_names = sorted(set(matched.values()))
+    if len(coarse_names) >= graph.num_vertices:
+        return None
+
+    coarse_edges: dict[tuple[str, ...], str] = {}
+    for label, members in graph.edges:
+        coarse_members = tuple(sorted({matched[m] for m in members}))
+        if len(coarse_members) >= 2 and coarse_members not in coarse_edges:
+            coarse_edges[coarse_members] = label
+    coarse = Hypergraph(
+        tuple(coarse_names),
+        tuple((label, members) for members, label in coarse_edges.items()),
+    )
+    return _Level(coarse, matched)
+
+
+def multilevel_bisect(
+    graph: Hypergraph,
+    *,
+    coarse_threshold: int = 40,
+    num_starts: int = 4,
+    balance: float = 0.1,
+    seed: int = 0,
+    locked_left: tuple[str, ...] = (),
+    locked_right: tuple[str, ...] = (),
+) -> BisectionResult:
+    """hMETIS-style multilevel min-cut bisection.
+
+    Args:
+        graph: hypergraph to bisect.
+        coarse_threshold: stop coarsening below this many vertices.
+        num_starts: random FM starts at the coarsest level.
+        balance: FM balance tolerance at every level.
+        seed: RNG seed controlling matching and initial partitions.
+        locked_left: anchor vertices pinned to the left side.
+        locked_right: anchor vertices pinned to the right side.
+
+    Returns:
+        A :class:`BisectionResult` over the *free* vertices only (anchors
+        are excluded from the returned sides).
+    """
+    locked = frozenset(locked_left) | frozenset(locked_right)
+    free_count = graph.num_vertices - len(locked)
+    if free_count <= 1:
+        free = [v for v in graph.vertices if v not in locked]
+        return BisectionResult(free, [], 0)
+
+    rng = random.Random(seed)
+    levels: list[_Level] = []
+    current = graph
+    while current.num_vertices > max(coarse_threshold, 2 * len(locked) + 2):
+        level = _coarsen_once(current, rng, locked)
+        if level is None:
+            break
+        levels.append(level)
+        current = level.graph
+
+    # Initial partition at the coarsest level: best of several FM starts.
+    best: BisectionResult | None = None
+    for attempt in range(max(1, num_starts)):
+        candidate = fm_bisect(
+            current,
+            balance=balance,
+            seed=seed * 7919 + attempt,
+            locked_left=tuple(locked_left),
+            locked_right=tuple(locked_right),
+        )
+        if best is None or candidate.cut < best.cut:
+            best = candidate
+    assert best is not None
+    left_set = set(best.left)
+
+    # Uncoarsen, refining at each level.
+    fine_graphs = [graph] + [level.graph for level in levels[:-1]]
+    for level, fine in zip(reversed(levels), reversed(fine_graphs)):
+        projected = [
+            vertex
+            for vertex in fine.vertices
+            if vertex not in locked and level.cluster_of[vertex] in left_set
+        ]
+        refined = fm_bisect(
+            fine,
+            initial_left=projected,
+            balance=balance,
+            seed=seed,
+            locked_left=tuple(locked_left),
+            locked_right=tuple(locked_right),
+        )
+        left_set = set(refined.left)
+        best = refined
+
+    side_of = {v: (0 if v in left_set else 1) for v in graph.vertices if v not in locked}
+    side_of.update({v: 0 for v in locked_left})
+    side_of.update({v: 1 for v in locked_right})
+    left = [v for v in graph.vertices if side_of[v] == 0 and v not in locked]
+    right = [v for v in graph.vertices if side_of[v] == 1 and v not in locked]
+    return BisectionResult(left, right, edge_cut(graph, side_of))

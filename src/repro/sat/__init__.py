@@ -1,0 +1,76 @@
+"""SAT substrate: CNF formulas, circuit encodings, and solvers."""
+
+from repro.sat.backtracking import SimpleBacktrackingSolver, solve_simple
+from repro.sat.caching import (
+    CachingBacktrackingSolver,
+    CachingSearchTrace,
+    solve_caching,
+)
+from repro.sat.cdcl import CdclSolver, solve_cdcl
+from repro.sat.cnf import (
+    Clause,
+    CnfFormula,
+    Literal,
+    SubFormula,
+    clause,
+    formula_from_ints,
+    has_null_clause,
+    neg,
+    pos,
+    reduce_clauses,
+    sub_formula_variables,
+)
+from repro.sat.dpll import DpllSolver, solve_dpll
+from repro.sat.horn import classify, is_2sat, is_hidden_horn, is_horn, is_q_horn
+from repro.sat.implications import (
+    binary_implication_closure,
+    static_learning,
+    with_static_implications,
+)
+from repro.sat.result import SatResult, SatStatus, SolverStats
+from repro.sat.tseitin import (
+    circuit_clauses,
+    circuit_sat_formula,
+    gate_clauses,
+    justification_formula,
+    output_assertion_clause,
+)
+
+__all__ = [
+    "CachingBacktrackingSolver",
+    "CachingSearchTrace",
+    "CdclSolver",
+    "Clause",
+    "CnfFormula",
+    "DpllSolver",
+    "Literal",
+    "SatResult",
+    "SatStatus",
+    "SimpleBacktrackingSolver",
+    "SolverStats",
+    "SubFormula",
+    "binary_implication_closure",
+    "circuit_clauses",
+    "circuit_sat_formula",
+    "classify",
+    "clause",
+    "formula_from_ints",
+    "gate_clauses",
+    "has_null_clause",
+    "is_2sat",
+    "is_hidden_horn",
+    "is_horn",
+    "is_q_horn",
+    "justification_formula",
+    "neg",
+    "output_assertion_clause",
+    "pos",
+    "reduce_clauses",
+    "solve_caching",
+    "solve_cdcl",
+    "solve_dpll",
+    "solve_simple",
+    "static_learning",
+    "sub_formula_variables",
+    "with_static_implications",
+]

@@ -1,0 +1,113 @@
+"""Simple backtracking SAT (the baseline Algorithm 1 is compared against).
+
+"Simple backtracking" in the paper's sense (after Purdom & Brown): fix a
+static variable order, assign variables one at a time, and backtrack as
+soon as the partial assignment falsifies a clause.  No caching, no unit
+propagation — this is the pure search skeleton, so that the effect of the
+sub-formula cache in :mod:`repro.sat.caching` can be isolated.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.sat.cnf import CnfFormula, has_null_clause, reduce_clauses
+from repro.sat.result import (
+    ResourceLimitExceeded,
+    SatResult,
+    SatStatus,
+    SolverStats,
+)
+
+
+def default_order(formula: CnfFormula) -> list[str]:
+    """The fallback static order: sorted variable names."""
+    return list(formula.variables)
+
+
+class SimpleBacktrackingSolver:
+    """Chronological backtracking over a static variable order.
+
+    Args:
+        order: static variable order ``h``; defaults to sorted names.
+            Variables of the formula missing from ``order`` are appended
+            (sorted) so the search is always complete.
+        max_nodes: optional budget on visited tree nodes; exceeded search
+            returns ``UNKNOWN``.
+    """
+
+    def __init__(
+        self,
+        order: Optional[Sequence[str]] = None,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        self._order = list(order) if order is not None else None
+        self.max_nodes = max_nodes
+
+    def _full_order(self, formula: CnfFormula) -> list[str]:
+        if self._order is None:
+            return default_order(formula)
+        order = [v for v in self._order if v in set(formula.variables)]
+        missing = sorted(set(formula.variables) - set(order))
+        return order + missing
+
+    def solve(self, formula: CnfFormula) -> SatResult:
+        """Decide satisfiability of ``formula``."""
+        start = time.perf_counter()
+        stats = SolverStats()
+        order = self._full_order(formula)
+        assignment: dict[str, int] = {}
+
+        initial = reduce_clauses(formula.clauses, {})
+        if has_null_clause(initial):
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNSAT, stats=stats)
+
+        try:
+            found = self._search(initial, order, 0, assignment, stats)
+        except ResourceLimitExceeded:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNKNOWN, stats=stats)
+
+        stats.time_seconds = time.perf_counter() - start
+        if found:
+            model = dict(assignment)
+            for variable in order:
+                model.setdefault(variable, 0)
+            return SatResult(SatStatus.SAT, assignment=model, stats=stats)
+        return SatResult(SatStatus.UNSAT, stats=stats)
+
+    def _search(self, sub, order, depth, assignment, stats) -> bool:
+        if not sub:
+            return True  # every clause satisfied
+        if depth >= len(order):
+            # No variables left but clauses remain: only possible if a
+            # clause mentions a variable outside the order — cannot happen
+            # with _full_order, so remaining clauses are all empty.
+            return not has_null_clause(sub)
+        variable = order[depth]
+        for value in (0, 1):
+            stats.nodes += 1
+            stats.decisions += 1
+            if self.max_nodes is not None and stats.nodes > self.max_nodes:
+                raise ResourceLimitExceeded
+            reduced = reduce_clauses(sub, {variable: value})
+            if has_null_clause(reduced):
+                stats.conflicts += 1
+                continue
+            assignment[variable] = value
+            if self._search(reduced, order, depth + 1, assignment, stats):
+                return True
+            del assignment[variable]
+        return False
+
+
+def solve_simple(
+    formula: CnfFormula,
+    order: Optional[Sequence[str]] = None,
+    max_nodes: Optional[int] = None,
+) -> SatResult:
+    """Convenience wrapper around :class:`SimpleBacktrackingSolver`."""
+    return SimpleBacktrackingSolver(order=order, max_nodes=max_nodes).solve(formula)

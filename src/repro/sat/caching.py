@@ -1,0 +1,193 @@
+"""Algorithm 1 of the paper: caching-based backtracking for SAT.
+
+Simple backtracking with a fixed variable order, except that whenever the
+search backtracks from an unsatisfiable sub-formula, that sub-formula is
+stored in a hash table; before any sub-formula is explored it is looked up
+in the table and, on a hit, refuted immediately.  Two sub-formulas are
+identical iff they have the same set of clauses (the paper's footnote 2 —
+no semantic equivalence detection).
+
+The running time of this algorithm is bounded by the number of *distinct
+consistent sub-formulas* (DCSFs) reachable under the ordering, which is
+what ties the solver to the circuit's cut-width (Lemma 4.1/Theorem 4.1).
+The solver therefore exposes per-depth DCSF accounting so the theory can
+be validated empirically.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sat.cnf import (
+    CnfFormula,
+    SubFormula,
+    has_null_clause,
+    reduce_clauses,
+)
+from repro.sat.result import (
+    ResourceLimitExceeded,
+    SatResult,
+    SatStatus,
+    SolverStats,
+)
+
+
+@dataclass
+class CachingSearchTrace:
+    """Optional instrumentation collected during the search.
+
+    Attributes:
+        sub_formulas_per_depth: the set of distinct consistent sub-formulas
+            encountered after assigning the first ``d+1`` order variables
+            (index ``d``).  The total across depths bounds the tree size.
+    """
+
+    sub_formulas_per_depth: list[set[SubFormula]] = field(default_factory=list)
+
+    def dcsf_counts(self) -> list[int]:
+        """Number of DCSFs per depth."""
+        return [len(s) for s in self.sub_formulas_per_depth]
+
+    def total_dcsf(self) -> int:
+        """Total distinct consistent sub-formulas over all depths."""
+        return sum(len(s) for s in self.sub_formulas_per_depth)
+
+
+class CachingBacktrackingSolver:
+    """The paper's Algorithm 1.
+
+    Args:
+        order: static variable order ``h``.  Defaults to sorted names.
+        max_nodes: node budget; exceeding it yields ``UNKNOWN``.
+        collect_trace: when True, record the DCSFs seen at each depth
+            (used by the Lemma 4.1 / Theorem 4.1 validation experiments).
+    """
+
+    def __init__(
+        self,
+        order: Optional[Sequence[str]] = None,
+        max_nodes: Optional[int] = None,
+        collect_trace: bool = False,
+    ) -> None:
+        self._order = list(order) if order is not None else None
+        self.max_nodes = max_nodes
+        self.collect_trace = collect_trace
+        self.trace: Optional[CachingSearchTrace] = None
+
+    def _full_order(self, formula: CnfFormula) -> list[str]:
+        if self._order is None:
+            return list(formula.variables)
+        present = set(formula.variables)
+        order = [v for v in self._order if v in present]
+        order.extend(sorted(present - set(order)))
+        return order
+
+    def solve(self, formula: CnfFormula) -> SatResult:
+        """Decide satisfiability; a SAT result carries a witness model."""
+        start = time.perf_counter()
+        stats = SolverStats()
+        order = self._full_order(formula)
+        if self.collect_trace:
+            self.trace = CachingSearchTrace(
+                sub_formulas_per_depth=[set() for _ in order]
+            )
+        else:
+            self.trace = None
+
+        cache: set[SubFormula] = set()
+        assignment: dict[str, int] = {}
+
+        initial = reduce_clauses(formula.clauses, {})
+        if has_null_clause(initial):
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNSAT, stats=stats)
+        if not order or not initial:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.SAT, assignment={}, stats=stats)
+
+        depth_budget = len(order) + 64
+        old_limit = sys.getrecursionlimit()
+        if old_limit < depth_budget + 512:
+            sys.setrecursionlimit(depth_budget + 512)
+        try:
+            found = (
+                self._cache_sat(initial, order, 0, 0, assignment, cache, stats)
+                or self._cache_sat(initial, order, 0, 1, assignment, cache, stats)
+            )
+        except ResourceLimitExceeded:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNKNOWN, stats=stats)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        stats.time_seconds = time.perf_counter() - start
+        if found:
+            model = dict(assignment)
+            for variable in order:
+                model.setdefault(variable, 0)
+            return SatResult(SatStatus.SAT, assignment=model, stats=stats)
+        return SatResult(SatStatus.UNSAT, stats=stats)
+
+    def _cache_sat(
+        self,
+        parent_sub: SubFormula,
+        order: list[str],
+        depth: int,
+        value: int,
+        assignment: dict[str, int],
+        cache: set[SubFormula],
+        stats: SolverStats,
+    ) -> bool:
+        """The paper's ``Cache_Sat(v_current, B, f_sub)``.
+
+        ``order[depth]`` plays the role of v_current; ``value`` is B.
+        Returns True for SAT (with ``assignment`` extended to a witness).
+        """
+        stats.nodes += 1
+        stats.decisions += 1
+        if self.max_nodes is not None and stats.nodes > self.max_nodes:
+            raise ResourceLimitExceeded
+
+        variable = order[depth]
+        sub = reduce_clauses(parent_sub, {variable: value})
+        if has_null_clause(sub):
+            stats.conflicts += 1
+            return False
+        if self.trace is not None:
+            self.trace.sub_formulas_per_depth[depth].add(sub)
+        if sub in cache:
+            stats.cache_hits += 1
+            return False
+
+        assignment[variable] = value
+        if not sub or depth + 1 >= len(order):
+            # All clauses satisfied (or no variables left without a null
+            # clause, which with a complete order means no clauses remain).
+            if not sub:
+                return True
+            del assignment[variable]
+            return False
+
+        if self._cache_sat(sub, order, depth + 1, 0, assignment, cache, stats):
+            return True
+        if self._cache_sat(sub, order, depth + 1, 1, assignment, cache, stats):
+            return True
+
+        # Both subtrees UNSAT: remember this sub-formula.
+        cache.add(sub)
+        stats.cache_insertions += 1
+        del assignment[variable]
+        return False
+
+
+def solve_caching(
+    formula: CnfFormula,
+    order: Optional[Sequence[str]] = None,
+    max_nodes: Optional[int] = None,
+) -> SatResult:
+    """Convenience wrapper around :class:`CachingBacktrackingSolver`."""
+    return CachingBacktrackingSolver(order=order, max_nodes=max_nodes).solve(formula)

@@ -1,0 +1,283 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+A reference solver in the GRASP lineage the paper cites ([23], Silva &
+Sakallah): unit propagation with watched literals, first-UIP conflict
+analysis, non-chronological backjumping, VSIDS-style activities and
+geometric restarts.  The paper models conflict learning abstractly via
+the sub-formula cache of Algorithm 1; this solver is the concrete modern
+counterpart and serves as a cross-check oracle and an ablation point.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.compile import compile_formula, negate, var_of
+from repro.sat.result import SatResult, SatStatus, SolverStats
+
+_UNASSIGNED = -1
+
+
+class CdclSolver:
+    """CDCL solver over a compiled CNF.
+
+    Args:
+        max_conflicts: conflict budget; exceeded search returns ``UNKNOWN``.
+        restart_interval: conflicts before the first restart (grows 1.5x).
+        decay: VSIDS activity decay factor per conflict.
+        phase_hint: optional map from variable name to preferred phase.
+    """
+
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = None,
+        restart_interval: int = 128,
+        decay: float = 0.95,
+        phase_hint: Optional[dict[str, int]] = None,
+        order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.max_conflicts = max_conflicts
+        self.restart_interval = restart_interval
+        self.decay = decay
+        self.phase_hint = phase_hint or {}
+        self._order = list(order) if order is not None else None
+
+    def solve(self, formula: CnfFormula) -> SatResult:
+        """Decide satisfiability of ``formula``."""
+        start = time.perf_counter()
+        stats = SolverStats()
+        compiled = compile_formula(formula)
+        num_vars = compiled.num_vars
+        clauses: list[list[int]] = [list(c) for c in compiled.clauses]
+
+        if any(not c for c in clauses):
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNSAT, stats=stats)
+        if num_vars == 0:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.SAT, assignment={}, stats=stats)
+
+        values = [_UNASSIGNED] * num_vars
+        level = [0] * num_vars
+        reason: list[Optional[int]] = [None] * num_vars  # clause index
+        activity = [0.0] * num_vars
+        saved_phase = [0] * num_vars
+        for name, phase in self.phase_hint.items():
+            idx = compiled.index_of.get(name)
+            if idx is not None:
+                saved_phase[idx] = 1 if phase else 0
+        if self._order is not None:
+            # Seed activities so the static order breaks ties.
+            rank = len(self._order)
+            for position, name in enumerate(self._order):
+                idx = compiled.index_of.get(name)
+                if idx is not None:
+                    activity[idx] = float(rank - position) * 1e-6
+
+        watches: list[list[int]] = [[] for _ in range(2 * num_vars)]
+        initial_units: list[int] = []
+        for ci, cl in enumerate(clauses):
+            if len(cl) == 1:
+                initial_units.append(cl[0])
+            else:
+                watches[cl[0]].append(ci)
+                watches[cl[1]].append(ci)
+
+        trail: list[int] = []
+        trail_lim: list[int] = []
+        qhead = 0
+
+        def current_level() -> int:
+            return len(trail_lim)
+
+        def lit_value(lit: int) -> int:
+            v = values[var_of(lit)]
+            if v == _UNASSIGNED:
+                return _UNASSIGNED
+            return v ^ (lit & 1)
+
+        def enqueue(lit: int, reason_clause: Optional[int]) -> bool:
+            var = var_of(lit)
+            value = 1 ^ (lit & 1)
+            if values[var] != _UNASSIGNED:
+                return values[var] == value
+            values[var] = value
+            level[var] = current_level()
+            reason[var] = reason_clause
+            trail.append(lit)
+            return True
+
+        def propagate() -> Optional[int]:
+            """Returns conflicting clause index, or None."""
+            nonlocal qhead
+            while qhead < len(trail):
+                lit = trail[qhead]
+                qhead += 1
+                false_lit = negate(lit)
+                watching = watches[false_lit]
+                i = 0
+                while i < len(watching):
+                    ci = watching[i]
+                    cl = clauses[ci]
+                    if cl[0] == false_lit:
+                        cl[0], cl[1] = cl[1], cl[0]
+                    first = cl[0]
+                    if lit_value(first) == 1:
+                        i += 1
+                        continue
+                    found = False
+                    for k in range(2, len(cl)):
+                        if lit_value(cl[k]) != 0:
+                            cl[1], cl[k] = cl[k], cl[1]
+                            watches[cl[1]].append(ci)
+                            watching[i] = watching[-1]
+                            watching.pop()
+                            found = True
+                            break
+                    if found:
+                        continue
+                    if lit_value(first) == 0:
+                        return ci
+                    stats.propagations += 1
+                    enqueue(first, ci)
+                    i += 1
+            return None
+
+        def analyze(conflict_ci: int) -> tuple[list[int], int]:
+            """First-UIP conflict analysis (MiniSat structure).
+
+            Relies on the invariant that a reason clause stores its implied
+            literal at position 0.
+
+            Returns:
+                (learned clause with asserting literal first, backjump level).
+            """
+            learned: list[int] = []
+            seen = [False] * num_vars
+            path_count = 0
+            p: Optional[int] = None
+            ci: Optional[int] = conflict_ci
+            index = len(trail) - 1
+            while True:
+                assert ci is not None
+                cl = clauses[ci]
+                # Skip position 0 when it is the literal we resolved on.
+                for q in cl[0 if p is None else 1 :]:
+                    var = q >> 1
+                    if not seen[var] and level[var] > 0:
+                        seen[var] = True
+                        activity[var] += 1.0
+                        if level[var] >= current_level():
+                            path_count += 1
+                        else:
+                            learned.append(q)
+                while not seen[trail[index] >> 1]:
+                    index -= 1
+                p = trail[index]
+                var = p >> 1
+                seen[var] = False
+                path_count -= 1
+                index -= 1
+                if path_count <= 0:
+                    break
+                ci = reason[var]
+            learned.insert(0, negate(p))
+            if len(learned) == 1:
+                return learned, 0
+            back_level = max(level[q >> 1] for q in learned[1:])
+            return learned, back_level
+
+        def backjump(target_level: int) -> None:
+            nonlocal qhead
+            if current_level() <= target_level:
+                return
+            limit = trail_lim[target_level]
+            while len(trail) > limit:
+                lit = trail.pop()
+                var = var_of(lit)
+                saved_phase[var] = values[var]
+                values[var] = _UNASSIGNED
+                reason[var] = None
+            del trail_lim[target_level:]
+            qhead = len(trail)
+
+        def pick_branch() -> int:
+            best, best_act = -1, -1.0
+            for var in range(num_vars):
+                if values[var] == _UNASSIGNED and activity[var] > best_act:
+                    best, best_act = var, activity[var]
+            return best
+
+        for lit in initial_units:
+            if not enqueue(lit, None):
+                stats.time_seconds = time.perf_counter() - start
+                return SatResult(SatStatus.UNSAT, stats=stats)
+        if propagate() is not None:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.UNSAT, stats=stats)
+
+        restart_limit = self.restart_interval
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if (
+                    self.max_conflicts is not None
+                    and stats.conflicts > self.max_conflicts
+                ):
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(SatStatus.UNKNOWN, stats=stats)
+                if current_level() == 0:
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(SatStatus.UNSAT, stats=stats)
+                learned, back_level = analyze(conflict)
+                backjump(back_level)
+                ci = len(clauses)
+                if len(learned) >= 2:
+                    # Watch invariant: position 1 must hold a literal from
+                    # the backjump level, else future backtracks can leave
+                    # the clause incorrectly watched.
+                    best = max(
+                        range(1, len(learned)), key=lambda j: level[learned[j] >> 1]
+                    )
+                    learned[1], learned[best] = learned[best], learned[1]
+                clauses.append(learned)
+                stats.learned_clauses += 1
+                if len(learned) >= 2:
+                    watches[learned[0]].append(ci)
+                    watches[learned[1]].append(ci)
+                    enqueue(learned[0], ci)
+                else:
+                    enqueue(learned[0], None)
+                for var in range(num_vars):
+                    activity[var] *= self.decay
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                restart_limit = int(restart_limit * 1.5)
+                stats.restarts += 1
+                backjump(0)
+                continue
+
+            var = pick_branch()
+            if var == -1:
+                stats.time_seconds = time.perf_counter() - start
+                model = compiled.decode_assignment(values)
+                return SatResult(SatStatus.SAT, assignment=model, stats=stats)
+            stats.decisions += 1
+            stats.nodes += 1
+            trail_lim.append(len(trail))
+            lit = 2 * var + (0 if saved_phase[var] == 1 else 1)
+            enqueue(lit, None)
+
+
+def solve_cdcl(formula: CnfFormula, **kwargs) -> SatResult:
+    """Convenience wrapper around :class:`CdclSolver`."""
+    return CdclSolver(**kwargs).solve(formula)

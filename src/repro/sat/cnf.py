@@ -1,0 +1,237 @@
+"""CNF formulas, literals, and assignment operations.
+
+Follows the paper's Section 2 conventions: a formula is a set of clauses,
+each clause a set of literals; a literal is a variable or its complement.
+Variables are identified by strings (circuit net names) so that SAT-side
+objects line up with circuit-side objects without a translation table.
+
+A literal is represented as a ``(variable, polarity)`` tuple wrapped in
+:class:`Literal`; clauses are ``frozenset`` of literals so that
+sub-formulas can be hashed — the caching backtracking algorithm
+(Algorithm 1) treats two sub-formulas as identical iff they have the same
+set of clauses, exactly as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A variable occurrence with polarity (True = positive)."""
+
+    variable: str
+    positive: bool = True
+
+    def __invert__(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def value_under(self, assignment: Mapping[str, int]) -> Optional[int]:
+        """0/1 if the variable is assigned, else None."""
+        value = assignment.get(self.variable)
+        if value is None:
+            return None
+        return value if self.positive else 1 - value
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+def pos(variable: str) -> Literal:
+    """Positive literal on ``variable``."""
+    return Literal(variable, True)
+
+
+def neg(variable: str) -> Literal:
+    """Negative literal on ``variable``."""
+    return Literal(variable, False)
+
+
+Clause = frozenset  # Clause = frozenset[Literal]
+
+
+def clause(*literals: Literal) -> Clause:
+    """Build a clause from literals."""
+    return frozenset(literals)
+
+
+class CnfFormula:
+    """An immutable-ish CNF formula: a set of clauses over named variables."""
+
+    def __init__(self, clauses: Iterable[Clause] = (), name: str = "f") -> None:
+        self.name = name
+        self._clauses: frozenset[Clause] = frozenset(
+            frozenset(c) for c in clauses
+        )
+        self._variables: Optional[tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def clauses(self) -> frozenset[Clause]:
+        """The clause set."""
+        return self._clauses
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All variables mentioned, sorted for determinism."""
+        if self._variables is None:
+            names = {lit.variable for cl in self._clauses for lit in cl}
+            self._variables = tuple(sorted(names))
+        return self._variables
+
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CnfFormula):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __hash__(self) -> int:
+        return hash(self._clauses)
+
+    # ------------------------------------------------------------------
+    def with_clause(self, new_clause: Clause) -> "CnfFormula":
+        """Formula with one additional clause."""
+        return CnfFormula(self._clauses | {frozenset(new_clause)}, self.name)
+
+    def with_clauses(self, new_clauses: Iterable[Clause]) -> "CnfFormula":
+        """Formula with additional clauses."""
+        extra = {frozenset(c) for c in new_clauses}
+        return CnfFormula(self._clauses | extra, self.name)
+
+    def with_unit(self, literal: Literal) -> "CnfFormula":
+        """Formula with an added unit clause asserting ``literal``."""
+        return self.with_clause(frozenset({literal}))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> Optional[bool]:
+        """Truth value under a (possibly partial) assignment.
+
+        Returns:
+            True if every clause is satisfied, False if some clause is
+            falsified, None if undetermined.
+        """
+        undetermined = False
+        for cl in self._clauses:
+            state = _clause_state(cl, assignment)
+            if state is False:
+                return False
+            if state is None:
+                undetermined = True
+        return None if undetermined else True
+
+    def is_satisfied_by(self, assignment: Mapping[str, int]) -> bool:
+        """True iff the (total enough) assignment satisfies every clause."""
+        return self.evaluate(assignment) is True
+
+    def assign(self, assignment: Mapping[str, int]) -> "SubFormula":
+        """The sub-formula obtained by applying ``assignment``.
+
+        Mirrors the paper's ``Assign``: satisfied clauses disappear; false
+        literals are deleted from their clauses.  The result may contain
+        the empty clause, signalling inconsistency (a "null clause").
+        """
+        return reduce_clauses(self._clauses, assignment)
+
+    def restrict(self, variable: str, value: int) -> "SubFormula":
+        """Sub-formula after assigning a single variable."""
+        return self.assign({variable: value})
+
+    def stats(self) -> dict[str, float]:
+        """Simple size statistics (variables, clauses, literal counts)."""
+        lengths = [len(cl) for cl in self._clauses]
+        return {
+            "variables": self.num_variables(),
+            "clauses": len(lengths),
+            "literals": sum(lengths),
+            "max_clause_len": max(lengths, default=0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CnfFormula({self.name!r}, vars={self.num_variables()}, "
+            f"clauses={self.num_clauses()})"
+        )
+
+
+#: A reduced clause set (result of applying a partial assignment).
+SubFormula = frozenset  # frozenset[Clause]
+
+
+def _clause_state(cl: Clause, assignment: Mapping[str, int]) -> Optional[bool]:
+    """True = satisfied, False = falsified, None = undetermined."""
+    open_literal = False
+    for lit in cl:
+        value = lit.value_under(assignment)
+        if value == 1:
+            return True
+        if value is None:
+            open_literal = True
+    return None if open_literal else False
+
+
+def reduce_clauses(
+    clauses: Iterable[Clause], assignment: Mapping[str, int]
+) -> SubFormula:
+    """Apply a partial assignment to a clause set.
+
+    Satisfied clauses are dropped; false literals are removed.  An empty
+    clause in the result marks the sub-formula as inconsistent (the
+    paper's "null clause" test).
+    """
+    reduced: set[Clause] = set()
+    for cl in clauses:
+        satisfied = False
+        remaining: list[Literal] = []
+        for lit in cl:
+            value = lit.value_under(assignment)
+            if value == 1:
+                satisfied = True
+                break
+            if value is None:
+                remaining.append(lit)
+        if not satisfied:
+            reduced.add(frozenset(remaining))
+    return frozenset(reduced)
+
+
+def has_null_clause(sub_formula: SubFormula) -> bool:
+    """True if the reduced clause set contains an empty clause."""
+    return frozenset() in sub_formula
+
+
+def sub_formula_variables(sub_formula: SubFormula) -> set[str]:
+    """Variables still mentioned in a reduced clause set."""
+    return {lit.variable for cl in sub_formula for lit in cl}
+
+
+def formula_from_ints(
+    int_clauses: Iterable[Iterable[int]], prefix: str = "x"
+) -> CnfFormula:
+    """Build a formula from DIMACS-style signed integers.
+
+    ``3`` becomes the positive literal on variable ``x3``; ``-3`` the
+    negative one.  Useful for tests and for DIMACS import.
+    """
+    clauses = []
+    for int_clause in int_clauses:
+        lits = []
+        for value in int_clause:
+            if value == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            lits.append(Literal(f"{prefix}{abs(value)}", value > 0))
+        clauses.append(frozenset(lits))
+    return CnfFormula(clauses)

@@ -1,0 +1,83 @@
+"""Compilation of named-variable CNF into integer-indexed form.
+
+The exploratory solvers (:mod:`repro.sat.backtracking`,
+:mod:`repro.sat.caching`) work directly on frozenset clauses because they
+need hashable sub-formulas.  The performance solvers (DPLL, CDCL) instead
+compile the formula once into dense integer literals:
+
+* variable ``i`` (0-based) has positive literal ``2*i`` and negative
+  literal ``2*i + 1`` (LSB = polarity, MiniSat convention);
+* a clause is a list of literal ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sat.cnf import CnfFormula
+
+
+def lit_of(var_index: int, positive: bool) -> int:
+    """Encode a literal."""
+    return 2 * var_index + (0 if positive else 1)
+
+
+def var_of(lit: int) -> int:
+    """Variable index of a literal."""
+    return lit >> 1
+
+def is_positive(lit: int) -> bool:
+    """True for positive literals."""
+    return (lit & 1) == 0
+
+
+def negate(lit: int) -> int:
+    """Complement literal."""
+    return lit ^ 1
+
+
+@dataclass
+class CompiledCnf:
+    """Integer form of a CNF formula plus the name mapping."""
+
+    num_vars: int
+    clauses: list[list[int]]
+    index_of: dict[str, int]
+    name_of: list[str]
+
+    def decode_assignment(self, values: list[int]) -> dict[str, int]:
+        """Map internal 0/1 values back to variable names."""
+        return {
+            self.name_of[i]: values[i]
+            for i in range(self.num_vars)
+            if values[i] in (0, 1)
+        }
+
+
+def compile_formula(formula: CnfFormula) -> CompiledCnf:
+    """Compile ``formula`` into integer-literal clause lists.
+
+    Tautological clauses (containing x and ~x) are dropped; duplicate
+    literals within a clause are merged.  Variable indices follow sorted
+    name order for determinism.
+    """
+    names = list(formula.variables)
+    index_of = {name: i for i, name in enumerate(names)}
+    clauses: list[list[int]] = []
+    for clause in formula.clauses:
+        seen: set[int] = set()
+        tautology = False
+        for literal in clause:
+            lit = lit_of(index_of[literal.variable], literal.positive)
+            if negate(lit) in seen:
+                tautology = True
+                break
+            seen.add(lit)
+        if not tautology:
+            clauses.append(sorted(seen))
+    return CompiledCnf(
+        num_vars=len(names),
+        clauses=clauses,
+        index_of=index_of,
+        name_of=names,
+    )

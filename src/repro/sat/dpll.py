@@ -1,0 +1,240 @@
+"""Iterative DPLL with unit propagation — the TEGUS stand-in.
+
+TEGUS (Stephan et al. 1996) solves ATPG-SAT instances with backtracking
+plus implications; for the Figure 1 reproduction we need a solver in the
+same family that is fast enough in Python to process thousands of
+instances.  This DPLL uses:
+
+* two-watched-literal unit propagation,
+* a static variable order by default (callers pass a topological or MLA
+  order), with an optional dynamic max-occurrence heuristic,
+* chronological backtracking (no learning — see :mod:`repro.sat.cdcl`
+  for the learning variant).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.compile import CompiledCnf, compile_formula, negate, var_of
+from repro.sat.result import SatResult, SatStatus, SolverStats
+
+_UNASSIGNED = -1
+
+
+class DpllSolver:
+    """DPLL over a compiled CNF.
+
+    Args:
+        order: optional static decision order (variable names).  Variables
+            not mentioned are appended in sorted order.
+        dynamic: if True, ignore the static order and pick the unassigned
+            variable with the most open occurrences at each decision
+            (a MOM-flavoured heuristic).
+        max_decisions: budget; exceeded search returns ``UNKNOWN``.
+    """
+
+    def __init__(
+        self,
+        order: Optional[Sequence[str]] = None,
+        dynamic: bool = False,
+        max_decisions: Optional[int] = None,
+    ) -> None:
+        self._order = list(order) if order is not None else None
+        self.dynamic = dynamic
+        self.max_decisions = max_decisions
+
+    # ------------------------------------------------------------------
+    def solve(self, formula: CnfFormula) -> SatResult:
+        """Decide satisfiability of ``formula``."""
+        start = time.perf_counter()
+        stats = SolverStats()
+        compiled = compile_formula(formula)
+        status, values = self._solve_compiled(compiled, stats)
+        stats.time_seconds = time.perf_counter() - start
+        if status is SatStatus.SAT:
+            model = compiled.decode_assignment(values)
+            for name in compiled.name_of:
+                model.setdefault(name, 0)
+            return SatResult(SatStatus.SAT, assignment=model, stats=stats)
+        return SatResult(status, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _decision_order(self, compiled: CompiledCnf) -> list[int]:
+        if self._order is None:
+            return list(range(compiled.num_vars))
+        order = [
+            compiled.index_of[name]
+            for name in self._order
+            if name in compiled.index_of
+        ]
+        missing = sorted(set(range(compiled.num_vars)) - set(order))
+        return order + missing
+
+    def _solve_compiled(
+        self, compiled: CompiledCnf, stats: SolverStats
+    ) -> tuple[SatStatus, list[int]]:
+        num_vars = compiled.num_vars
+        clauses = [list(c) for c in compiled.clauses]
+        values = [_UNASSIGNED] * num_vars
+
+        # Empty clause => UNSAT outright.
+        if any(not c for c in clauses):
+            return SatStatus.UNSAT, values
+        if not clauses or num_vars == 0:
+            return SatStatus.SAT, values
+
+        # Watch lists: watches[lit] = clause indices watching lit.
+        watches: list[list[int]] = [[] for _ in range(2 * num_vars)]
+        units: list[int] = []
+        for ci, clause in enumerate(clauses):
+            if len(clause) == 1:
+                units.append(clause[0])
+            else:
+                watches[clause[0]].append(ci)
+                watches[clause[1]].append(ci)
+
+        occurrences = [0] * (2 * num_vars)
+        for clause in clauses:
+            for lit in clause:
+                occurrences[lit] += 1
+
+        trail: list[int] = []  # assigned literals in order
+        trail_lim: list[int] = []  # trail length at each decision level
+        # Per decision level, the literal decided and whether we tried both.
+        decision_stack: list[tuple[int, bool]] = []
+
+        def assign(lit: int) -> bool:
+            """Enqueue literal; returns False on immediate conflict."""
+            var = var_of(lit)
+            value = 1 if (lit & 1) == 0 else 0
+            if values[var] != _UNASSIGNED:
+                return values[var] == value
+            values[var] = value
+            trail.append(lit)
+            return True
+
+        def propagate(queue_start: int) -> bool:
+            """Watched-literal BCP from trail position ``queue_start``."""
+            qhead = queue_start
+            while qhead < len(trail):
+                lit = trail[qhead]
+                qhead += 1
+                false_lit = negate(lit)
+                watching = watches[false_lit]
+                i = 0
+                while i < len(watching):
+                    ci = watching[i]
+                    clause = clauses[ci]
+                    # Ensure false_lit is at position 1.
+                    if clause[0] == false_lit:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    first = clause[0]
+                    fv = values[var_of(first)]
+                    if fv != _UNASSIGNED and fv == (1 if (first & 1) == 0 else 0):
+                        i += 1
+                        continue  # clause already satisfied via watch 0
+                    # Look for a new watch.
+                    found = False
+                    for k in range(2, len(clause)):
+                        other = clause[k]
+                        ov = values[var_of(other)]
+                        if ov == _UNASSIGNED or ov == (
+                            1 if (other & 1) == 0 else 0
+                        ):
+                            clause[1], clause[k] = clause[k], clause[1]
+                            watches[other].append(ci)
+                            watching[i] = watching[-1]
+                            watching.pop()
+                            found = True
+                            break
+                    if found:
+                        continue
+                    # No new watch: clause is unit or conflicting on first.
+                    if fv == _UNASSIGNED:
+                        stats.propagations += 1
+                        if not assign(first):  # pragma: no cover - guarded
+                            return False
+                        i += 1
+                    else:
+                        stats.conflicts += 1
+                        return False
+                continue
+            return True
+
+        def backtrack_to(level: int) -> None:
+            target = trail_lim[level]
+            while len(trail) > target:
+                lit = trail.pop()
+                values[var_of(lit)] = _UNASSIGNED
+            del trail_lim[level:]
+
+        # Initial unit clauses.
+        for lit in units:
+            if not assign(lit):
+                return SatStatus.UNSAT, values
+        if not propagate(0):
+            return SatStatus.UNSAT, values
+
+        static_order = self._decision_order(compiled)
+
+        def pick_variable() -> int:
+            if self.dynamic:
+                best, best_score = -1, -1
+                for var in range(num_vars):
+                    if values[var] == _UNASSIGNED:
+                        score = occurrences[2 * var] + occurrences[2 * var + 1]
+                        if score > best_score:
+                            best, best_score = var, score
+                return best
+            for var in static_order:
+                if values[var] == _UNASSIGNED:
+                    return var
+            return -1
+
+        while True:
+            var = pick_variable()
+            if var == -1:
+                return SatStatus.SAT, values
+            stats.decisions += 1
+            stats.nodes += 1
+            if (
+                self.max_decisions is not None
+                and stats.decisions > self.max_decisions
+            ):
+                return SatStatus.UNKNOWN, values
+
+            trail_lim.append(len(trail))
+            decision_stack.append((2 * var, False))  # try positive first
+            qstart = len(trail)
+            assign(2 * var)
+
+            while not propagate(qstart):
+                # Conflict: flip the most recent untried decision.
+                while decision_stack and decision_stack[-1][1]:
+                    backtrack_to(len(decision_stack) - 1)
+                    decision_stack.pop()
+                if not decision_stack:
+                    return SatStatus.UNSAT, values
+                lit, _ = decision_stack[-1]
+                backtrack_to(len(decision_stack) - 1)
+                decision_stack.pop()
+                trail_lim.append(len(trail))
+                decision_stack.append((negate(lit), True))
+                stats.nodes += 1
+                qstart = len(trail)
+                assign(negate(lit))
+
+
+def solve_dpll(
+    formula: CnfFormula,
+    order: Optional[Sequence[str]] = None,
+    dynamic: bool = False,
+    max_decisions: Optional[int] = None,
+) -> SatResult:
+    """Convenience wrapper around :class:`DpllSolver`."""
+    solver = DpllSolver(order=order, dynamic=dynamic, max_decisions=max_decisions)
+    return solver.solve(formula)

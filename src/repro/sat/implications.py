@@ -1,0 +1,136 @@
+"""Static global implications (the TEGUS preprocessing step).
+
+TEGUS [24] precomputes a set of *global implications* before search to
+cut down conflicts — the concrete mechanism the paper abstracts as the
+sub-formula cache of Algorithm 1.  This module reproduces the technique:
+
+* :func:`binary_implication_closure` — take the formula's binary clauses
+  as an implication graph and close it transitively; every derived
+  implication becomes a new binary clause.
+* :func:`static_learning` — circuit-level indirect implications: for
+  each net and value, assign it, run three-valued constant propagation
+  through the netlist, and record every forced net value; non-trivial
+  contrapositives (indirect implications à la SOCRATES) are emitted as
+  learned binary clauses.
+
+Both return clause sets that are logically implied by the input, so
+adding them preserves satisfiability while strengthening propagation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+from repro.sat.cnf import Clause, CnfFormula, Literal
+
+
+def binary_implication_closure(
+    formula: CnfFormula, max_new: int = 10_000
+) -> list[Clause]:
+    """Transitive closure of the binary-clause implication graph.
+
+    A clause (a ∨ b) encodes ¬a→b and ¬b→a.  BFS from every literal
+    yields all implied literals; each non-adjacent pair produces a new
+    binary clause.  ``max_new`` caps the output (closures can be
+    quadratic).
+    """
+    # Literal = (variable, polarity); successors via binary clauses.
+    successors: dict[Literal, set[Literal]] = {}
+    binary_pairs: set[frozenset[Literal]] = set()
+    for clause in formula.clauses:
+        if len(clause) != 2:
+            continue
+        a, b = tuple(clause)
+        binary_pairs.add(frozenset((a, b)))
+        successors.setdefault(~a, set()).add(b)
+        successors.setdefault(~b, set()).add(a)
+
+    new_clauses: list[Clause] = []
+    for start in list(successors):
+        # BFS: everything implied by `start`.
+        reached: set[Literal] = set()
+        queue = deque(successors.get(start, ()))
+        while queue:
+            literal = queue.popleft()
+            if literal in reached or literal == start:
+                continue
+            reached.add(literal)
+            queue.extend(successors.get(literal, ()))
+        for literal in reached:
+            if literal == ~start:
+                continue  # start is forced false; unit handled by solver
+            pair = frozenset((~start, literal))
+            if len(pair) == 2 and pair not in binary_pairs:
+                binary_pairs.add(pair)
+                new_clauses.append(pair)
+                if len(new_clauses) >= max_new:
+                    return new_clauses
+    return new_clauses
+
+
+def _propagate_constant(
+    network: Network, net: str, value: int
+) -> dict[str, int]:
+    """Three-valued forward constant propagation from one assignment."""
+    from repro.atpg.podem import _eval3  # shared 3-valued evaluator
+
+    forced: dict[str, Optional[int]] = {}
+    order = network.topological_order()
+    forced[net] = value
+    for current in order:
+        if current in forced and current != net:
+            continue
+        gate = network.gate(current)
+        if current == net:
+            continue
+        if gate.gate_type is GateType.INPUT:
+            forced[current] = None
+            continue
+        values = [forced.get(src) for src in gate.inputs]
+        forced[current] = _eval3(gate.gate_type, values)
+    return {
+        name: bit for name, bit in forced.items() if bit is not None
+    }
+
+
+def static_learning(
+    network: Network, max_clauses: int = 5_000
+) -> list[Clause]:
+    """Indirect implications learned by constant propagation.
+
+    For every net x and value v, propagate x=v forward; each forced
+    consequence y=w yields the implication (x=v → y=w), i.e. the binary
+    clause (¬[x=v] ∨ [y=w]).  Direct gate-local consequences are already
+    present in the Figure-2 clauses, so only implications spanning more
+    than one level are emitted.
+    """
+    levels = network.levels()
+    learned: list[Clause] = []
+    for net in network.nets:
+        if network.gate(net).gate_type.is_source:
+            base_level = 0
+        else:
+            base_level = levels[net]
+        for value in (0, 1):
+            consequences = _propagate_constant(network, net, value)
+            for other, forced_value in consequences.items():
+                if other == net:
+                    continue
+                if levels[other] - base_level <= 1:
+                    continue  # gate-local: Tseitin clauses already say it
+                antecedent = Literal(net, positive=(value == 0))
+                consequent = Literal(other, positive=(forced_value == 1))
+                learned.append(frozenset((antecedent, consequent)))
+                if len(learned) >= max_clauses:
+                    return learned
+    return learned
+
+
+def with_static_implications(
+    network: Network, formula: CnfFormula, max_clauses: int = 5_000
+) -> CnfFormula:
+    """``formula`` strengthened with circuit-derived implications."""
+    return formula.with_clauses(static_learning(network, max_clauses))

@@ -1,0 +1,125 @@
+"""Circuit → CNF encoding (the paper's Figure 2 gate formulas).
+
+The CIRCUIT-SAT formula ``f(C)`` has one variable per signal net and a set
+of clauses per gate characterising the gate's consistency function, plus a
+clause asserting that at least one primary output is 1 (Section 2).
+
+For an AND gate ``z = AND(a, b)`` the clauses are::
+
+    (a + ~z) (b + ~z) (~a + ~b + z)
+
+and dually for OR.  NAND/NOR/XOR/XNOR are also encoded directly (useful
+for tests), although the paper's flow decomposes to AND/OR/NOT first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Gate, Network
+from repro.sat.cnf import Clause, CnfFormula, Literal, neg, pos
+
+
+def gate_clauses(gate: Gate) -> list[Clause]:
+    """Consistency clauses for a single gate (Figure 2 of the paper).
+
+    Raises:
+        ValueError: for INPUT pseudo-gates (they contribute no clauses) is
+            not an error — returns [].  Unknown types raise.
+    """
+    out = gate.output
+    gtype = gate.gate_type
+    ins = gate.inputs
+
+    if gtype is GateType.INPUT:
+        return []
+    if gtype is GateType.CONST0:
+        return [frozenset({neg(out)})]
+    if gtype is GateType.CONST1:
+        return [frozenset({pos(out)})]
+    if gtype is GateType.BUF:
+        (a,) = ins
+        return [frozenset({neg(a), pos(out)}), frozenset({pos(a), neg(out)})]
+    if gtype is GateType.NOT:
+        (a,) = ins
+        return [frozenset({pos(a), pos(out)}), frozenset({neg(a), neg(out)})]
+    if gtype in (GateType.AND, GateType.NAND):
+        out_lit = pos(out) if gtype is GateType.AND else neg(out)
+        clauses = [frozenset({pos(a), ~out_lit}) for a in ins]
+        clauses.append(frozenset({neg(a) for a in ins} | {out_lit}))
+        return clauses
+    if gtype in (GateType.OR, GateType.NOR):
+        out_lit = pos(out) if gtype is GateType.OR else neg(out)
+        clauses = [frozenset({neg(a), out_lit}) for a in ins]
+        clauses.append(frozenset({pos(a) for a in ins} | {~out_lit}))
+        return clauses
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return _xor_clauses(out, ins, invert=(gtype is GateType.XNOR))
+    raise ValueError(f"cannot encode gate type {gtype!r}")
+
+
+def _xor_clauses(out: str, ins: Sequence[str], invert: bool) -> list[Clause]:
+    """Direct CNF for XOR/XNOR by enumerating input polarity combinations.
+
+    Exponential in fanin — acceptable because XOR gates in our circuits
+    are 2-input (wider ones are decomposed first).
+    """
+    if len(ins) > 4:
+        raise ValueError("direct XOR encoding limited to fanin 4; decompose first")
+    clauses: list[Clause] = []
+    n = len(ins)
+    for combo in range(1 << n):
+        parity = bin(combo).count("1") & 1
+        out_value = parity ^ (1 if invert else 0)
+        # Clause: if inputs match combo then out == out_value, written as
+        # (mismatch-literals OR out-literal).
+        lits = set()
+        for index, net in enumerate(ins):
+            bit = (combo >> index) & 1
+            lits.add(Literal(net, positive=(bit == 0)))
+        lits.add(Literal(out, positive=(out_value == 1)))
+        clauses.append(frozenset(lits))
+    return clauses
+
+
+def circuit_clauses(network: Network) -> list[Clause]:
+    """Gate-consistency clauses for the whole network (no output assertion)."""
+    clauses: list[Clause] = []
+    for gate in network.gates():
+        clauses.extend(gate_clauses(gate))
+    return clauses
+
+
+def output_assertion_clause(network: Network) -> Clause:
+    """The clause asserting at least one primary output is 1."""
+    if not network.outputs:
+        raise ValueError("network has no outputs to assert")
+    return frozenset({pos(out) for out in network.outputs})
+
+
+def circuit_sat_formula(network: Network, name: str | None = None) -> CnfFormula:
+    """The CIRCUIT-SAT formula ``f(C)`` of Section 2.
+
+    Gate consistency clauses plus the assertion that at least one primary
+    output is 1.  Satisfying assignments restricted to the primary inputs
+    are exactly the satisfying input vectors of the circuit.
+    """
+    clauses = circuit_clauses(network)
+    clauses.append(output_assertion_clause(network))
+    return CnfFormula(clauses, name=name or f"f({network.name})")
+
+
+def justification_formula(
+    network: Network, objectives: dict[str, int], name: str | None = None
+) -> CnfFormula:
+    """Gate clauses plus unit clauses pinning ``objectives`` nets to values.
+
+    Used for line-justification queries and by tests.
+    """
+    clauses = circuit_clauses(network)
+    for net, value in objectives.items():
+        if not network.has_net(net):
+            raise ValueError(f"objective on unknown net {net!r}")
+        clauses.append(frozenset({Literal(net, positive=bool(value))}))
+    return CnfFormula(clauses, name=name or f"just({network.name})")

@@ -1,0 +1,69 @@
+"""Tests for the ASCII plot renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import histogram, scatter
+
+
+class TestScatter:
+    def test_basic_render(self):
+        text = scatter([1, 2, 3], [1, 4, 9], title="squares")
+        assert "squares" in text
+        assert text.count("o") >= 3 - 1  # points may share a cell
+        assert "x vs y" in text
+
+    def test_log_axis(self):
+        xs = [2**k for k in range(1, 9)]
+        ys = [float(k) for k in range(1, 9)]
+        text = scatter(xs, ys, log_x=True)
+        assert "(log x)" in text
+
+    def test_overlay_fit(self):
+        xs = list(range(1, 40))
+        ys = [2.0 * x for x in xs]
+        text = scatter(xs, ys, overlay=lambda v: 2.0 * v)
+        assert "*" in text
+        assert "o=data *=fit" in text
+
+    def test_constant_data_does_not_crash(self):
+        text = scatter([1, 1, 1], [5, 5, 5])
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1])
+
+    def test_log_axis_requires_positive(self):
+        with pytest.raises(ValueError):
+            scatter([0, 1], [1, 2], log_x=True)
+
+    def test_fig8_style_render(self):
+        """Log-fit overlay on log-ish data puts data near the curve."""
+        xs = [10 * 2**k for k in range(8)]
+        ys = [3 * math.log(x) for x in xs]
+        text = scatter(
+            xs, ys, log_x=True, overlay=lambda v: 3 * math.log(v)
+        )
+        # With a perfect fit every data point sits on the curve, so 'o'
+        # overwrites '*' along it.
+        assert "o" in text
+
+
+class TestHistogram:
+    def test_basic(self):
+        text = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        assert text.count("|") == 3
+        assert "#" in text
+
+    def test_title(self):
+        assert histogram([1.0], title="T").startswith("T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])

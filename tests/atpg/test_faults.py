@@ -1,0 +1,119 @@
+"""Tests for the fault model and equivalence collapsing."""
+
+import pytest
+
+from repro.atpg.faults import (
+    Fault,
+    collapse_faults,
+    detectable_outputs,
+    equivalence_classes,
+    faults_on,
+    full_fault_list,
+    inject_fault,
+)
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.gates import GateType
+from repro.circuits.simulate import simulate_pattern
+
+
+def inverter_chain():
+    builder = NetworkBuilder("chain")
+    a = builder.network.add_input("a")
+    x = builder.not_(a, name="x")
+    y = builder.not_(x, name="y")
+    builder.outputs(y)
+    return builder.build()
+
+
+class TestFault:
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            Fault("n", 2)
+
+    def test_str(self):
+        assert str(Fault("n", 0)) == "n/sa0"
+
+    def test_faults_on(self):
+        assert len(faults_on(["a", "b"])) == 4
+
+
+class TestFullList:
+    def test_two_per_net(self, example_network):
+        faults = full_fault_list(example_network)
+        assert len(faults) == 2 * len(example_network.nets)
+
+    def test_deterministic(self, example_network):
+        assert full_fault_list(example_network) == full_fault_list(
+            example_network
+        )
+
+
+class TestCollapsing:
+    def test_inverter_chain_collapses(self):
+        net = inverter_chain()
+        classes = equivalence_classes(net)
+        # a/sa0 ≡ x/sa1 ≡ y/sa0 and a/sa1 ≡ x/sa0 ≡ y/sa1 → 2 classes.
+        assert len(classes) == 2
+        assert len(collapse_faults(net)) == 2
+
+    def test_and_gate_collapse(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.and_(a, b, name="z"))
+        net = builder.build()
+        classes = equivalence_classes(net)
+        # z/sa0 ≡ a/sa0 ≡ b/sa0 → collapses 6 faults into 4 classes.
+        assert len(classes) == 4
+
+    def test_fanout_blocks_collapse(self):
+        # A net feeding two gates cannot collapse into either reader.
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        x = builder.and_(a, b, name="x")
+        y = builder.or_(a, b, name="y")
+        builder.outputs(x, y)
+        net = builder.build()
+        classes = equivalence_classes(net)
+        # in0 fans out to both gates, so its faults stay in singleton
+        # classes (no merge through either gate).
+        for fault in (Fault("in0", 0), Fault("in0", 1)):
+            owner = [rep for rep, members in classes.items() if fault in members]
+            assert len(owner) == 1
+            assert classes[owner[0]] == [fault]
+        # Classes always form a partition of the full list.
+        all_faults = [f for members in classes.values() for f in members]
+        assert sorted(all_faults) == sorted(full_fault_list(net))
+
+
+class TestInjection:
+    def test_stuck_at_semantics(self):
+        net = inverter_chain()
+        faulty = inject_fault(net, Fault("x", 1))
+        # x stuck at 1 → y = 0 regardless of a.
+        assert simulate_pattern(faulty, {"a": 0})["y"] == 0
+        assert simulate_pattern(faulty, {"a": 1})["y"] == 0
+
+    def test_original_untouched(self):
+        net = inverter_chain()
+        inject_fault(net, Fault("x", 0))
+        assert net.gate("x").gate_type is GateType.NOT
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(ValueError):
+            inject_fault(inverter_chain(), Fault("ghost", 0))
+
+    def test_pi_fault(self):
+        net = inverter_chain()
+        faulty = inject_fault(net, Fault("a", 1))
+        assert simulate_pattern(faulty, {"a": 0})["y"] == 1
+
+
+class TestDetectableOutputs:
+    def test_all_outputs_reachable(self, two_output_network):
+        assert detectable_outputs(two_output_network, Fault("x", 0)) == [
+            "x",
+            "z",
+        ]
+
+    def test_partial_reachability(self, two_output_network):
+        assert detectable_outputs(two_output_network, Fault("y", 1)) == ["z"]

@@ -1,0 +1,101 @@
+"""Tests for the C_ψ^ATPG miter construction (Figure 3)."""
+
+import pytest
+
+from repro.atpg.faults import Fault
+from repro.atpg.miter import (
+    FAULTY_PREFIX,
+    UnobservableFault,
+    atpg_sat_formula,
+    build_atpg_circuit,
+    fault_cone_nets,
+    sub_circuit,
+)
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.simulate import simulate_pattern
+from repro.sat.dpll import solve_dpll
+
+
+class TestSubCircuit:
+    def test_sub_circuit_contains_tfi_of_tfo(self, example_network):
+        sub = sub_circuit(example_network, Fault("f", 1))
+        # TFO(f) = {f, h, i}; TFI of that = everything.
+        assert set(sub.nets) == set(example_network.nets)
+        assert sub.outputs == ("i",)
+
+    def test_sub_circuit_prunes_unrelated_logic(self, two_output_network):
+        sub = sub_circuit(two_output_network, Fault("y", 0))
+        # y only reaches z; x's AND stays (it feeds z) but x is not an
+        # output of the sub-circuit.
+        assert sub.outputs == ("z",)
+
+    def test_unobservable_fault_raises(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b, name="dangling")
+        builder.outputs(builder.or_(a, b, name="z"))
+        with pytest.raises(UnobservableFault):
+            sub_circuit(builder.build(), Fault("dangling", 0))
+
+
+class TestMiterStructure:
+    def test_fault_cone(self, example_network):
+        assert fault_cone_nets(example_network, Fault("f", 1)) == {
+            "f",
+            "h",
+            "i",
+        }
+
+    def test_faulty_copies_created(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        for net in ("f", "h", "i"):
+            assert atpg.network.has_net(FAULTY_PREFIX + net)
+        # Nets outside the cone are shared, not duplicated.
+        assert not atpg.network.has_net(FAULTY_PREFIX + "a")
+
+    def test_fault_site_is_constant(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        gate = atpg.network.gate(FAULTY_PREFIX + "f")
+        assert gate.gate_type.value == "const1"
+
+    def test_outputs_are_xors(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        assert atpg.network.outputs == ("xor$i",)
+        assert atpg.observing_outputs == ("i",)
+
+    def test_unknown_fault_net(self, example_network):
+        with pytest.raises(ValueError):
+            build_atpg_circuit(example_network, Fault("ghost", 0))
+
+
+class TestMiterSemantics:
+    def test_miter_fires_exactly_on_detecting_patterns(self, example_network):
+        """CIRCUIT-SAT(C_ψ^ATPG) outputs 1 exactly on test vectors."""
+        from repro.atpg.faults import inject_fault
+
+        fault = Fault("f", 1)
+        atpg = build_atpg_circuit(example_network, fault)
+        faulty = inject_fault(example_network, fault)
+        inputs = list(example_network.inputs)
+        for bits in range(1 << len(inputs)):
+            pattern = {
+                net: (bits >> i) & 1 for i, net in enumerate(inputs)
+            }
+            good = simulate_pattern(example_network, pattern)
+            bad = simulate_pattern(faulty, pattern)
+            detects = any(
+                good[o] != bad[o] for o in example_network.outputs
+            )
+            miter_values = simulate_pattern(atpg.network, pattern)
+            fired = any(miter_values[o] for o in atpg.network.outputs)
+            assert fired == detects, pattern
+
+    def test_formula_solves_to_test(self, example_network):
+        formula = atpg_sat_formula(example_network, Fault("f", 1))
+        result = solve_dpll(formula)
+        assert result.is_sat
+
+    def test_multi_output_fault(self, two_output_network):
+        atpg = build_atpg_circuit(two_output_network, Fault("x", 0))
+        assert set(atpg.observing_outputs) == {"x", "z"}
+        assert len(atpg.network.outputs) == 2

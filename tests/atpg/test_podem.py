@@ -1,0 +1,65 @@
+"""Tests for the PODEM structural baseline, cross-checked against SAT."""
+
+import pytest
+
+from repro.atpg.engine import AtpgEngine, FaultStatus
+from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.faults import Fault, collapse_faults
+from repro.atpg.podem import PodemEngine, PodemStatus
+from repro.circuits.decompose import tech_decompose
+from repro.gen.benchmarks import c17
+from tests.conftest import make_random_network
+
+
+class TestPodemBasics:
+    def test_testable_fault(self, redundant_network):
+        engine = PodemEngine(redundant_network)
+        result = engine.generate_test(Fault("t", 1))
+        assert result.status is PodemStatus.TESTED
+        outcome = fault_simulate(
+            redundant_network, [Fault("t", 1)], [result.test]
+        )
+        assert Fault("t", 1) in outcome.detected
+
+    def test_redundant_fault(self, redundant_network):
+        engine = PodemEngine(redundant_network)
+        result = engine.generate_test(Fault("t", 0))
+        assert result.status is PodemStatus.UNTESTABLE
+
+    def test_c17(self):
+        net = tech_decompose(c17())
+        engine = PodemEngine(net)
+        results = engine.run(collapse_faults(net))
+        tested = [
+            f for f, r in results.items() if r.status is PodemStatus.TESTED
+        ]
+        assert len(tested) == len(results)  # c17 fully testable
+        for fault, result in results.items():
+            outcome = fault_simulate(net, [fault], [result.test])
+            assert fault in outcome.detected
+
+
+class TestPodemVsSat:
+    @pytest.mark.parametrize("seed", [1, 4, 9, 12, 20])
+    def test_verdicts_agree_with_sat(self, seed):
+        """PODEM and the SAT engine must classify every fault alike."""
+        net = tech_decompose(
+            make_random_network(seed, num_inputs=4, num_gates=9)
+        )
+        sat_engine = AtpgEngine(net)
+        podem = PodemEngine(net, max_backtracks=200_000)
+        for fault in collapse_faults(net):
+            sat_record = sat_engine.generate_test(fault)
+            if sat_record.status is FaultStatus.UNOBSERVABLE:
+                continue
+            podem_result = podem.generate_test(fault)
+            assert podem_result.status is not PodemStatus.ABORTED
+            expected = (
+                PodemStatus.TESTED
+                if sat_record.status is FaultStatus.TESTED
+                else PodemStatus.UNTESTABLE
+            )
+            assert podem_result.status is expected, (fault, sat_record.status)
+            if podem_result.test is not None:
+                outcome = fault_simulate(net, [fault], [podem_result.test])
+                assert fault in outcome.detected

@@ -1,0 +1,132 @@
+"""Tests for SCOAP testability measures."""
+
+import math
+
+import pytest
+
+from repro.atpg.scoap import INFINITY, compute_scoap, hardest_faults
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.decompose import tech_decompose
+from repro.gen.structured import ripple_carry_adder
+
+
+def and2():
+    builder = NetworkBuilder()
+    a, b = builder.inputs(2)
+    builder.outputs(builder.and_(a, b, name="z"))
+    return builder.build()
+
+
+class TestControllability:
+    def test_primary_inputs(self):
+        measures = compute_scoap(and2())
+        assert measures.cc0["in0"] == 1.0
+        assert measures.cc1["in0"] == 1.0
+
+    def test_and_gate(self):
+        measures = compute_scoap(and2())
+        # CC1(z) = CC1(a)+CC1(b)+1 = 3; CC0(z) = min(CC0)+1 = 2.
+        assert measures.cc1["z"] == 3.0
+        assert measures.cc0["z"] == 2.0
+
+    def test_or_gate(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.or_(a, b, name="z"))
+        measures = compute_scoap(builder.build())
+        assert measures.cc0["z"] == 3.0
+        assert measures.cc1["z"] == 2.0
+
+    def test_inverter_swaps(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        z = builder.and_(a, b, name="z")
+        builder.outputs(builder.not_(z, name="nz"))
+        measures = compute_scoap(builder.build())
+        assert measures.cc0["nz"] == measures.cc1["z"] + 0  # swap + impl
+        assert measures.cc1["nz"] == measures.cc0["z"]
+
+    def test_xor_gate(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.xor(a, b, name="z"))
+        measures = compute_scoap(builder.build())
+        # Both parities achievable with cost 1+1+1 = 3.
+        assert measures.cc0["z"] == 3.0
+        assert measures.cc1["z"] == 3.0
+
+    def test_constants(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        one = builder.const1(name="one")
+        builder.outputs(builder.buf(one, name="z"))
+        measures = compute_scoap(builder.build())
+        assert measures.cc1["one"] == 1.0
+        assert measures.cc0["one"] == INFINITY
+        assert measures.cc0["z"] == INFINITY
+
+    def test_depth_monotone(self):
+        """Controllability grows with logic depth on an AND chain."""
+        builder = NetworkBuilder()
+        nets = builder.inputs(5)
+        acc = nets[0]
+        costs = []
+        for other in nets[1:]:
+            acc = builder.and_(acc, other)
+        builder.outputs(acc)
+        measures = compute_scoap(builder.build())
+        # CC1 accumulates: (1+1)+1 = 3, 3+1+1 = 5, 5+1+1 = 7, 7+1+1 = 9.
+        assert measures.cc1[acc] == 9.0
+
+
+class TestObservability:
+    def test_output_is_free(self):
+        measures = compute_scoap(and2())
+        assert measures.co["z"] == 0.0
+
+    def test_and_input_observability(self):
+        measures = compute_scoap(and2())
+        # CO(a) = CO(z) + CC1(b) + 1 = 0 + 1 + 1 = 2.
+        assert measures.co["in0"] == 2.0
+
+    def test_unobservable_dangling(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b, name="dangle")
+        builder.outputs(builder.or_(a, b, name="z"))
+        measures = compute_scoap(builder.build())
+        assert measures.co["dangle"] == INFINITY
+
+    def test_observability_decreases_toward_outputs(self):
+        net = tech_decompose(ripple_carry_adder(4))
+        measures = compute_scoap(net)
+        # Every net on some output path has finite observability.
+        finite = [v for v in measures.co.values() if v != INFINITY]
+        assert len(finite) == len(net.nets)
+
+
+class TestDetectionCost:
+    def test_cost_formula(self):
+        measures = compute_scoap(and2())
+        # z/sa0 requires z=1 (CC1=3) and observing z (CO=0) → 3.
+        assert measures.detection_cost("z", 0) == 3.0
+        assert measures.detection_cost("z", 1) == 2.0
+
+    def test_hardest_faults_ranking(self):
+        net = tech_decompose(ripple_carry_adder(6))
+        ranked = hardest_faults(net, top=5)
+        assert len(ranked) == 5
+        costs = [cost for _, _, cost in ranked]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_scoap_correlates_with_observation_depth(self):
+        """A fault at the far end of the carry chain (a0 must propagate
+        through every stage) costs more than one at the output (c6,
+        directly observable)."""
+        net = tech_decompose(ripple_carry_adder(6))
+        measures = compute_scoap(net)
+        assert measures.detection_cost("a0", 0) > measures.detection_cost(
+            "c6", 0
+        )
+        # And observability grows with distance from the outputs.
+        assert measures.co["a0"] > measures.co["a5"]

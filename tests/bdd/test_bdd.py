@@ -1,0 +1,127 @@
+"""Tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.bdd import ONE, ZERO, BddManager
+
+
+class TestBasics:
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BddManager(["a", "a"])
+
+    def test_var_evaluation(self):
+        manager = BddManager(["a"])
+        node = manager.var("a")
+        assert manager.evaluate(node, {"a": 1}) == 1
+        assert manager.evaluate(node, {"a": 0}) == 0
+
+    def test_hash_consing(self):
+        manager = BddManager(["a", "b"])
+        x = manager.apply_and(manager.var("a"), manager.var("b"))
+        y = manager.apply_and(manager.var("a"), manager.var("b"))
+        assert x == y
+
+    def test_reduction_collapses_redundant_test(self):
+        manager = BddManager(["a", "b"])
+        a = manager.var("a")
+        # ITE(a, b, b) must be b — no node on a is created.
+        b = manager.var("b")
+        assert manager.ite(a, b, b) == b
+
+    def test_terminals(self):
+        manager = BddManager(["a"])
+        assert manager.apply_and(ONE, ZERO) == ZERO
+        assert manager.apply_or(ONE, ZERO) == ONE
+        assert manager.apply_not(ONE) == ZERO
+
+
+class TestSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_expression_vs_truth_table(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = ["a", "b", "c", "d"]
+        manager = BddManager(names)
+        nodes = [manager.var(n) for n in names]
+        exprs = [lambda env, n=n: env[n] for n in names]
+        for _ in range(6):
+            op = rng.choice(["and", "or", "xor", "not"])
+            if op == "not":
+                i = rng.randrange(len(nodes))
+                nodes.append(manager.apply_not(nodes[i]))
+                exprs.append(lambda env, f=exprs[i]: 1 - f(env))
+            else:
+                i, j = rng.randrange(len(nodes)), rng.randrange(len(nodes))
+                fn = getattr(manager, f"apply_{op}")
+                nodes.append(fn(nodes[i], nodes[j]))
+                if op == "and":
+                    exprs.append(
+                        lambda env, f=exprs[i], g=exprs[j]: f(env) & g(env)
+                    )
+                elif op == "or":
+                    exprs.append(
+                        lambda env, f=exprs[i], g=exprs[j]: f(env) | g(env)
+                    )
+                else:
+                    exprs.append(
+                        lambda env, f=exprs[i], g=exprs[j]: f(env) ^ g(env)
+                    )
+        root, fn = nodes[-1], exprs[-1]
+        for values in itertools.product((0, 1), repeat=4):
+            env = dict(zip(names, values))
+            assert manager.evaluate(root, env) == fn(env)
+
+    def test_sat_count_xor(self):
+        manager = BddManager(["a", "b", "c"])
+        node = manager.apply_xor(manager.var("a"), manager.var("b"))
+        # a^b over 3 variables: 2 satisfying (a,b) pairs × 2 c values.
+        assert manager.sat_count(node) == 4
+
+    def test_sat_count_terminals(self):
+        manager = BddManager(["a", "b"])
+        assert manager.sat_count(ONE) == 4
+        assert manager.sat_count(ZERO) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sat_count_matches_enumeration(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = ["a", "b", "c", "d"]
+        manager = BddManager(names)
+        node = manager.var(rng.choice(names))
+        for _ in range(5):
+            other = manager.var(rng.choice(names))
+            node = getattr(manager, f"apply_{rng.choice(['and','or','xor'])}")(
+                node, other
+            )
+        expected = sum(
+            manager.evaluate(node, dict(zip(names, values)))
+            for values in itertools.product((0, 1), repeat=4)
+        )
+        assert manager.sat_count(node) == expected
+
+    def test_any_sat(self):
+        manager = BddManager(["a", "b"])
+        node = manager.apply_and(manager.var("a"), manager.apply_not(manager.var("b")))
+        witness = manager.any_sat(node)
+        assert witness == {"a": 1, "b": 0}
+        assert manager.any_sat(ZERO) is None
+
+    def test_size_shared_structure(self):
+        manager = BddManager(["a", "b", "c"])
+        parity = manager.apply_xor(
+            manager.apply_xor(manager.var("a"), manager.var("b")),
+            manager.var("c"),
+        )
+        # Parity of 3 variables: canonical size 2n-1 = 5 internal nodes?
+        # For XOR chains the ROBDD has 2 nodes per middle level + 1 top:
+        assert manager.size(parity) == 5

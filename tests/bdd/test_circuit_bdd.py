@@ -1,0 +1,111 @@
+"""Tests for circuit→BDD construction and the width bounds."""
+
+import pytest
+
+from repro.bdd.circuit_bdd import (
+    BddSizeLimitExceeded,
+    build_output_bdds,
+    circuit_sat_by_bdd,
+    output_bdd_size,
+)
+from repro.bdd.width_bounds import (
+    berman_bound,
+    directed_widths,
+    mcmillan_bound,
+    topological_directed_widths,
+)
+from repro.circuits.decompose import tech_decompose
+from repro.circuits.simulate import exhaustive_patterns, simulate
+from repro.gen.structured import parity_tree, ripple_carry_adder
+from repro.sat.dpll import solve_dpll
+from repro.sat.tseitin import circuit_sat_formula
+from tests.conftest import make_random_network
+
+
+class TestBuildBdds:
+    def test_functions_match_simulation(self):
+        for seed in range(5):
+            net = make_random_network(seed, num_inputs=4, num_gates=8)
+            manager, roots = build_output_bdds(net)
+            words, count = exhaustive_patterns(list(net.inputs))
+            values = simulate(net, words, count)
+            for out, root in roots.items():
+                for bit in range(count):
+                    env = {n: (words[n] >> bit) & 1 for n in net.inputs}
+                    assert manager.evaluate(root, env) == (
+                        (values[out] >> bit) & 1
+                    )
+
+    def test_order_must_cover_inputs(self):
+        net = make_random_network(0)
+        with pytest.raises(ValueError):
+            build_output_bdds(net, order=["in0"])
+
+    def test_node_limit(self):
+        net = tech_decompose(ripple_carry_adder(8))
+        with pytest.raises(BddSizeLimitExceeded):
+            build_output_bdds(net, max_nodes=10)
+
+    def test_parity_tree_bdd_small(self):
+        """Parity functions have linear-size BDDs under any order."""
+        net = parity_tree(12)
+        size = output_bdd_size(net)
+        assert size <= 2 * 12 + 1
+
+
+class TestCircuitSatByBdd:
+    def test_agrees_with_dpll(self):
+        for seed in range(8):
+            net = make_random_network(seed, num_inputs=4, num_gates=8)
+            witness = circuit_sat_by_bdd(net)
+            formula = circuit_sat_formula(net)
+            sat = solve_dpll(formula).is_sat
+            assert (witness is not None) == sat
+            if witness is not None:
+                values = simulate(net, witness, 1)
+                assert any(values[o] & 1 for o in net.outputs)
+
+    def test_unsatisfiable_circuit(self):
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder()
+        (a,) = builder.inputs(1)
+        na = builder.not_(a)
+        builder.outputs(builder.and_(a, na))
+        assert circuit_sat_by_bdd(builder.build()) is None
+
+
+class TestDirectedWidths:
+    def test_topological_has_no_reverse(self, example_network):
+        widths = topological_directed_widths(example_network)
+        assert widths.reverse == 0
+        assert widths.forward >= 1
+
+    def test_reversed_order_swaps_directions(self, example_network):
+        order = example_network.topological_order()
+        forward = directed_widths(example_network, order)
+        backward = directed_widths(example_network, list(reversed(order)))
+        assert forward.forward == backward.reverse
+        assert forward.reverse == backward.forward
+
+    def test_invalid_order_rejected(self, example_network):
+        with pytest.raises(ValueError):
+            directed_widths(example_network, ["a", "b"])
+
+    def test_bound_formulas(self):
+        from repro.bdd.width_bounds import DirectedWidths
+
+        assert mcmillan_bound(4, DirectedWidths(3, 0)) == 4 * 2**3
+        assert mcmillan_bound(4, DirectedWidths(2, 2)) == 4 * 2**8
+        assert berman_bound(4, 3) == 4 * 2**3
+
+    def test_mcmillan_bound_holds_empirically(self):
+        """Actual BDD size ≤ n·2^(w_f·2^(w_r)) under topological order
+        projections (the bound applies to single-output circuits)."""
+        for seed in range(4):
+            net = make_random_network(seed, num_inputs=4, num_gates=7)
+            cone = net.output_cone(net.outputs[0])
+            widths = topological_directed_widths(cone)
+            bound = mcmillan_bound(len(cone.inputs), widths)
+            size = output_bdd_size(cone)
+            assert size <= bound

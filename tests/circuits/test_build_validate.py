@@ -1,0 +1,114 @@
+"""Tests for the builder helpers and structural validation."""
+
+import pytest
+
+from repro.circuits.build import NetworkBuilder, mux2, xor2
+from repro.circuits.gates import GateType
+from repro.circuits.network import NetworkError
+from repro.circuits.simulate import simulate_pattern
+from repro.circuits.validate import check_network, validate_network
+
+
+class TestBuilder:
+    def test_fresh_names_unique(self):
+        builder = NetworkBuilder()
+        a = builder.input()
+        b = builder.input()
+        assert a != b
+
+    def test_named_gates(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        z = builder.and_(a, b, name="z")
+        assert z == "z"
+        assert builder.network.gate("z").gate_type is GateType.AND
+
+    def test_mux2_semantics(self):
+        builder = NetworkBuilder()
+        s, a, b = builder.inputs(3, stem="p")
+        out = mux2(builder, s, a, b)
+        builder.outputs(out)
+        net = builder.build()
+        assert simulate_pattern(net, {"p0": 0, "p1": 1, "p2": 0})[out] == 1
+        assert simulate_pattern(net, {"p0": 1, "p1": 1, "p2": 0})[out] == 0
+        assert simulate_pattern(net, {"p0": 1, "p1": 0, "p2": 1})[out] == 1
+
+    def test_xor2_semantics(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        out = xor2(builder, a, b)
+        builder.outputs(out)
+        net = builder.build()
+        for va in (0, 1):
+            for vb in (0, 1):
+                assert (
+                    simulate_pattern(net, {"in0": va, "in1": vb})[out]
+                    == va ^ vb
+                )
+
+    def test_constants(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        zero = builder.const0()
+        one = builder.const1()
+        builder.outputs(zero, one)
+        net = builder.build()
+        values = simulate_pattern(net, {})
+        assert values[zero] == 0
+        assert values[one] == 1
+
+
+class TestValidation:
+    def test_valid_network_passes(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.and_(a, b))
+        report = validate_network(builder.build())
+        assert report.ok
+
+    def test_no_outputs_is_error(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b)
+        report = validate_network(builder.build())
+        assert not report.ok
+
+    def test_undriven_output_is_error(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        builder.network.set_outputs(["ghost"])
+        assert not validate_network(builder.build()).ok
+
+    def test_undriven_gate_input_is_error(self):
+        builder = NetworkBuilder()
+        builder.network.add_gate("z", GateType.NOT, ["ghost"])
+        builder.network.set_outputs(["z"])
+        assert not validate_network(builder.build()).ok
+
+    def test_require_simple_flags_nand(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.nand(a, b))
+        assert validate_network(builder.build()).ok
+        assert not validate_network(builder.build(), require_simple=True).ok
+
+    def test_fanin_bound_flagged(self):
+        builder = NetworkBuilder()
+        ins = builder.inputs(5)
+        builder.outputs(builder.gate(GateType.AND, ins))
+        assert not validate_network(builder.build(), max_fanin=3).ok
+
+    def test_dangling_logic_warns(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b)  # dangling
+        builder.outputs(builder.or_(a, b))
+        report = validate_network(builder.build())
+        assert report.ok
+        assert report.warnings
+
+    def test_check_network_raises(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        with pytest.raises(NetworkError):
+            check_network(builder.build())

@@ -1,0 +1,105 @@
+"""Tests for technology decomposition (the SIS tech_decomp stand-in)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.decompose import is_decomposed, tech_decompose
+from repro.circuits.gates import GateType
+from repro.circuits.simulate import networks_equivalent
+from tests.conftest import make_random_network
+
+
+class TestDecomposeBasics:
+    def test_nand_becomes_and_not(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.nand(a, b, name="z")
+        builder.outputs("z")
+        result = tech_decompose(builder.build())
+        assert result.gate("z").gate_type is GateType.NOT
+        assert is_decomposed(result)
+
+    def test_wide_and_split(self):
+        builder = NetworkBuilder()
+        ins = builder.inputs(9)
+        builder.gate(GateType.AND, ins, name="z")
+        builder.outputs("z")
+        result = tech_decompose(builder.build(), max_fanin=3)
+        assert result.max_fanin() <= 3
+        assert is_decomposed(result, 3)
+
+    def test_xor_expansion(self):
+        builder = NetworkBuilder()
+        a, b, c = builder.inputs(3)
+        builder.xor(a, b, c, name="z")
+        builder.outputs("z")
+        original = builder.build()
+        result = tech_decompose(original)
+        assert is_decomposed(result)
+        assert networks_equivalent(original, result)
+
+    def test_xnor_expansion(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.xnor(a, b, name="z")
+        builder.outputs("z")
+        original = builder.build()
+        result = tech_decompose(original)
+        assert is_decomposed(result)
+        assert networks_equivalent(original, result)
+
+    def test_preserves_net_names(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.nor(a, b, name="keepme")
+        builder.outputs("keepme")
+        result = tech_decompose(builder.build())
+        assert result.has_net("keepme")
+        assert result.outputs == ("keepme",)
+
+    def test_constants_pass_through(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        one = builder.const1(name="one")
+        builder.outputs(one)
+        result = tech_decompose(builder.build())
+        assert result.gate("one").gate_type is GateType.CONST1
+
+    def test_max_fanin_too_small_raises(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b, name="z")
+        builder.outputs("z")
+        with pytest.raises(ValueError):
+            tech_decompose(builder.build(), max_fanin=1)
+
+    def test_idempotent(self):
+        net = make_random_network(3)
+        once = tech_decompose(net)
+        twice = tech_decompose(once)
+        assert networks_equivalent(once, twice)
+
+    def test_output_is_insertion_topological(self):
+        net = make_random_network(5)
+        assert tech_decompose(net).insertion_is_topological()
+
+
+class TestDecomposeEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_networks_equivalent(self, seed):
+        """Decomposition never changes circuit function."""
+        original = make_random_network(seed, num_inputs=4, num_gates=10)
+        decomposed = tech_decompose(original)
+        assert is_decomposed(decomposed)
+        assert networks_equivalent(original, decomposed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), max_fanin=st.integers(2, 4))
+    def test_fanin_bound_respected(self, seed, max_fanin):
+        original = make_random_network(seed, num_inputs=5, num_gates=12)
+        decomposed = tech_decompose(original, max_fanin=max_fanin)
+        assert decomposed.max_fanin() <= max_fanin
+        assert networks_equivalent(original, decomposed)

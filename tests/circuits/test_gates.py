@@ -1,0 +1,119 @@
+"""Unit tests for gate semantics."""
+
+import pytest
+
+from repro.circuits.gates import (
+    GateType,
+    evaluate_gate,
+    gate_function_name,
+    gate_type_from_name,
+)
+
+
+class TestEvaluateGate:
+    def test_and_truth_table(self):
+        assert evaluate_gate(GateType.AND, [0b1100, 0b1010]) & 0b1111 == 0b1000
+
+    def test_or_truth_table(self):
+        assert evaluate_gate(GateType.OR, [0b1100, 0b1010]) & 0b1111 == 0b1110
+
+    def test_nand_truth_table(self):
+        assert evaluate_gate(GateType.NAND, [0b1100, 0b1010]) & 0b1111 == 0b0111
+
+    def test_nor_truth_table(self):
+        assert evaluate_gate(GateType.NOR, [0b1100, 0b1010]) & 0b1111 == 0b0001
+
+    def test_xor_truth_table(self):
+        assert evaluate_gate(GateType.XOR, [0b1100, 0b1010]) & 0b1111 == 0b0110
+
+    def test_xnor_truth_table(self):
+        assert evaluate_gate(GateType.XNOR, [0b1100, 0b1010]) & 0b1111 == 0b1001
+
+    def test_not(self):
+        assert evaluate_gate(GateType.NOT, [0b10]) & 0b11 == 0b01
+
+    def test_buf(self):
+        assert evaluate_gate(GateType.BUF, [0b10]) == 0b10
+
+    def test_const0(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+
+    def test_const1_is_all_ones(self):
+        assert evaluate_gate(GateType.CONST1, []) & 0xFF == 0xFF
+
+    def test_three_input_and(self):
+        assert evaluate_gate(GateType.AND, [0b1111, 0b1100, 0b1010]) & 0b1111 == 0b1000
+
+    def test_three_input_xor_parity(self):
+        assert (
+            evaluate_gate(GateType.XOR, [0b1111, 0b1100, 0b1010]) & 0b1111 == 0b1001
+        )
+
+    def test_input_gate_rejects_evaluation(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+    def test_const_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.CONST0, [1])
+
+    def test_not_rejects_arity_two(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, [1, 0])
+
+    def test_and_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [])
+
+
+class TestGateTypeProperties:
+    def test_sources(self):
+        assert GateType.INPUT.is_source
+        assert GateType.CONST0.is_source
+        assert GateType.CONST1.is_source
+        assert not GateType.AND.is_source
+
+    def test_simple_alphabet(self):
+        assert GateType.AND.is_simple
+        assert GateType.OR.is_simple
+        assert GateType.NOT.is_simple
+        assert GateType.BUF.is_simple
+        assert not GateType.NAND.is_simple
+        assert not GateType.XOR.is_simple
+
+    def test_inverting(self):
+        assert GateType.NAND.inverting
+        assert GateType.NOR.inverting
+        assert GateType.NOT.inverting
+        assert GateType.XNOR.inverting
+        assert not GateType.AND.inverting
+
+
+class TestNames:
+    def test_roundtrip_names(self):
+        for gate_type in (
+            GateType.AND,
+            GateType.OR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+            GateType.NOT,
+            GateType.BUF,
+        ):
+            assert gate_type_from_name(gate_function_name(gate_type)) in (
+                gate_type,
+            )
+
+    def test_inv_alias(self):
+        assert gate_type_from_name("INV") is GateType.NOT
+
+    def test_buff_alias(self):
+        assert gate_type_from_name("BUFF") is GateType.BUF
+
+    def test_case_insensitive(self):
+        assert gate_type_from_name("nand") is GateType.NAND
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            gate_type_from_name("MAJ3")

@@ -1,0 +1,180 @@
+"""Unit tests for the Network substrate."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.network import Gate, Network, NetworkError
+
+
+def build_diamond() -> Network:
+    """a -> (x, y) -> z reconvergent diamond."""
+    net = Network("diamond")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("x", GateType.AND, ["a", "b"])
+    net.add_gate("y", GateType.OR, ["a", "b"])
+    net.add_gate("z", GateType.AND, ["x", "y"])
+    net.set_outputs(["z"])
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_driver_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+
+    def test_gate_arity_checks(self):
+        with pytest.raises(NetworkError):
+            Gate("x", GateType.NOT, ("a", "b"))
+        with pytest.raises(NetworkError):
+            Gate("x", GateType.AND, ())
+        with pytest.raises(NetworkError):
+            Gate("x", GateType.INPUT, ("a",))
+
+    def test_replace_gate(self):
+        net = build_diamond()
+        net.replace_gate("z", GateType.OR, ["x", "y"])
+        assert net.gate("z").gate_type is GateType.OR
+
+    def test_replace_missing_raises(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            net.replace_gate("nope", GateType.AND, ["a"])
+
+    def test_len_and_contains(self):
+        net = build_diamond()
+        assert len(net) == 5
+        assert "x" in net
+        assert "nope" not in net
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        net = build_diamond()
+        order = net.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["x"] < pos["z"]
+        assert pos["b"] < pos["y"] < pos["z"]
+
+    def test_insertion_is_topological_true(self):
+        assert build_diamond().insertion_is_topological()
+
+    def test_insertion_is_topological_false_for_forward_ref(self):
+        net = Network()
+        net.add_gate("z", GateType.AND, ["a", "b"])  # forward reference
+        net.add_input("a")
+        net.add_input("b")
+        net.set_outputs(["z"])
+        assert not net.insertion_is_topological()
+        order = net.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["z"] and pos["b"] < pos["z"]
+
+    def test_cycle_detected(self):
+        net = Network()
+        net.add_gate("x", GateType.AND, ["y", "y"])
+        net.add_gate("y", GateType.OR, ["x", "x"])
+        net.set_outputs(["x"])
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_undriven_net_detected(self):
+        net = Network()
+        net.add_gate("x", GateType.NOT, ["ghost"])
+        net.set_outputs(["x"])
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_levels_and_depth(self):
+        net = build_diamond()
+        levels = net.levels()
+        assert levels["a"] == 0
+        assert levels["x"] == 1
+        assert levels["z"] == 2
+        assert net.depth() == 2
+
+    def test_fanouts(self):
+        net = build_diamond()
+        assert set(net.fanouts("a")) == {"x", "y"}
+        assert net.fanouts("z") == ()
+
+    def test_max_fanin_fanout(self):
+        net = build_diamond()
+        assert net.max_fanin() == 2
+        # a feeds x and y; z is an output (counts one sink).
+        assert net.max_fanout() == 2
+
+
+class TestCones:
+    def test_transitive_fanin(self):
+        net = build_diamond()
+        assert net.transitive_fanin(["x"]) == {"a", "b", "x"}
+        assert net.transitive_fanin(["z"]) == {"a", "b", "x", "y", "z"}
+
+    def test_transitive_fanout(self):
+        net = build_diamond()
+        assert net.transitive_fanout(["a"]) == {"a", "x", "y", "z"}
+        assert net.transitive_fanout(["z"]) == {"z"}
+
+    def test_transitive_fanin_unknown_net(self):
+        with pytest.raises(NetworkError):
+            build_diamond().transitive_fanin(["ghost"])
+
+    def test_output_cone(self):
+        net = build_diamond()
+        net.add_gate("w", GateType.NOT, ["x"])
+        net.add_output("w")
+        cone = net.output_cone("w")
+        assert set(cone.nets) == {"a", "b", "x", "w"}
+        assert cone.outputs == ("w",)
+
+    def test_subnetwork_boundary_inputs(self):
+        net = build_diamond()
+        sub = net.subnetwork(["z", "x", "y"], outputs=["z"])
+        # a and b become primary inputs of the extraction.
+        assert set(sub.inputs) == {"a", "b"}
+        assert sub.gate("z").gate_type is GateType.AND
+
+    def test_subnetwork_preserves_order_topologically(self):
+        net = build_diamond()
+        sub = net.subnetwork(["z", "y"], outputs=["z"])
+        assert sub.insertion_is_topological()
+        assert "x" in sub.inputs  # boundary
+
+
+class TestEvaluation:
+    def test_diamond_truth(self):
+        net = build_diamond()
+        values = net.evaluate({"a": 1, "b": 0})
+        assert values["x"] == 0
+        assert values["y"] == 1
+        assert values["z"] == 0
+
+    def test_parallel_patterns(self):
+        net = build_diamond()
+        # four patterns packed: a=0011, b=0101
+        values = net.evaluate({"a": 0b0011, "b": 0b0101}, mask=0b1111)
+        assert values["x"] == 0b0001
+        assert values["y"] == 0b0111
+        assert values["z"] == 0b0001
+
+    def test_missing_inputs_default_zero(self):
+        net = build_diamond()
+        assert net.evaluate({})["z"] == 0
+
+
+class TestCopies:
+    def test_copy_independent(self):
+        net = build_diamond()
+        dup = net.copy()
+        dup.replace_gate("z", GateType.OR, ["x", "y"])
+        assert net.gate("z").gate_type is GateType.AND
+
+    def test_renamed(self):
+        net = build_diamond()
+        dup = net.renamed("p_")
+        assert "p_z" in dup
+        assert dup.outputs == ("p_z",)
+        assert dup.gate("p_z").inputs == ("p_x", "p_y")

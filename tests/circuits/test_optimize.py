@@ -1,0 +1,160 @@
+"""Tests for the netlist cleanup passes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.gates import GateType
+from repro.circuits.optimize import (
+    propagate_constants,
+    remove_dangling,
+    sweep,
+    sweep_buffers,
+)
+from repro.circuits.simulate import networks_equivalent, simulate_pattern
+from tests.conftest import make_random_network
+
+
+class TestConstantPropagation:
+    def test_and_with_zero(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        zero = builder.const0(name="zero")
+        builder.outputs(builder.and_(a, zero, name="z"))
+        result = propagate_constants(builder.build())
+        assert result.gate("z").gate_type is GateType.CONST0
+
+    def test_and_with_one_drops_input(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        one = builder.const1(name="one")
+        builder.outputs(builder.and_(a, b, one, name="z"))
+        result = propagate_constants(builder.build())
+        gate = result.gate("z")
+        assert gate.gate_type is GateType.AND
+        assert set(gate.inputs) == {"in0", "in1"}
+
+    def test_single_survivor_becomes_buffer(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        one = builder.const1(name="one")
+        builder.outputs(builder.and_(a, one, name="z"))
+        result = propagate_constants(builder.build())
+        assert result.gate("z").gate_type is GateType.BUF
+
+    def test_xor_with_one_flips(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        one = builder.const1(name="one")
+        builder.outputs(builder.xor(a, b, one, name="z"))
+        result = propagate_constants(builder.build())
+        assert result.gate("z").gate_type is GateType.XNOR
+
+    def test_not_of_constant(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        zero = builder.const0(name="zero")
+        builder.outputs(builder.not_(zero, name="z"))
+        result = propagate_constants(builder.build())
+        assert result.gate("z").gate_type is GateType.CONST1
+
+    def test_constants_chain_through(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        zero = builder.const0(name="zero")
+        x = builder.or_(a, zero, name="x")  # = a
+        y = builder.and_(x, zero, name="y")  # = 0
+        builder.outputs(builder.or_(y, a, name="z"))  # = a
+        result = propagate_constants(builder.build())
+        assert result.gate("y").gate_type is GateType.CONST0
+        assert simulate_pattern(result, {"a": 1})["z"] == 1
+        assert simulate_pattern(result, {"a": 0})["z"] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_preserves_function_with_injected_constants(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        net = make_random_network(seed, num_inputs=4, num_gates=8)
+        # Replace one random input with a constant.
+        victim = rng.choice(list(net.inputs))
+        value = rng.randrange(2)
+        mutated = net.copy()
+        mutated.replace_gate(
+            victim, GateType.CONST1 if value else GateType.CONST0, ()
+        )
+        folded = propagate_constants(mutated)
+        assert networks_equivalent(mutated, folded)
+
+
+class TestBufferSweep:
+    def test_buffer_chain_collapsed(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        b1 = builder.buf(a, name="b1")
+        b2 = builder.buf(b1, name="b2")
+        builder.outputs(builder.not_(b2, name="z"))
+        result = sweep_buffers(builder.build())
+        assert result.gate("z").inputs == ("a",)
+        assert not result.has_net("b1")
+
+    def test_double_inverter_collapsed(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        n1 = builder.not_(a, name="n1")
+        n2 = builder.not_(n1, name="n2")
+        builder.outputs(builder.buf(n2, name="z"))
+        result = sweep_buffers(builder.build())
+        # z is an output so it stays; it now reads a directly.
+        assert result.gate("z").inputs == ("a",)
+
+    def test_output_buffers_kept(self):
+        builder = NetworkBuilder()
+        a = builder.input("a")
+        builder.outputs(builder.buf(a, name="z"))
+        result = sweep_buffers(builder.build())
+        assert result.has_net("z")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_preserves_function(self, seed):
+        net = make_random_network(seed, num_inputs=4, num_gates=9)
+        assert networks_equivalent(net, sweep_buffers(net))
+
+
+class TestRemoveDangling:
+    def test_drops_unreachable_gate(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b, name="dangle")
+        builder.outputs(builder.or_(a, b, name="z"))
+        result = remove_dangling(builder.build())
+        assert not result.has_net("dangle")
+        assert result.has_net("z")
+
+    def test_inputs_kept(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.buf(a, name="z"))
+        result = remove_dangling(builder.build())
+        assert set(result.inputs) == {"in0", "in1"}
+
+
+class TestFullSweep:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_pipeline_preserves_function(self, seed):
+        net = make_random_network(seed, num_inputs=4, num_gates=10)
+        cleaned = sweep(net)
+        assert networks_equivalent(net, cleaned)
+
+    def test_miter_constants_fold(self, example_network):
+        """Sweeping an ATPG miter folds the stuck constant through."""
+        from repro.atpg.faults import Fault
+        from repro.atpg.miter import build_atpg_circuit
+
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        cleaned = sweep(atpg.network)
+        assert networks_equivalent(atpg.network, cleaned)
+        assert len(cleaned.nets) <= len(atpg.network.nets)

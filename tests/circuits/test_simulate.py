@@ -1,0 +1,86 @@
+"""Tests for bit-parallel simulation helpers."""
+
+import random
+
+import pytest
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.simulate import (
+    exhaustive_patterns,
+    networks_equivalent,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    simulate_pattern,
+    unpack_pattern,
+)
+
+
+def xor_net():
+    builder = NetworkBuilder()
+    a, b = builder.inputs(2)
+    builder.xor(a, b, name="z")
+    builder.outputs("z")
+    return builder.build()
+
+
+class TestSimulate:
+    def test_single_pattern(self):
+        net = xor_net()
+        assert simulate_pattern(net, {"in0": 1, "in1": 0})["z"] == 1
+        assert simulate_pattern(net, {"in0": 1, "in1": 1})["z"] == 0
+
+    def test_parallel_patterns_match_serial(self):
+        net = xor_net()
+        rng = random.Random(0)
+        patterns = [
+            {"in0": rng.randrange(2), "in1": rng.randrange(2)}
+            for _ in range(20)
+        ]
+        words = pack_patterns(patterns, net.inputs)
+        parallel = simulate(net, words, len(patterns))
+        for i, pattern in enumerate(patterns):
+            assert (parallel["z"] >> i) & 1 == simulate_pattern(net, pattern)["z"]
+
+    def test_pack_unpack_roundtrip(self):
+        patterns = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        words = pack_patterns(patterns, ["a", "b"])
+        for i, pattern in enumerate(patterns):
+            assert unpack_pattern(words, i) == pattern
+
+    def test_exhaustive_patterns_cover_space(self):
+        words, count = exhaustive_patterns(["a", "b", "c"])
+        assert count == 8
+        seen = {tuple(unpack_pattern(words, i).values()) for i in range(8)}
+        assert len(seen) == 8
+
+    def test_exhaustive_too_many_inputs(self):
+        with pytest.raises(ValueError):
+            exhaustive_patterns([f"i{k}" for k in range(21)])
+
+    def test_random_patterns_deterministic(self):
+        a = random_patterns(["x"], 32, random.Random(7))
+        b = random_patterns(["x"], 32, random.Random(7))
+        assert a == b
+
+
+class TestEquivalence:
+    def test_equivalent_to_self(self):
+        net = xor_net()
+        assert networks_equivalent(net, net.copy())
+
+    def test_inequivalent_detected(self):
+        left = xor_net()
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.and_(a, b, name="z")
+        builder.outputs("z")
+        assert not networks_equivalent(left, builder.build())
+
+    def test_different_interfaces_rejected(self):
+        left = xor_net()
+        builder = NetworkBuilder()
+        (a,) = builder.inputs(1)
+        builder.not_(a, name="z")
+        builder.outputs("z")
+        assert not networks_equivalent(left, builder.build())

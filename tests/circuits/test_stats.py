@@ -1,0 +1,64 @@
+"""Tests for circuit shape profiling."""
+
+from repro.circuits.decompose import tech_decompose
+from repro.circuits.stats import compare_profiles, profile, reconvergent_stems
+from repro.gen.structured import binary_tree_circuit, ripple_carry_adder
+from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
+
+
+class TestReconvergentStems:
+    def test_tree_has_none(self):
+        assert reconvergent_stems(binary_tree_circuit(4)) == 0
+
+    def test_diamond_has_one(self):
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        x = builder.and_(a, b, name="x")
+        y = builder.or_(a, b, name="y")
+        builder.outputs(builder.and_(x, y, name="z"))
+        net = builder.build()
+        # Both in0 and in1 fan out and reconverge at z.
+        assert reconvergent_stems(net) == 2
+
+    def test_fanout_without_reconvergence(self, two_output_network):
+        # in1 feeds x and y which reach different/overlapping outputs...
+        # x and y reconverge at z, so in1 is a reconvergent stem.
+        assert reconvergent_stems(two_output_network) >= 1
+
+
+class TestProfile:
+    def test_tree_profile(self):
+        prof = profile(binary_tree_circuit(3))
+        assert prof.num_inputs == 8
+        assert prof.num_gates == 7
+        assert prof.depth == 3
+        assert prof.fanout_free_fraction == 1.0
+        assert prof.reconvergent_stems == 0
+        assert prof.gate_histogram == {"and": 7}
+
+    def test_adder_profile(self):
+        prof = profile(tech_decompose(ripple_carry_adder(4)))
+        assert prof.max_fanin <= 3
+        assert prof.reconvergent_stems > 0
+        assert "depth" in prof.render()
+
+    def test_generated_resembles_structured(self):
+        """The generated suite's tree-ness lies in the benchmark zone."""
+        spec = RandomCircuitSpec(
+            num_inputs=20, num_gates=150, num_outputs=8, seed=1
+        )
+        generated = profile(tech_decompose(random_circuit(spec)))
+        adder = profile(tech_decompose(ripple_carry_adder(8)))
+        # Both mostly fanout-free with bounded fanout.
+        assert generated.fanout_free_fraction >= 0.6
+        assert adder.fanout_free_fraction >= 0.6
+        assert generated.max_fanin <= 3
+
+    def test_compare_renders(self):
+        left = profile(binary_tree_circuit(3))
+        right = profile(tech_decompose(ripple_carry_adder(3)))
+        text = compare_profiles(left, right)
+        assert "reconv stems" in text
+        assert left.name in text and right.name in text

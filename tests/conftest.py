@@ -1,0 +1,73 @@
+"""Shared fixtures and strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+
+@pytest.fixture
+def example_network() -> Network:
+    """The paper's Figure 4(a) running example."""
+    from repro.experiments.example_circuit import example_circuit
+
+    return example_circuit()
+
+
+@pytest.fixture
+def redundant_network() -> Network:
+    """out = a OR (a AND b): the AND's s-a-0 is untestable."""
+    builder = NetworkBuilder("redundant")
+    a, b = builder.inputs(2)
+    t = builder.and_(a, b, name="t")
+    out = builder.or_(a, t, name="out")
+    builder.outputs(out)
+    return builder.build()
+
+
+@pytest.fixture
+def two_output_network() -> Network:
+    """A small multi-output circuit exercising cone extraction."""
+    builder = NetworkBuilder("duo")
+    a, b, c = builder.inputs(3)
+    x = builder.and_(a, b, name="x")
+    y = builder.or_(b, c, name="y")
+    z = builder.xor(x, y, name="z")
+    builder.outputs(x, z)
+    return builder.build()
+
+
+def make_random_network(
+    seed: int,
+    num_inputs: int = 4,
+    num_gates: int = 8,
+    allow_xor: bool = True,
+) -> Network:
+    """Small random circuit for property-style tests (deterministic)."""
+    rng = random.Random(seed)
+    builder = NetworkBuilder(f"prop{seed}")
+    nets = builder.inputs(num_inputs)
+    gate_types = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.NOT,
+    ]
+    if allow_xor:
+        gate_types.append(GateType.XOR)
+    for _ in range(num_gates):
+        gate_type = rng.choice(gate_types)
+        if gate_type is GateType.NOT:
+            sources = [rng.choice(nets)]
+        else:
+            k = rng.choice((2, 2, 3))
+            sources = rng.sample(nets, min(k, len(nets)))
+        nets.append(builder.gate(gate_type, sources))
+    builder.outputs(nets[-1])
+    return builder.build()

@@ -1,0 +1,111 @@
+"""Tests for Theorem 4.1, Equation 4.5 and the Figure-8 sampling.
+
+Theorem 4.1 is validated end-to-end: for random small circuits and the
+running example, the caching backtracking solver's visited-node count is
+checked against n·2^(2·k_fo·W(C,h)) for the very ordering used.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.decompose import tech_decompose
+from repro.core.bounds import (
+    equation_4_5_bound,
+    fault_width_samples,
+    lemma_4_2_bound,
+    lemma_5_1_runtime_bound,
+    log_bounded_width_verdict,
+    theorem_4_1_bound,
+)
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+from repro.sat.caching import CachingBacktrackingSolver
+from repro.sat.tseitin import circuit_sat_formula
+from repro.gen.structured import ripple_carry_adder
+from tests.conftest import make_random_network
+
+
+class TestBoundArithmetic:
+    def test_theorem_4_1_formula(self):
+        assert theorem_4_1_bound(10, 1, 3) == 10 * 2**6
+        assert theorem_4_1_bound(5, 2, 2) == 5 * 2**8
+
+    def test_equation_4_5_formula(self):
+        assert equation_4_5_bound(3, 20, 1, 4) == 3 * 20 * 2**8
+
+    def test_lemma_4_2_formula(self):
+        assert lemma_4_2_bound(3) == 8
+        assert lemma_4_2_bound(0) == 2
+
+
+class TestTheorem41EndToEnd:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_caching_nodes_within_bound(self, seed):
+        """Solver tree size ≤ n·2^(2·k_fo·W) under the same ordering."""
+        net = make_random_network(seed, num_inputs=4, num_gates=7)
+        formula = circuit_sat_formula(net)
+        order = net.topological_order()
+        graph = circuit_hypergraph(net)
+        width = cut_width_under_order(graph, order)
+        k_fo = max(1, net.max_fanout())
+        solver = CachingBacktrackingSolver(order=order)
+        result = solver.solve(formula)
+        bound = theorem_4_1_bound(formula.num_variables(), k_fo, width)
+        assert result.stats.nodes <= bound
+
+    def test_dcsf_total_also_within_bound(self, example_network):
+        """The tighter statement: total DCSFs ≤ the Theorem 4.1 RHS."""
+        from repro.core.dcsf import total_dcsf
+
+        formula = circuit_sat_formula(example_network)
+        order = ["b", "c", "f", "a", "h", "d", "e", "g", "i"]
+        graph = circuit_hypergraph(example_network)
+        width = cut_width_under_order(graph, order)
+        k_fo = max(1, example_network.max_fanout())
+        assert total_dcsf(formula, order) <= theorem_4_1_bound(
+            formula.num_variables(), k_fo, width
+        )
+
+
+class TestFaultWidthSamples:
+    def test_samples_cover_observable_faults(self, example_network):
+        samples = fault_width_samples(example_network)
+        assert samples
+        for sample in samples:
+            assert sample.sub_circuit_size >= 1
+            assert sample.cutwidth >= 0
+
+    def test_max_faults_subsampling(self):
+        net = tech_decompose(ripple_carry_adder(4))
+        full = fault_width_samples(net)
+        capped = fault_width_samples(net, max_faults=5)
+        assert len(capped) <= 5 < len(full)
+
+    def test_adder_is_log_bounded(self):
+        """Ripple-carry adders are k-bounded hence log-bounded-width:
+        the measured ratio W/log2(size) must stay small."""
+        net = tech_decompose(ripple_carry_adder(8))
+        verdict = log_bounded_width_verdict(net, max_faults=20)
+        assert verdict.plausibly_log_bounded
+        assert verdict.max_ratio <= 4.0
+
+    def test_lemma_5_1_bound_is_polynomial_for_adder(self):
+        """For a log-bounded-width family the Equation 4.5 instantiation
+        must stay polynomial — compare against a generous n^6."""
+        for width in (4, 6, 8):
+            net = tech_decompose(ripple_carry_adder(width))
+            bound = lemma_5_1_runtime_bound(net)
+            n = len(net.nets)
+            assert bound <= n**6 * 2**22  # poly(n) with a fixed constant
+
+    def test_ratio_definition(self):
+        net = tech_decompose(ripple_carry_adder(4))
+        verdict = log_bounded_width_verdict(net, max_faults=10)
+        for sample in verdict.samples:
+            if sample.sub_circuit_size >= 2:
+                ratio = sample.cutwidth / max(
+                    1.0, math.log2(sample.sub_circuit_size)
+                )
+                assert ratio <= verdict.max_ratio + 1e-9

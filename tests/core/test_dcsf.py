@@ -1,0 +1,106 @@
+"""Tests for DCSF enumeration and Lemma 4.1.
+
+Lemma 4.1: the number of distinct consistent sub-formulas reachable by
+assigning a prefix δ_V of the variables is at most 2^(2·k_fo·|cut|).
+Validated exhaustively over every prefix of every ordering sample on
+random small circuits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcsf import (
+    check_lemma_4_1,
+    dcsf_at_prefix,
+    dcsf_counts_along_order,
+    lemma_4_1_bound,
+    total_dcsf,
+)
+from repro.sat.cnf import clause, pos
+from repro.sat.cnf import CnfFormula
+from repro.sat.tseitin import circuit_sat_formula
+from tests.conftest import make_random_network
+
+
+class TestEnumeration:
+    def test_empty_prefix(self):
+        formula = CnfFormula([clause(pos("a"))])
+        assert dcsf_at_prefix(formula, []) == {
+            frozenset({clause(pos("a"))})
+        }
+
+    def test_single_variable(self):
+        # (a): assigning a=1 satisfies (empty sub-formula), a=0 is null.
+        formula = CnfFormula([clause(pos("a"))])
+        subs = dcsf_at_prefix(formula, ["a"])
+        assert subs == {frozenset()}
+
+    def test_counts_match_prefix_enumeration(self):
+        net = make_random_network(4, num_inputs=3, num_gates=5)
+        formula = circuit_sat_formula(net)
+        order = net.topological_order()
+        counts = dcsf_counts_along_order(formula, order)
+        for depth in (1, 3, len(order)):
+            direct = len(dcsf_at_prefix(formula, order[:depth]))
+            assert counts[depth - 1] == direct
+
+    def test_total(self):
+        net = make_random_network(7, num_inputs=3, num_gates=4)
+        formula = circuit_sat_formula(net)
+        order = net.topological_order()
+        assert total_dcsf(formula, order) == sum(
+            dcsf_counts_along_order(formula, order)
+        )
+
+    def test_oversized_prefix_rejected(self):
+        formula = CnfFormula([clause(pos("a"))])
+        with pytest.raises(ValueError):
+            dcsf_at_prefix(formula, [f"v{i}" for i in range(23)])
+
+
+class TestLemma41:
+    def test_paper_cut_z_example(self, example_network):
+        """The paper's Cut-Z: prefix {b,c,f,a,h} has a single crossing
+        net (h), so at most 2^(2·k_fo·1) DCSFs."""
+        formula = circuit_sat_formula(example_network)
+        prefix = ["b", "c", "f", "a", "h"]
+        k_fo = max(1, example_network.max_fanout())
+        measured, bound = check_lemma_4_1(
+            example_network, formula, prefix, k_fo
+        )
+        assert bound == 1 << (2 * k_fo)
+        assert measured <= bound
+        # The paper notes ≤ 2^2 = 4 for k_fo = 1.
+        assert measured <= 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), depth=st.integers(1, 8))
+    def test_lemma_holds_on_random_circuits(self, seed, depth):
+        net = make_random_network(seed, num_inputs=3, num_gates=6)
+        formula = circuit_sat_formula(net)
+        order = net.topological_order()
+        prefix = order[: min(depth, len(order))]
+        if len(prefix) > 12:
+            return
+        k_fo = max(1, net.max_fanout())
+        measured, bound = check_lemma_4_1(net, formula, prefix, k_fo)
+        assert measured <= bound
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_lemma_holds_on_every_prefix(self, seed):
+        """Exhaustive over all prefixes of a topological ordering."""
+        net = make_random_network(seed, num_inputs=3, num_gates=5)
+        formula = circuit_sat_formula(net)
+        order = net.topological_order()
+        k_fo = max(1, net.max_fanout())
+        for depth in range(1, min(len(order), 11) + 1):
+            measured, bound = check_lemma_4_1(
+                net, formula, order[:depth], k_fo
+            )
+            assert measured <= bound, depth
+
+    def test_bound_is_exponential_in_cut(self, example_network):
+        assert lemma_4_1_bound(example_network, ["b"], 1) == 4
+        assert lemma_4_1_bound(example_network, ["b", "c"], 1) == 16

@@ -1,0 +1,182 @@
+"""Tests for k-bounded circuits (Section 3.2) and tree orderings
+(Lemma 5.2, Theorem 5.1)."""
+
+import math
+
+import pytest
+
+from repro.circuits.decompose import tech_decompose
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+from repro.core.kbounded import (
+    BlockPartition,
+    check_k_bounded,
+    greedy_k_bounded_partition,
+    is_fanout_free,
+    lemma_5_2_bound,
+    singleton_partition,
+    tree_cutwidth,
+    tree_ordering,
+)
+from repro.gen.structured import (
+    binary_tree_circuit,
+    cellular_array_1d,
+    parity_tree,
+    ripple_carry_adder,
+)
+from tests.conftest import make_random_network
+
+
+class TestCheckKBounded:
+    def test_tree_singleton_partition(self):
+        net = binary_tree_circuit(3)
+        ok, reason = check_k_bounded(net, singleton_partition(net), 2)
+        assert ok, reason
+
+    def test_diamond_singleton_fails(self, example_network):
+        """A reconvergent circuit's singleton partition violates the
+        no-reconvergent-paths condition between blocks."""
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        x = builder.and_(a, b, name="x")
+        y = builder.or_(a, b, name="y")
+        builder.outputs(builder.and_(x, y, name="z"))
+        net = builder.build()
+        ok, reason = check_k_bounded(net, singleton_partition(net), 3)
+        assert not ok
+        assert "multiple paths" in reason
+
+    def test_merged_diamond_passes(self):
+        """Merging the whole diamond into one block restores
+        k-boundedness (local reconvergence)."""
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        x = builder.and_(a, b, name="x")
+        y = builder.or_(a, b, name="y")
+        builder.outputs(builder.and_(x, y, name="z"))
+        net = builder.build()
+        block_of = {"in0": 0, "in1": 1, "x": 2, "y": 2, "z": 2}
+        ok, reason = check_k_bounded(net, BlockPartition(block_of), 2)
+        assert ok, reason
+
+    def test_input_bound_enforced(self):
+        net = binary_tree_circuit(2, arity=4)
+        ok, reason = check_k_bounded(net, singleton_partition(net), 3)
+        assert not ok
+        assert "inputs" in reason
+
+    def test_unassigned_net_detected(self):
+        net = binary_tree_circuit(2)
+        partition = singleton_partition(net)
+        del partition.block_of[net.outputs[0]]
+        ok, reason = check_k_bounded(net, partition, 2)
+        assert not ok
+
+
+class TestGreedyPartition:
+    def test_tree_found_immediately(self):
+        net = binary_tree_circuit(3)
+        assert greedy_k_bounded_partition(net, 2) is not None
+
+    def test_local_diamond_found(self):
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        x = builder.and_(a, b, name="x")
+        y = builder.or_(a, b, name="y")
+        builder.outputs(builder.and_(x, y, name="z"))
+        partition = greedy_k_bounded_partition(builder.build(), 2)
+        assert partition is not None
+
+    def test_ripple_adder_is_k_bounded(self):
+        """Fujiwara's example: ripple-carry adders are k-bounded (each
+        full-adder stage a block with 3 inputs)."""
+        net = ripple_carry_adder(4)
+        stage_of = {}
+        for net_name in net.nets:
+            if net_name in ("cin",):
+                stage_of[net_name] = 0
+                continue
+            digits = "".join(ch for ch in net_name if ch.isdigit())
+            stage = int(digits) if digits else 0
+            if net_name.startswith(("axb", "gen", "prp", "s")):
+                stage_of[net_name] = stage
+            elif net_name.startswith(("a", "b")):
+                stage_of[net_name] = 100 + stage  # separate input blocks
+            elif net_name.startswith("c"):
+                stage_of[net_name] = stage - 1  # c{i+1} made in stage i
+            else:
+                stage_of[net_name] = stage
+        ok, reason = check_k_bounded(net, BlockPartition(stage_of), 3)
+        assert ok, reason
+
+
+class TestTreeOrdering:
+    def test_requires_fanout_free(self, redundant_network):
+        # in0 feeds both the AND and the OR: not a tree.
+        with pytest.raises(ValueError):
+            tree_ordering(redundant_network)
+
+    def test_fanout_free_detection(self):
+        assert is_fanout_free(binary_tree_circuit(3))
+        assert not is_fanout_free(tech_decompose(ripple_carry_adder(2)))
+
+    @pytest.mark.parametrize("depth", [2, 4, 6, 8])
+    def test_lemma_5_2_binary_trees(self, depth):
+        """W(T, h) ≤ (k−1)·log2(n) for complete binary trees."""
+        net = binary_tree_circuit(depth)
+        width = tree_cutwidth(net)
+        assert width <= lemma_5_2_bound(net) + 2  # +O(1) slack
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_lemma_5_2_kary_trees(self, arity):
+        net = binary_tree_circuit(3, arity=arity)
+        width = tree_cutwidth(net)
+        assert width <= lemma_5_2_bound(net) + arity
+
+    def test_tree_ordering_is_permutation(self):
+        net = binary_tree_circuit(5)
+        order = tree_ordering(net)
+        assert sorted(order) == sorted(net.nets)
+
+    def test_logarithmic_growth(self):
+        """Tree cut-width grows like log(n), not like n."""
+        widths = {}
+        for depth in (4, 6, 8, 9):
+            net = binary_tree_circuit(depth)
+            widths[depth] = tree_cutwidth(net)
+        # Doubling depth (squaring size) adds only a few units of width.
+        assert widths[8] - widths[4] <= 6
+        assert widths[9] <= widths[4] + 7
+
+
+class TestTheorem51Empirically:
+    """k-bounded families exhibit log-bounded width (Theorem 5.1)."""
+
+    @pytest.mark.parametrize(
+        "family,sizes",
+        [
+            (ripple_carry_adder, (2, 4, 8)),
+            (cellular_array_1d, (4, 8, 16)),
+            (parity_tree, (4, 8, 16)),
+        ],
+    )
+    def test_width_grows_sublinearly(self, family, sizes):
+        from repro.core.mla import estimate_cutwidth
+
+        widths = []
+        ns = []
+        for size in sizes:
+            net = tech_decompose(family(size))
+            graph = circuit_hypergraph(net)
+            widths.append(estimate_cutwidth(graph))
+            ns.append(graph.num_vertices)
+        # Size grows ~4x end to end; width must grow far slower than
+        # proportionally.
+        growth = widths[-1] / max(1, widths[0])
+        size_growth = ns[-1] / ns[0]
+        assert growth <= size_growth / 1.8

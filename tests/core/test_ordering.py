@@ -1,0 +1,144 @@
+"""Tests for orderings, including the Lemma 4.2 construction.
+
+Lemma 4.2/4.3: for every fault ψ there is an ordering of C_ψ^ATPG with
+cut-width ≤ 2·W(C,h)+2.  We verify the constructive interleaved ordering
+achieves the bound for EVERY fault of the example circuit and of random
+circuits, under several base orderings h.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.faults import Fault, full_fault_list
+from repro.atpg.miter import UnobservableFault, build_atpg_circuit
+from repro.circuits.decompose import tech_decompose
+from repro.core.bounds import lemma_4_2_bound
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+from repro.core.ordering import (
+    bfs_ordering,
+    dfs_cone_ordering,
+    fault_ordering,
+    fault_orderings,
+    miter_cutwidth_under_fault_ordering,
+    restrict_order,
+    reverse_topological_ordering,
+    topological_ordering,
+)
+from repro.gen.structured import ripple_carry_adder
+from tests.conftest import make_random_network
+
+
+class TestBasicOrderings:
+    def test_topological(self, example_network):
+        order = topological_ordering(example_network)
+        assert sorted(order) == sorted(example_network.nets)
+
+    def test_reverse_topological(self, example_network):
+        assert reverse_topological_ordering(example_network) == list(
+            reversed(topological_ordering(example_network))
+        )
+
+    def test_bfs_levels_monotone(self, example_network):
+        order = bfs_ordering(example_network)
+        levels = example_network.levels()
+        values = [levels[n] for n in order]
+        assert values == sorted(values)
+
+    def test_dfs_cone_is_permutation(self, two_output_network):
+        order = dfs_cone_ordering(two_output_network)
+        assert sorted(order) == sorted(two_output_network.nets)
+
+    def test_dfs_cone_equals_tree_ordering_on_trees(self):
+        from repro.core.kbounded import tree_ordering
+        from repro.gen.structured import binary_tree_circuit
+
+        net = binary_tree_circuit(4)
+        graph = circuit_hypergraph(net)
+        dfs_width = cut_width_under_order(graph, dfs_cone_ordering(net))
+        tree_width = cut_width_under_order(graph, tree_ordering(net))
+        assert dfs_width == tree_width
+
+    def test_restrict_order(self):
+        assert restrict_order(["a", "b", "c"], {"c", "a"}) == ["a", "c"]
+
+
+class TestFaultOrdering:
+    def test_example_circuit_achieves_paper_value(self, example_network):
+        """Figure 7: the ATPG circuit of the f/sa1 fault reaches W = 4
+        under the constructed ordering (bound: 2·3+2 = 8)."""
+        order_a = ["b", "c", "f", "a", "h", "d", "e", "g", "i"]
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        width = miter_cutwidth_under_fault_ordering(atpg, order_a)
+        assert width == 4
+        assert width <= lemma_4_2_bound(3)
+
+    def test_ordering_is_cone_permutation(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        order = fault_ordering(atpg, topological_ordering(example_network), "i")
+        cone = atpg.network.transitive_fanin(["xor$i"])
+        assert sorted(order) == sorted(cone)
+        assert order[-1] == "xor$i"
+
+    def test_faulty_twin_adjacent(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        order = fault_ordering(atpg, topological_ordering(example_network), "i")
+        pos = {n: i for i, n in enumerate(order)}
+        for net in ("f", "h", "i"):
+            assert pos["flt$" + net] == pos[net] + 1
+
+    def test_wrong_output_rejected(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        with pytest.raises(ValueError):
+            fault_ordering(atpg, topological_ordering(example_network), "h")
+
+    def test_incomplete_base_order_rejected(self, example_network):
+        atpg = build_atpg_circuit(example_network, Fault("f", 1))
+        with pytest.raises(ValueError):
+            fault_ordering(atpg, ["a", "b"], "i")
+
+    def test_orderings_per_output(self, two_output_network):
+        atpg = build_atpg_circuit(two_output_network, Fault("x", 0))
+        orders = fault_orderings(
+            atpg, topological_ordering(two_output_network)
+        )
+        assert set(orders) == {"x", "z"}
+
+
+class TestLemma42:
+    def _check_all_faults(self, network, base_order):
+        graph = circuit_hypergraph(network)
+        base_width = cut_width_under_order(graph, base_order)
+        bound = lemma_4_2_bound(base_width)
+        for fault in full_fault_list(network):
+            try:
+                atpg = build_atpg_circuit(network, fault)
+            except UnobservableFault:
+                continue
+            width = miter_cutwidth_under_fault_ordering(atpg, base_order)
+            assert width <= bound, (fault, width, bound)
+
+    def test_example_circuit_every_fault(self, example_network):
+        self._check_all_faults(
+            example_network, ["b", "c", "f", "a", "h", "d", "e", "g", "i"]
+        )
+
+    def test_adder_every_fault(self):
+        net = tech_decompose(ripple_carry_adder(3))
+        self._check_all_faults(net, topological_ordering(net))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_random_circuits_every_fault(self, seed):
+        net = tech_decompose(
+            make_random_network(seed, num_inputs=3, num_gates=6)
+        )
+        self._check_all_faults(net, topological_ordering(net))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_holds_under_dfs_base_order(self, seed):
+        net = tech_decompose(
+            make_random_network(seed, num_inputs=3, num_gates=6)
+        )
+        self._check_all_faults(net, dfs_cone_ordering(net))

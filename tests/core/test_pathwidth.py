@@ -1,0 +1,107 @@
+"""Tests for vertex separation (pathwidth) and its cut-width relation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
+from repro.core.pathwidth import (
+    MAX_EXACT_VS,
+    exact_min_vertex_separation,
+    vertex_separation_under_order,
+)
+from tests.conftest import make_random_network
+from tests.partition.test_exact import cycle_graph, path_graph, star_graph
+
+
+class TestKnownValues:
+    def test_path_vs_is_one(self):
+        vs, order = exact_min_vertex_separation(path_graph(7))
+        assert vs == 1
+        assert vertex_separation_under_order(path_graph(7), order) == 1
+
+    def test_cycle_vs_is_two(self):
+        vs, _ = exact_min_vertex_separation(cycle_graph(6))
+        assert vs == 2
+
+    def test_star_vs_is_one(self):
+        # Place the hub first: only the hub is ever active.
+        vs, _ = exact_min_vertex_separation(star_graph(6))
+        assert vs == 1
+
+    def test_empty(self):
+        from repro.core.hypergraph import Hypergraph
+
+        assert exact_min_vertex_separation(Hypergraph((), ())) == (0, [])
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            exact_min_vertex_separation(path_graph(MAX_EXACT_VS + 1))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            vertex_separation_under_order(path_graph(3), ["v0"])
+
+
+class TestRelationsToCutwidth:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_vs_bounded_by_cutwidth_times_edge_size(self, seed):
+        """vs(G,h) ≤ W(G,h)·(r−1): every active vertex lies on a crossing
+        edge, and a crossing hyperedge has ≤ r−1 prefix-side members."""
+        net = make_random_network(seed, num_inputs=3, num_gates=6)
+        graph = circuit_hypergraph(net)
+        order = net.topological_order()
+        max_edge = max((len(m) for _, m in graph.edges), default=2)
+        vs = vertex_separation_under_order(graph, order)
+        cw = cut_width_under_order(graph, order)
+        assert vs <= cw * max(1, max_edge - 1)
+
+    def test_vs_le_cw_on_plain_graphs(self):
+        """On 2-uniform graphs the classic vs ≤ cw holds per ordering."""
+        graph = path_graph(8)
+        order = [f"v{i}" for i in range(8)]
+        assert vertex_separation_under_order(
+            graph, order
+        ) <= cut_width_under_order(graph, order)
+        graph = cycle_graph(7)
+        order = [f"v{i}" for i in range(7)]
+        assert vertex_separation_under_order(
+            graph, order
+        ) <= cut_width_under_order(graph, order)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_dp_matches_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        from repro.core.hypergraph import Hypergraph
+
+        vertices = tuple(f"v{i}" for i in range(n))
+        edges = []
+        for index in range(rng.randint(1, 6)):
+            size = rng.randint(2, min(3, n))
+            edges.append((f"e{index}", tuple(rng.sample(vertices, size))))
+        graph = Hypergraph(vertices, tuple(edges))
+        dp, dp_order = exact_min_vertex_separation(graph)
+        brute = min(
+            vertex_separation_under_order(graph, list(perm))
+            for perm in itertools.permutations(vertices)
+        )
+        assert dp == brute
+        assert vertex_separation_under_order(graph, dp_order) == dp
+
+    def test_min_vs_bounded_by_min_cutwidth_times_edge_size(self):
+        from repro.partition.exact import exact_min_cutwidth
+
+        for seed in range(5):
+            net = make_random_network(seed, num_inputs=3, num_gates=5)
+            graph = circuit_hypergraph(net)
+            max_edge = max((len(m) for _, m in graph.edges), default=2)
+            vs, _ = exact_min_vertex_separation(graph)
+            cw, _ = exact_min_cutwidth(graph)
+            assert vs <= cw * max(1, max_edge - 1)

@@ -1,0 +1,62 @@
+"""Reproduction checks for the paper's running example (Figures 4-7)."""
+
+from repro.experiments.example_circuit import (
+    EXAMPLE_FAULT,
+    ORDERING_A,
+    ORDERING_B,
+    example_circuit,
+    run_example,
+)
+
+
+class TestFigure4Circuit:
+    def test_structure(self):
+        net = example_circuit()
+        assert set(net.inputs) == set("abcde")
+        assert net.outputs == ("i",)
+        assert net.gate("h").inputs == ("a", "f")
+        assert net.gate("i").inputs == ("h", "g")
+
+    def test_orderings_are_permutations(self):
+        net = example_circuit()
+        assert sorted(ORDERING_A) == sorted(net.nets)
+        assert sorted(ORDERING_B) == sorted(net.nets)
+
+
+class TestReport:
+    def setup_method(self):
+        self.report = run_example()
+
+    def test_figure6_ordering_a_width(self):
+        """Figure 6: ordering A achieves cut-width 3."""
+        assert self.report.width_a == 3
+
+    def test_figure6_ordering_b_worse(self):
+        """The naive ordering B has strictly larger width."""
+        assert self.report.width_b > self.report.width_a
+
+    def test_figure5_search_is_tiny(self):
+        """The backtracking tree under A is small and finds SAT."""
+        assert self.report.solver_sat
+        assert self.report.solver_nodes <= 40
+
+    def test_theorem_4_1_bound_holds(self):
+        assert self.report.solver_nodes <= self.report.theorem_4_1_rhs
+
+    def test_lemma_4_1_dcsf_counts_bounded(self):
+        """DCSF counts per depth stay ≤ 2^(2·k_fo·W(A)) = 2^6."""
+        assert all(count <= 64 for count in self.report.dcsf_per_depth)
+        # Under ordering A the counts are in fact tiny (≤ 4).
+        assert max(self.report.dcsf_per_depth) <= 4
+
+    def test_figure7_miter_width(self):
+        """Figure 7: ATPG circuit for f/sa1 reaches width 4 ≤ 2W+2."""
+        assert EXAMPLE_FAULT.net == "f"
+        assert self.report.miter_width == 4
+        assert self.report.miter_width <= self.report.lemma_4_2_rhs
+        assert self.report.lemma_4_2_rhs == 8
+
+    def test_render_mentions_key_numbers(self):
+        text = self.report.render()
+        assert "W(C, A) = 3" in text
+        assert "2W+2 = 8" in text

@@ -1,0 +1,33 @@
+"""Smoke tests for the suite-table and phase-transition experiments."""
+
+from repro.experiments.phase_transition import run_phase_transition
+from repro.experiments.suite_table import run_suite_table
+
+
+class TestSuiteTable:
+    def test_small_run(self):
+        report = run_suite_table("mcnc", max_faults_per_circuit=4)
+        assert len(report.rows) >= 10
+        text = report.render()
+        assert "W(C,H)" in text
+        for row in report.rows:
+            assert row.faults <= 4
+            assert 0.0 <= row.coverage <= 1.0
+            assert row.gates > 0
+
+
+class TestPhaseTransition:
+    def test_small_run(self):
+        report = run_phase_transition(
+            local_levels=[0.0],
+            global_levels=[0.0, 0.6],
+            sizes=[80, 200],
+            faults_per_circuit=3,
+            seeds=(5,),
+        )
+        assert len(report.local_sweep) == 1
+        assert len(report.global_sweep) == 2
+        text = report.render()
+        assert "global" in text
+        for row in report.local_sweep + report.global_sweep:
+            assert row.points

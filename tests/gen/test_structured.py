@@ -1,0 +1,177 @@
+"""Functional correctness tests for every structured generator."""
+
+import random
+
+import pytest
+
+from repro.circuits.simulate import simulate_pattern
+from repro.circuits.validate import validate_network
+from repro.gen.structured import (
+    alu_slice,
+    array_multiplier,
+    binary_tree_circuit,
+    carry_lookahead_adder,
+    cellular_array_1d,
+    cellular_array_2d,
+    comparator,
+    decoder,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+RNG = random.Random(99)
+
+
+def adder_pattern(width, a, b, cin):
+    pattern = {f"a{i}": (a >> i) & 1 for i in range(width)}
+    pattern.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+    pattern["cin"] = cin
+    return pattern
+
+
+class TestAdders:
+    @pytest.mark.parametrize("maker", [ripple_carry_adder, carry_lookahead_adder])
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_addition_correct(self, maker, width):
+        if maker is carry_lookahead_adder and width == 1:
+            width = 2
+        net = maker(width)
+        for _ in range(20):
+            a = RNG.randrange(1 << width)
+            b = RNG.randrange(1 << width)
+            cin = RNG.randrange(2)
+            values = simulate_pattern(net, adder_pattern(width, a, b, cin))
+            total = sum(values[f"s{i}"] << i for i in range(width))
+            total += values[f"c{width}"] << width
+            assert total == a + b + cin
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+        with pytest.raises(ValueError):
+            carry_lookahead_adder(4, group=1)
+
+    @pytest.mark.parametrize("maker", [ripple_carry_adder, carry_lookahead_adder])
+    def test_structurally_valid(self, maker):
+        assert validate_network(maker(4)).ok
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_product_correct(self, width):
+        net = array_multiplier(width)
+        for _ in range(25):
+            a = RNG.randrange(1 << width)
+            b = RNG.randrange(1 << width)
+            pattern = {f"a{i}": (a >> i) & 1 for i in range(width)}
+            pattern.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+            values = simulate_pattern(net, pattern)
+            product = sum(
+                values[o] << i for i, o in enumerate(net.outputs)
+            )
+            assert product == a * b, (a, b)
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)
+
+
+class TestDecoderMux:
+    def test_decoder_one_hot(self):
+        net = decoder(3)
+        for value in range(8):
+            pattern = {f"s{i}": (value >> i) & 1 for i in range(3)}
+            values = simulate_pattern(net, pattern)
+            for line in range(8):
+                assert values[f"d{line}"] == (1 if line == value else 0)
+
+    def test_decoder_limits(self):
+        with pytest.raises(ValueError):
+            decoder(0)
+        with pytest.raises(ValueError):
+            decoder(9)
+
+    def test_mux_selects(self):
+        net = mux_tree(3)
+        data = {f"d{i}": RNG.randrange(2) for i in range(8)}
+        for select in range(8):
+            pattern = dict(data)
+            pattern.update({f"s{i}": (select >> i) & 1 for i in range(3)})
+            values = simulate_pattern(net, pattern)
+            assert values[net.outputs[0]] == data[f"d{select}"]
+
+
+class TestParityComparator:
+    @pytest.mark.parametrize("width", [2, 5, 9])
+    def test_parity(self, width):
+        net = parity_tree(width)
+        for _ in range(15):
+            bits = [RNG.randrange(2) for _ in range(width)]
+            pattern = {f"x{i}": bits[i] for i in range(width)}
+            values = simulate_pattern(net, pattern)
+            assert values[net.outputs[0]] == sum(bits) % 2
+
+    def test_parity_arity3(self):
+        net = parity_tree(9, arity=3)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        pattern = {f"x{i}": bits[i] for i in range(9)}
+        assert simulate_pattern(net, pattern)[net.outputs[0]] == sum(bits) % 2
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_comparator(self, width):
+        net = comparator(width)
+        for _ in range(25):
+            a = RNG.randrange(1 << width)
+            b = RNG.randrange(1 << width)
+            pattern = {f"a{i}": (a >> i) & 1 for i in range(width)}
+            pattern.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+            values = simulate_pattern(net, pattern)
+            assert values["equal"] == (1 if a == b else 0)
+            assert values["greater"] == (1 if a > b else 0)
+
+
+class TestAlu:
+    def test_all_operations(self):
+        width = 4
+        net = alu_slice(width)
+        ops = {0: lambda a, b: a & b, 1: lambda a, b: a | b,
+               2: lambda a, b: a ^ b, 3: lambda a, b: (a + b) % (1 << width)}
+        for opcode, fn in ops.items():
+            for _ in range(10):
+                a = RNG.randrange(1 << width)
+                b = RNG.randrange(1 << width)
+                pattern = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                pattern.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+                pattern["op0"] = opcode & 1
+                pattern["op1"] = (opcode >> 1) & 1
+                values = simulate_pattern(net, pattern)
+                result = sum(values[f"y{i}"] << i for i in range(width))
+                assert result == fn(a, b), (opcode, a, b)
+                if opcode == 3:
+                    assert values["cout"] == ((a + b) >> width) & 1
+
+
+class TestCellularArraysAndTrees:
+    def test_cellular_1d_valid(self):
+        net = cellular_array_1d(6)
+        assert validate_network(net).ok
+        assert len(net.outputs) == 7
+
+    def test_cellular_2d_valid(self):
+        net = cellular_array_2d(3, 4)
+        assert validate_network(net).ok
+
+    def test_tree_structure(self):
+        net = binary_tree_circuit(4)
+        assert len(net.inputs) == 16
+        assert len(net.outputs) == 1
+        assert net.depth() == 4
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            cellular_array_1d(0)
+        with pytest.raises(ValueError):
+            cellular_array_2d(0, 3)
+        with pytest.raises(ValueError):
+            binary_tree_circuit(0)

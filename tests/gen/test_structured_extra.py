@@ -1,0 +1,122 @@
+"""Tests for the additional structured families (shifter, encoder, Wallace)."""
+
+import random
+
+import pytest
+
+from repro.apps.equivalence import check_equivalence
+from repro.circuits.simulate import simulate_pattern
+from repro.circuits.validate import validate_network
+from repro.gen.structured import (
+    array_multiplier,
+    barrel_shifter,
+    priority_encoder,
+    wallace_multiplier,
+)
+
+RNG = random.Random(4)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("log2", [1, 2, 3])
+    def test_rotation_semantics(self, log2):
+        width = 1 << log2
+        net = barrel_shifter(log2)
+        mask = (1 << width) - 1
+        for _ in range(20):
+            data = RNG.randrange(1 << width)
+            shift = RNG.randrange(width)
+            pattern = {f"d{i}": (data >> i) & 1 for i in range(width)}
+            pattern.update(
+                {f"s{k}": (shift >> k) & 1 for k in range(log2)}
+            )
+            values = simulate_pattern(net, pattern)
+            out = sum(values[o] << i for i, o in enumerate(net.outputs))
+            expected = ((data << shift) | (data >> (width - shift))) & mask if shift else data
+            assert out == expected
+
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            barrel_shifter(0)
+        with pytest.raises(ValueError):
+            barrel_shifter(6)
+
+    def test_valid(self):
+        assert validate_network(barrel_shifter(2)).ok
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("width", [2, 5, 9])
+    def test_grant_semantics(self, width):
+        net = priority_encoder(width)
+        for _ in range(25):
+            requests = RNG.randrange(1 << width)
+            pattern = {f"r{i}": (requests >> i) & 1 for i in range(width)}
+            values = simulate_pattern(net, pattern)
+            grants = [values[f"g{i}"] for i in range(width)]
+            if requests == 0:
+                assert sum(grants) == 0
+                assert values["valid"] == 0
+            else:
+                lowest = (requests & -requests).bit_length() - 1
+                assert grants[lowest] == 1
+                assert sum(grants) == 1
+                assert values["valid"] == 1
+
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            priority_encoder(1)
+
+
+class TestWallaceMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_product(self, width):
+        net = wallace_multiplier(width)
+        for _ in range(25):
+            a = RNG.randrange(1 << width)
+            b = RNG.randrange(1 << width)
+            pattern = {f"a{i}": (a >> i) & 1 for i in range(width)}
+            pattern.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+            values = simulate_pattern(net, pattern)
+            product = sum(values[o] << i for i, o in enumerate(net.outputs))
+            assert product == a * b
+
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            wallace_multiplier(1)
+        with pytest.raises(ValueError):
+            wallace_multiplier(7)
+
+    def test_equivalent_to_array_multiplier(self):
+        """Two very different multiplier topologies, one function —
+        proven by the CEC application, not just sampled."""
+        wallace = wallace_multiplier(3)
+        array = array_multiplier(3)
+        assert set(wallace.inputs) == set(array.inputs)
+        assert len(wallace.outputs) == len(array.outputs)
+        # Align output names: both emit LSB-first product bits.
+        array_aligned = array.copy()
+        # Build rename-free comparison via a fresh interface mapping:
+        # simulate-based equivalence needs identical output names, so
+        # compare through renamed copies.
+        from repro.circuits.network import Network
+        from repro.circuits.gates import GateType
+
+        def with_product_outputs(net, prefix):
+            dup = Network(name=net.name + "_std")
+            for n in net.topological_order():
+                g = net.gate(n)
+                if g.gate_type is GateType.INPUT:
+                    dup.add_input(n)
+                else:
+                    dup.add_gate(n, g.gate_type, g.inputs)
+            for i, out in enumerate(net.outputs):
+                dup.add_gate(f"prod{i}", GateType.BUF, [out])
+            dup.set_outputs([f"prod{i}" for i in range(len(net.outputs))])
+            return dup
+
+        result = check_equivalence(
+            with_product_outputs(wallace, "w"),
+            with_product_outputs(array_aligned, "a"),
+        )
+        assert result.equivalent

@@ -1,0 +1,74 @@
+"""Tests for the ISCAS85 .bench reader/writer."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.simulate import networks_equivalent
+from repro.gen.benchmarks import C17_BENCH
+from repro.io.bench import (
+    BenchFormatError,
+    dump_bench,
+    dumps_bench,
+    load_bench,
+    loads_bench,
+)
+from tests.conftest import make_random_network
+
+
+class TestParse:
+    def test_c17_parses(self):
+        net = loads_bench(C17_BENCH, name="c17")
+        assert len(net.inputs) == 5
+        assert len(net.outputs) == 2
+        assert net.num_gates() == 6
+        assert net.gate("22").gate_type is GateType.NAND
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\n# mid\nOUTPUT(z)\nz = NOT(a)\n"
+        net = loads_bench(text)
+        assert net.gate("z").gate_type is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(z)\nz = not(a)\n"
+        net = loads_bench(text)
+        assert net.inputs == ("a",)
+
+    def test_forward_references_allowed(self):
+        text = "INPUT(a)\nOUTPUT(z)\nz = NOT(w)\nw = BUF(a)\n"
+        net = loads_bench(text)
+        assert net.gate("z").inputs == ("w",)
+        net.topological_order()  # must not raise
+
+    def test_constants_extension(self):
+        text = "OUTPUT(z)\nz = CONST1()\n"
+        net = loads_bench(text)
+        assert net.gate("z").gate_type is GateType.CONST1
+
+    def test_bad_line_raises(self):
+        with pytest.raises(BenchFormatError):
+            loads_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(BenchFormatError):
+            loads_bench("INPUT(a)\nOUTPUT(z)\nz = MAJ(a, a, a)\n")
+
+
+class TestRoundTrip:
+    def test_c17_roundtrip_equivalent(self):
+        net = loads_bench(C17_BENCH, name="c17")
+        again = loads_bench(dumps_bench(net), name="c17")
+        assert networks_equivalent(net, again)
+
+    def test_random_roundtrip(self):
+        for seed in range(5):
+            net = make_random_network(seed, num_inputs=4, num_gates=8)
+            again = loads_bench(dumps_bench(net))
+            assert networks_equivalent(net, again)
+
+    def test_file_roundtrip(self, tmp_path):
+        net = loads_bench(C17_BENCH, name="c17")
+        path = tmp_path / "c17.bench"
+        dump_bench(net, path)
+        again = load_bench(path)
+        assert networks_equivalent(net, again)
+        assert again.name == "c17"

@@ -1,0 +1,110 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.simulate import networks_equivalent, simulate_pattern
+from repro.io.blif import (
+    BlifFormatError,
+    dump_blif,
+    dumps_blif,
+    load_blif,
+    loads_blif,
+)
+from tests.conftest import make_random_network
+
+SIMPLE = """\
+.model demo
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+"""
+
+
+class TestParse:
+    def test_simple_model(self):
+        net = loads_blif(SIMPLE)
+        assert net.name == "demo"
+        assert net.inputs == ("a", "b", "c")
+        assert simulate_pattern(net, {"a": 1, "b": 1, "c": 0})["z"] == 1
+        assert simulate_pattern(net, {"a": 0, "b": 1, "c": 0})["z"] == 0
+
+    def test_inverted_literals_in_cover(self):
+        text = ".model m\n.inputs a b\n.outputs z\n.names a b z\n01 1\n.end\n"
+        net = loads_blif(text)
+        assert simulate_pattern(net, {"a": 0, "b": 1})["z"] == 1
+        assert simulate_pattern(net, {"a": 1, "b": 1})["z"] == 0
+
+    def test_off_set_cover(self):
+        # z = 0 exactly when a=1,b=1 → z = NAND(a,b).
+        text = ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 0\n.end\n"
+        net = loads_blif(text)
+        assert simulate_pattern(net, {"a": 1, "b": 1})["z"] == 0
+        assert simulate_pattern(net, {"a": 0, "b": 1})["z"] == 1
+
+    def test_constant_one(self):
+        text = ".model m\n.inputs a\n.outputs z\n.names z\n1\n.end\n"
+        net = loads_blif(text)
+        assert simulate_pattern(net, {"a": 0})["z"] == 1
+
+    def test_constant_zero(self):
+        text = ".model m\n.inputs a\n.outputs z\n.names z\n.end\n"
+        net = loads_blif(text)
+        assert simulate_pattern(net, {"a": 0})["z"] == 0
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n"
+        net = loads_blif(text)
+        assert net.inputs == ("a", "b")
+
+    def test_latch_rejected(self):
+        text = ".model m\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n"
+        with pytest.raises(BlifFormatError):
+            loads_blif(text)
+
+    def test_row_width_mismatch_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs z\n.names a b z\n111 1\n.end\n"
+        with pytest.raises(BlifFormatError):
+            loads_blif(text)
+
+    def test_cover_row_outside_names_rejected(self):
+        with pytest.raises(BlifFormatError):
+            loads_blif(".model m\n11 1\n.end\n")
+
+
+class TestRoundTrip:
+    def test_random_roundtrip(self):
+        for seed in range(5):
+            net = make_random_network(seed, num_inputs=4, num_gates=8)
+            again = loads_blif(dumps_blif(net))
+            assert networks_equivalent(net, again)
+
+    def test_gate_alphabet_roundtrip(self):
+        from repro.circuits.build import NetworkBuilder
+
+        builder = NetworkBuilder("alpha")
+        a, b, c = builder.inputs(3)
+        builder.outputs(
+            builder.and_(a, b, name="g_and"),
+            builder.or_(b, c, name="g_or"),
+            builder.nand(a, c, name="g_nand"),
+            builder.nor(a, b, name="g_nor"),
+            builder.xor(a, b, name="g_xor"),
+            builder.xnor(b, c, name="g_xnor"),
+            builder.not_(a, name="g_not"),
+            builder.buf(c, name="g_buf"),
+        )
+        net = builder.build()
+        again = loads_blif(dumps_blif(net))
+        assert networks_equivalent(net, again)
+
+    def test_file_roundtrip(self, tmp_path):
+        net = make_random_network(1)
+        path = tmp_path / "x.blif"
+        dump_blif(net, path)
+        assert networks_equivalent(net, load_blif(path))

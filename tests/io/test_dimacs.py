@@ -1,0 +1,67 @@
+"""Tests for DIMACS CNF I/O."""
+
+import pytest
+
+from repro.io.dimacs import (
+    DimacsFormatError,
+    dump_dimacs,
+    dumps_dimacs,
+    load_dimacs,
+    loads_dimacs,
+)
+from repro.sat.cnf import formula_from_ints
+from repro.sat.dpll import solve_dpll
+
+
+class TestWrite:
+    def test_header_counts(self):
+        formula = formula_from_ints([[1, -2], [2, 3]])
+        text, index = dumps_dimacs(formula)
+        assert "p cnf 3 2" in text
+        assert set(index.values()) == {1, 2, 3}
+
+    def test_name_comments_emitted(self):
+        formula = formula_from_ints([[1]])
+        text, _ = dumps_dimacs(formula)
+        assert "c var 1 = x1" in text
+
+
+class TestRead:
+    def test_basic(self):
+        formula = loads_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")
+        assert formula.num_clauses() == 2
+        assert solve_dpll(formula).is_sat
+
+    def test_names_recovered(self):
+        formula = loads_dimacs("c var 1 = alpha\np cnf 1 1\n1 0\n")
+        assert formula.variables == ("alpha",)
+
+    def test_clause_without_trailing_zero(self):
+        formula = loads_dimacs("p cnf 2 1\n1 2")
+        assert formula.num_clauses() == 1
+
+    def test_bad_header(self):
+        with pytest.raises(DimacsFormatError):
+            loads_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(DimacsFormatError):
+            loads_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_too_many_clauses_rejected(self):
+        with pytest.raises(DimacsFormatError):
+            loads_dimacs("p cnf 2 1\n1 0\n2 0\n")
+
+
+class TestRoundTrip:
+    def test_semantic_roundtrip(self):
+        formula = formula_from_ints([[1, -2], [2, 3], [-1, -3], [2]])
+        text, _ = dumps_dimacs(formula)
+        again = loads_dimacs(text)
+        assert again == formula
+
+    def test_file_roundtrip(self, tmp_path):
+        formula = formula_from_ints([[1, 2], [-1]])
+        path = tmp_path / "f.cnf"
+        dump_dimacs(formula, path)
+        assert load_dimacs(path) == formula

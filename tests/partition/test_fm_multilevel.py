@@ -1,0 +1,120 @@
+"""Tests for FM and multilevel hypergraph bisection."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+from repro.partition.fm import edge_cut, fm_bisect
+from repro.partition.multilevel import multilevel_bisect
+
+
+def two_cliques(k: int, bridge_edges: int = 1) -> Hypergraph:
+    """Two k-cliques joined by a few bridges: obvious optimal bisection."""
+    vertices = tuple(f"a{i}" for i in range(k)) + tuple(
+        f"b{i}" for i in range(k)
+    )
+    edges = []
+    for side in "ab":
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((f"{side}e{i}_{j}", (f"{side}{i}", f"{side}{j}")))
+    for i in range(bridge_edges):
+        edges.append((f"bridge{i}", (f"a{i}", f"b{i}")))
+    return Hypergraph(vertices, tuple(edges))
+
+
+def random_hypergraph(seed: int, n: int = 24, m: int = 40) -> Hypergraph:
+    rng = random.Random(seed)
+    vertices = tuple(f"v{i}" for i in range(n))
+    edges = []
+    for index in range(m):
+        size = rng.randint(2, 4)
+        edges.append((f"e{index}", tuple(rng.sample(vertices, size))))
+    return Hypergraph(vertices, tuple(edges))
+
+
+class TestFm:
+    def test_finds_obvious_cut(self):
+        graph = two_cliques(6)
+        result = fm_bisect(graph, seed=3)
+        assert result.cut == 1
+        assert {v[0] for v in result.left} in ({"a"}, {"b"})
+
+    def test_balance_respected(self):
+        graph = random_hypergraph(1)
+        result = fm_bisect(graph, balance=0.1)
+        n = graph.num_vertices
+        assert min(len(result.left), len(result.right)) >= int(0.4 * n) - 1
+
+    def test_cut_value_consistent(self):
+        graph = random_hypergraph(2)
+        result = fm_bisect(graph)
+        side_of = {v: 0 for v in result.left}
+        side_of.update({v: 1 for v in result.right})
+        assert edge_cut(graph, side_of) == result.cut
+
+    def test_trivial_graphs(self):
+        assert fm_bisect(Hypergraph((), ())).cut == 0
+        assert fm_bisect(Hypergraph(("a",), ())).cut == 0
+
+    def test_initial_partition_respected_as_seed(self):
+        graph = two_cliques(5)
+        left = [f"a{i}" for i in range(5)]
+        result = fm_bisect(graph, initial_left=left)
+        assert result.cut == 1
+
+    def test_locked_vertices_stay(self):
+        graph = two_cliques(4)
+        result = fm_bisect(
+            graph, locked_left=("a0",), locked_right=("b0",), seed=5
+        )
+        assert "a0" not in result.left + result.right
+        assert "b0" not in result.left + result.right
+        # Cut still counts edges incident to anchors.
+        assert result.cut >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_partition_is_always_valid(self, seed):
+        graph = random_hypergraph(seed, n=16, m=24)
+        result = fm_bisect(graph, seed=seed)
+        assert sorted(result.left + result.right) == sorted(graph.vertices)
+        assert not set(result.left) & set(result.right)
+
+
+class TestMultilevel:
+    def test_finds_obvious_cut_large(self):
+        graph = two_cliques(9, bridge_edges=2)
+        result = multilevel_bisect(graph, seed=1)
+        assert result.cut == 2
+
+    def test_never_worse_than_random_split(self):
+        for seed in range(5):
+            graph = random_hypergraph(seed, n=40, m=70)
+            result = multilevel_bisect(graph, seed=seed)
+            rng = random.Random(seed)
+            vertices = list(graph.vertices)
+            rng.shuffle(vertices)
+            side_of = {
+                v: (0 if i < len(vertices) // 2 else 1)
+                for i, v in enumerate(vertices)
+            }
+            assert result.cut <= edge_cut(graph, side_of)
+
+    def test_partition_valid(self):
+        graph = random_hypergraph(9, n=50, m=80)
+        result = multilevel_bisect(graph)
+        assert sorted(result.left + result.right) == sorted(graph.vertices)
+
+    def test_locked_anchor_bias(self):
+        """Anchors pull their neighbours to the right side."""
+        graph = two_cliques(8)
+        result = multilevel_bisect(
+            graph, locked_left=("a0",), locked_right=("b0",), seed=0
+        )
+        left_families = {v[0] for v in result.left}
+        right_families = {v[0] for v in result.right}
+        assert left_families == {"a"}
+        assert right_families == {"b"}

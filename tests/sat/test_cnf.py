@@ -1,0 +1,121 @@
+"""Unit tests for CNF formulas, literals and sub-formula reduction."""
+
+import pytest
+
+from repro.sat.cnf import (
+    CnfFormula,
+    Literal,
+    clause,
+    formula_from_ints,
+    has_null_clause,
+    neg,
+    pos,
+    reduce_clauses,
+    sub_formula_variables,
+)
+
+
+class TestLiteral:
+    def test_invert(self):
+        assert ~pos("x") == neg("x")
+        assert ~~pos("x") == pos("x")
+
+    def test_value_under(self):
+        assert pos("x").value_under({"x": 1}) == 1
+        assert neg("x").value_under({"x": 1}) == 0
+        assert pos("x").value_under({}) is None
+
+    def test_str(self):
+        assert str(pos("x")) == "x"
+        assert str(neg("x")) == "~x"
+
+    def test_ordering_deterministic(self):
+        lits = sorted([pos("b"), neg("a"), pos("a")])
+        assert lits[0].variable == "a"
+
+
+class TestFormula:
+    def setup_method(self):
+        # (a + ~b)(b + c)
+        self.formula = CnfFormula(
+            [clause(pos("a"), neg("b")), clause(pos("b"), pos("c"))]
+        )
+
+    def test_variables_sorted(self):
+        assert self.formula.variables == ("a", "b", "c")
+
+    def test_counts(self):
+        assert self.formula.num_clauses() == 2
+        assert self.formula.num_variables() == 3
+
+    def test_evaluate_total(self):
+        assert self.formula.evaluate({"a": 1, "b": 1, "c": 0}) is True
+        assert self.formula.evaluate({"a": 0, "b": 1, "c": 0}) is False
+
+    def test_evaluate_partial(self):
+        assert self.formula.evaluate({"a": 1}) is None
+        assert self.formula.evaluate({"b": 1, "a": 0}) is False
+
+    def test_with_unit(self):
+        extended = self.formula.with_unit(neg("c"))
+        assert extended.num_clauses() == 3
+
+    def test_equality_and_hash(self):
+        same = CnfFormula(
+            [clause(pos("b"), pos("c")), clause(pos("a"), neg("b"))]
+        )
+        assert self.formula == same
+        assert hash(self.formula) == hash(same)
+
+    def test_stats(self):
+        stats = self.formula.stats()
+        assert stats["clauses"] == 2
+        assert stats["literals"] == 4
+
+    def test_duplicate_clauses_collapse(self):
+        formula = CnfFormula([clause(pos("a")), clause(pos("a"))])
+        assert formula.num_clauses() == 1
+
+
+class TestReduction:
+    def test_satisfied_clause_dropped(self):
+        sub = reduce_clauses([clause(pos("a"), pos("b"))], {"a": 1})
+        assert sub == frozenset()
+
+    def test_false_literal_removed(self):
+        sub = reduce_clauses([clause(pos("a"), pos("b"))], {"a": 0})
+        assert sub == frozenset({clause(pos("b"))})
+
+    def test_null_clause_created(self):
+        sub = reduce_clauses([clause(pos("a"))], {"a": 0})
+        assert has_null_clause(sub)
+
+    def test_restrict_matches_assign(self):
+        formula = CnfFormula([clause(pos("a"), neg("b"))])
+        assert formula.restrict("b", 1) == formula.assign({"b": 1})
+
+    def test_sub_formula_variables(self):
+        sub = reduce_clauses(
+            [clause(pos("a"), pos("b")), clause(neg("c"))], {"a": 0}
+        )
+        assert sub_formula_variables(sub) == {"b", "c"}
+
+    def test_identity_of_subformulas(self):
+        """The paper's footnote: identity = same clause set."""
+        f = CnfFormula(
+            [clause(pos("a"), pos("b")), clause(pos("c"), pos("b"))]
+        )
+        # Assigning b=1 from different partial assignments gives the same
+        # (empty) sub-formula object.
+        assert f.assign({"b": 1, "a": 0}) == f.assign({"b": 1, "a": 1})
+
+
+class TestFromInts:
+    def test_basic(self):
+        formula = formula_from_ints([[1, -2], [2, 3]])
+        assert formula.num_variables() == 3
+        assert formula.evaluate({"x1": 1, "x2": 0, "x3": 1}) is True
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            formula_from_ints([[0]])

@@ -1,0 +1,61 @@
+"""Unit tests for the integer CNF compilation layer."""
+
+from repro.sat.cnf import clause, formula_from_ints, neg, pos
+from repro.sat.cnf import CnfFormula
+from repro.sat.compile import (
+    compile_formula,
+    is_positive,
+    lit_of,
+    negate,
+    var_of,
+)
+
+
+class TestLiteralEncoding:
+    def test_roundtrip(self):
+        for var in (0, 1, 7):
+            for positive in (True, False):
+                lit = lit_of(var, positive)
+                assert var_of(lit) == var
+                assert is_positive(lit) == positive
+
+    def test_negate_involution(self):
+        lit = lit_of(3, True)
+        assert negate(negate(lit)) == lit
+        assert is_positive(negate(lit)) is False
+
+
+class TestCompile:
+    def test_variable_order_deterministic(self):
+        formula = formula_from_ints([[2, -1], [3]])
+        compiled = compile_formula(formula)
+        assert compiled.name_of == ["x1", "x2", "x3"]
+        assert compiled.index_of["x1"] == 0
+
+    def test_clause_count_preserved(self):
+        formula = formula_from_ints([[1, 2], [-1, 3], [2]])
+        compiled = compile_formula(formula)
+        assert len(compiled.clauses) == 3
+
+    def test_tautology_dropped(self):
+        formula = CnfFormula([clause(pos("a"), neg("a"), pos("b"))])
+        compiled = compile_formula(formula)
+        assert compiled.clauses == []
+
+    def test_duplicate_literals_merged(self):
+        # frozenset clauses already dedupe, but check the int side too.
+        formula = CnfFormula([clause(pos("a"), pos("b"))])
+        compiled = compile_formula(formula)
+        assert len(compiled.clauses[0]) == 2
+
+    def test_decode_assignment(self):
+        formula = formula_from_ints([[1, -2]])
+        compiled = compile_formula(formula)
+        decoded = compiled.decode_assignment([1, 0])
+        assert decoded == {"x1": 1, "x2": 0}
+
+    def test_decode_skips_unassigned(self):
+        formula = formula_from_ints([[1, -2]])
+        compiled = compile_formula(formula)
+        decoded = compiled.decode_assignment([1, -1])
+        assert decoded == {"x1": 1}

@@ -1,0 +1,122 @@
+"""Tests for the Section 3.1 easy-class recognisers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import NetworkBuilder
+from repro.sat.cnf import CnfFormula, clause, formula_from_ints, neg, pos
+from repro.sat.horn import (
+    classify,
+    is_2sat,
+    is_hidden_horn,
+    is_horn,
+    is_q_horn,
+)
+from repro.sat.tseitin import circuit_sat_formula
+
+
+class TestHorn:
+    def test_horn_formula(self):
+        # (~a + ~b + c)(~c + d)(a)
+        formula = formula_from_ints([[-1, -2, 3], [-3, 4], [1]])
+        assert is_horn(formula)
+
+    def test_non_horn(self):
+        formula = formula_from_ints([[1, 2]])
+        assert not is_horn(formula)
+
+    def test_empty_is_horn(self):
+        assert is_horn(CnfFormula([]))
+
+
+class Test2Sat:
+    def test_two_literal_clauses(self):
+        assert is_2sat(formula_from_ints([[1, -2], [2, 3]]))
+
+    def test_three_literal_clause(self):
+        assert not is_2sat(formula_from_ints([[1, 2, 3]]))
+
+
+class TestHiddenHorn:
+    def test_all_positive_is_hidden_horn(self):
+        # Flip every variable → all-negative = Horn.
+        formula = formula_from_ints([[1, 2, 3], [1, 2]])
+        assert is_hidden_horn(formula)
+
+    def test_horn_is_hidden_horn(self):
+        formula = formula_from_ints([[-1, -2, 3], [-3, 4]])
+        assert is_hidden_horn(formula)
+
+    def test_known_non_renamable(self):
+        # (a+b)(~a+~b)(a+~b)(~a+b) — every renaming leaves a clause with
+        # two positive literals.
+        formula = formula_from_ints([[1, 2], [-1, -2], [1, -2], [-1, 2]])
+        assert not is_hidden_horn(formula)
+
+
+class TestQHorn:
+    def test_horn_is_q_horn(self):
+        formula = formula_from_ints([[-1, -2, 3], [-3, 4], [1]])
+        assert is_q_horn(formula)
+
+    def test_2sat_is_q_horn(self):
+        formula = formula_from_ints([[1, -2], [2, 3], [-1, -3]])
+        assert is_q_horn(formula)
+
+    def test_hidden_horn_is_q_horn(self):
+        formula = formula_from_ints([[1, 2, 3]])
+        assert is_q_horn(formula)
+
+    def test_non_q_horn(self):
+        # (a+b+c) forces α_a+α_b+α_c ≤ 1, while (~a+~b), (~b+~c), (~a+~c)
+        # force every pairwise sum ≥ 1, so α_a+α_b+α_c ≥ 1.5 — infeasible.
+        formula = formula_from_ints(
+            [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3]]
+        )
+        assert not is_q_horn(formula)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_class_hierarchy(self, seed):
+        """Horn, hidden-Horn and 2-SAT are all subclasses of q-Horn."""
+        import random
+
+        rng = random.Random(seed)
+        clauses = []
+        for _ in range(8):
+            width = rng.choice((1, 2, 3))
+            chosen = rng.sample(range(1, 6), width)
+            clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+        formula = formula_from_ints(clauses)
+        labels = classify(formula)
+        if labels["horn"] or labels["2sat"] or labels["hidden_horn"]:
+            assert labels["q_horn"]
+
+
+class TestAtpgSatNotEasy:
+    def test_or_gate_circuit_sat_not_horn(self):
+        """Section 3.1's claim: circuit formulas with OR gates are not
+        Horn (the OR gate's last clause has two positive literals)."""
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.or_(a, b, name="z"))
+        formula = circuit_sat_formula(builder.build())
+        assert not is_horn(formula)
+
+    def test_example_circuit_formula_not_q_horn(self):
+        """A small reconvergent AND/OR circuit's CIRCUIT-SAT formula
+        falls outside q-Horn — the paper's argument that easy SAT
+        classes cannot explain ATPG's easiness."""
+        builder = NetworkBuilder()
+        a, b, c = builder.inputs(3)
+        x = builder.or_(a, b, name="x")
+        y = builder.or_(b, c, name="y")
+        z = builder.and_(x, y, name="z")
+        w = builder.or_(x, z, name="w")
+        builder.outputs(w)
+        formula = circuit_sat_formula(builder.build())
+        labels = classify(formula)
+        assert not labels["horn"]
+        assert not labels["2sat"]
+        # The decisive claim:
+        assert not labels["q_horn"]

@@ -1,0 +1,113 @@
+"""Tests for TEGUS-style static implication learning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.decompose import tech_decompose
+from repro.sat.cnf import formula_from_ints
+from repro.sat.dpll import solve_dpll
+from repro.sat.implications import (
+    binary_implication_closure,
+    static_learning,
+    with_static_implications,
+)
+from repro.sat.tseitin import circuit_sat_formula
+from tests.conftest import make_random_network
+from tests.sat.test_solvers import brute_force_sat, random_formula
+
+
+class TestBinaryClosure:
+    def test_chain_closed(self):
+        # (¬1∨2)(¬2∨3): closure adds (¬1∨3).
+        formula = formula_from_ints([[-1, 2], [-2, 3]])
+        new = binary_implication_closure(formula)
+        as_sets = {frozenset(str(l) for l in c) for c in new}
+        assert frozenset({"~x1", "x3"}) in as_sets
+
+    def test_no_binary_clauses(self):
+        formula = formula_from_ints([[1, 2, 3]])
+        assert binary_implication_closure(formula) == []
+
+    def test_cap_respected(self):
+        clauses = [[-i, i + 1] for i in range(1, 20)]
+        formula = formula_from_ints(clauses)
+        assert len(binary_implication_closure(formula, max_new=5)) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_closure_preserves_satisfiability(self, seed):
+        formula = random_formula(seed, num_vars=5, num_clauses=10)
+        expected = brute_force_sat(formula)
+        strengthened = formula.with_clauses(
+            binary_implication_closure(formula)
+        )
+        assert brute_force_sat(strengthened) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_closure_clauses_are_implied(self, seed):
+        """Every learned clause is entailed: formula ∧ ¬clause is UNSAT."""
+        formula = random_formula(seed, num_vars=5, num_clauses=9)
+        for clause in binary_implication_closure(formula)[:5]:
+            refutation = formula
+            for literal in clause:
+                refutation = refutation.with_unit(~literal)
+            assert not brute_force_sat(refutation)
+
+
+class TestStaticLearning:
+    def test_indirect_implication_found(self):
+        """z = AND(x, y), x = AND(a, b): a=0 forces z=0 two levels away."""
+        builder = NetworkBuilder()
+        a, b, c = builder.inputs(3)
+        x = builder.and_(a, b, name="x")
+        z = builder.and_(x, c, name="z")
+        builder.outputs(z)
+        net = builder.build()
+        learned = static_learning(net)
+        rendered = {tuple(sorted(str(l) for l in cl)) for cl in learned}
+        assert ("in0", "~z") in rendered  # ¬a → ¬z  ≡  (a ∨ ¬z)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_learning_preserves_answers(self, seed):
+        net = tech_decompose(make_random_network(seed, num_inputs=4, num_gates=8))
+        formula = circuit_sat_formula(net)
+        strengthened = with_static_implications(net, formula)
+        assert solve_dpll(formula).is_sat == solve_dpll(strengthened).is_sat
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_learned_clauses_entailed_by_circuit(self, seed):
+        """Simulation oracle: every learned implication holds on every
+        input vector of the circuit."""
+        from repro.circuits.simulate import exhaustive_patterns, simulate
+
+        net = tech_decompose(make_random_network(seed, num_inputs=4, num_gates=7))
+        learned = static_learning(net)
+        words, count = exhaustive_patterns(list(net.inputs))
+        values = simulate(net, words, count)
+        for clause in learned:
+            for bit in range(count):
+                assignment = {n: (v >> bit) & 1 for n, v in values.items()}
+                assert any(
+                    lit.value_under(assignment) == 1 for lit in clause
+                ), clause
+
+    def test_learning_helps_propagation(self):
+        """With learned clauses, the DPLL decision count cannot grow on a
+        deep AND-chain query (and typically shrinks)."""
+        builder = NetworkBuilder()
+        nets = builder.inputs(6)
+        acc = nets[0]
+        for other in nets[1:]:
+            acc = builder.and_(acc, other)
+        builder.outputs(acc)
+        net = builder.build()
+        formula = circuit_sat_formula(net)
+        strengthened = with_static_implications(net, formula)
+        plain = solve_dpll(formula)
+        boosted = solve_dpll(strengthened)
+        assert boosted.is_sat and plain.is_sat
+        assert boosted.stats.decisions <= plain.stats.decisions

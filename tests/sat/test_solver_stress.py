@@ -1,0 +1,96 @@
+"""Cross-solver stress tests on larger instances (no brute force).
+
+Beyond the truth-table-checked small formulas, these cross-check the
+four solvers against each other on larger random and structured
+instances where exhaustive enumeration is impossible — any disagreement
+or invalid model fails the test.
+"""
+
+import random
+
+import pytest
+
+from repro.atpg.faults import collapse_faults
+from repro.atpg.miter import UnobservableFault, atpg_sat_formula
+from repro.circuits.decompose import tech_decompose
+from repro.gen.structured import alu_slice, carry_lookahead_adder
+from repro.sat.cdcl import CdclSolver
+from repro.sat.cnf import formula_from_ints
+from repro.sat.dpll import DpllSolver
+from repro.sat.tseitin import circuit_sat_formula
+from tests.conftest import make_random_network
+
+
+def random_3sat(seed: int, num_vars: int, ratio: float):
+    """Uniform random 3-SAT at clause/variable ratio ``ratio``."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return formula_from_ints(clauses)
+
+
+class TestRandom3Sat:
+    @pytest.mark.parametrize("ratio", [2.0, 4.26, 6.0])
+    def test_dpll_and_cdcl_agree_across_phase_transition(self, ratio):
+        """Under-, at-, and over-constrained 3-SAT: the two fast solvers
+        must agree; SAT models must verify."""
+        for seed in range(6):
+            formula = random_3sat(seed, num_vars=30, ratio=ratio)
+            dpll = DpllSolver(dynamic=True, max_decisions=2_000_000).solve(
+                formula
+            )
+            cdcl = CdclSolver(max_conflicts=2_000_000).solve(formula)
+            assert dpll.is_sat == cdcl.is_sat, (seed, ratio)
+            for result in (dpll, cdcl):
+                if result.is_sat:
+                    assert formula.is_satisfied_by(result.assignment)
+
+    def test_unsat_instances_at_high_ratio(self):
+        """Ratio 8 3-SAT over 25 vars is almost surely UNSAT; both
+        solvers must prove it (not just fail to find a model)."""
+        unsat_seen = 0
+        for seed in range(4):
+            formula = random_3sat(seed + 100, num_vars=25, ratio=8.0)
+            result = CdclSolver().solve(formula)
+            if result.is_unsat:
+                unsat_seen += 1
+                assert DpllSolver(dynamic=True).solve(formula).is_unsat
+        assert unsat_seen >= 3
+
+
+class TestCircuitInstances:
+    def test_circuit_sat_larger_circuits(self):
+        """CIRCUIT-SAT on 100+ gate circuits: CDCL model must satisfy
+        the formula and set an output."""
+        for circuit in (carry_lookahead_adder(6), alu_slice(5)):
+            net = tech_decompose(circuit)
+            formula = circuit_sat_formula(net)
+            result = CdclSolver().solve(formula)
+            assert result.is_sat  # these circuits can output 1
+            assert formula.is_satisfied_by(result.assignment)
+
+    def test_atpg_instances_dpll_vs_cdcl(self):
+        """Every sampled ATPG-SAT miter instance: same verdict from the
+        structural-era (DPLL) and learning-era (CDCL) solvers."""
+        net = tech_decompose(alu_slice(3))
+        faults = collapse_faults(net)
+        for fault in faults[:: max(1, len(faults) // 12)]:
+            try:
+                formula = atpg_sat_formula(net, fault)
+            except UnobservableFault:
+                continue
+            dpll = DpllSolver(dynamic=True).solve(formula)
+            cdcl = CdclSolver().solve(formula)
+            assert dpll.is_sat == cdcl.is_sat, fault
+
+    def test_deep_random_circuits(self):
+        for seed in range(4):
+            net = tech_decompose(
+                make_random_network(seed, num_inputs=6, num_gates=40)
+            )
+            formula = circuit_sat_formula(net)
+            dpll = DpllSolver(dynamic=True).solve(formula)
+            cdcl = CdclSolver().solve(formula)
+            assert dpll.is_sat == cdcl.is_sat

@@ -1,0 +1,195 @@
+"""Solver unit tests and cross-solver agreement properties.
+
+All four solvers (simple backtracking, Algorithm 1 caching, DPLL, CDCL)
+must agree on satisfiability, and every SAT model must actually satisfy
+the formula.  Exhaustive truth-table enumeration provides the ground
+truth on small random formulas.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.backtracking import SimpleBacktrackingSolver, solve_simple
+from repro.sat.caching import CachingBacktrackingSolver, solve_caching
+from repro.sat.cdcl import CdclSolver, solve_cdcl
+from repro.sat.cnf import CnfFormula, Literal, clause, formula_from_ints, neg, pos
+from repro.sat.dpll import DpllSolver, solve_dpll
+from repro.sat.result import SatStatus
+
+ALL_SOLVERS = [solve_simple, solve_caching, solve_dpll, solve_cdcl]
+
+
+def brute_force_sat(formula: CnfFormula) -> bool:
+    variables = list(formula.variables)
+    for values in itertools.product((0, 1), repeat=len(variables)):
+        if formula.is_satisfied_by(dict(zip(variables, values))):
+            return True
+    return False
+
+
+def random_formula(seed: int, num_vars: int = 6, num_clauses: int = 14):
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.choice((1, 2, 2, 3, 3))
+        chosen = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return formula_from_ints(clauses)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("solve", ALL_SOLVERS)
+    def test_empty_formula_sat(self, solve):
+        assert solve(CnfFormula([])).is_sat
+
+    @pytest.mark.parametrize("solve", ALL_SOLVERS)
+    def test_empty_clause_unsat(self, solve):
+        assert solve(CnfFormula([frozenset()])).is_unsat
+
+    @pytest.mark.parametrize("solve", ALL_SOLVERS)
+    def test_unit_contradiction(self, solve):
+        formula = CnfFormula([clause(pos("x")), clause(neg("x"))])
+        assert solve(formula).is_unsat
+
+    @pytest.mark.parametrize("solve", ALL_SOLVERS)
+    def test_simple_sat_with_model(self, solve):
+        formula = formula_from_ints([[1, 2], [-1, 2], [1, -2]])
+        result = solve(formula)
+        assert result.is_sat
+        assert formula.is_satisfied_by(result.assignment)
+
+    @pytest.mark.parametrize("solve", ALL_SOLVERS)
+    def test_pigeonhole_2_into_1_unsat(self, solve):
+        # Two pigeons, one hole: p1h1, p2h1, not both.
+        formula = formula_from_ints([[1], [2], [-1, -2]])
+        assert solve(formula).is_unsat
+
+    def test_tautological_clause_ignored_by_compiled_solvers(self):
+        formula = CnfFormula(
+            [clause(pos("x"), neg("x")), clause(pos("y"))]
+        )
+        assert solve_dpll(formula).is_sat
+        assert solve_cdcl(formula).is_sat
+
+
+class TestAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_solvers_agree_with_brute_force(self, seed):
+        formula = random_formula(seed)
+        expected = brute_force_sat(formula)
+        for solve in ALL_SOLVERS:
+            result = solve(formula)
+            assert result.status is not SatStatus.UNKNOWN
+            assert result.is_sat == expected, solve.__name__
+            if result.is_sat:
+                assert formula.is_satisfied_by(result.assignment), solve.__name__
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_orderings_do_not_change_answer(self, seed):
+        formula = random_formula(seed, num_vars=5, num_clauses=10)
+        expected = brute_force_sat(formula)
+        variables = list(formula.variables)
+        rng = random.Random(seed)
+        rng.shuffle(variables)
+        assert solve_simple(formula, order=variables).is_sat == expected
+        assert solve_caching(formula, order=variables).is_sat == expected
+        assert solve_dpll(formula, order=variables).is_sat == expected
+
+
+class TestCachingBehaviour:
+    def test_cache_reduces_nodes(self):
+        """On a formula with two independent blocks, caching prunes the
+        cross-product of UNSAT explorations."""
+        # Block 1 over x1..x3 satisfiable; block 2 over y1..y3 unsatisfiable.
+        formula = CnfFormula(
+            [
+                clause(pos("x1"), pos("x2")),
+                clause(pos("y1")),
+                clause(neg("y1"), pos("y2")),
+                clause(neg("y2")),
+            ]
+        )
+        order = ["x1", "x2", "x3", "y1", "y2"]
+        cached = CachingBacktrackingSolver(order=order)
+        cached_result = cached.solve(formula)
+        plain = SimpleBacktrackingSolver(order=order)
+        plain_result = plain.solve(formula)
+        assert cached_result.is_unsat and plain_result.is_unsat
+        assert cached_result.stats.nodes <= plain_result.stats.nodes
+
+    def test_caching_never_explores_more_than_simple(self):
+        for seed in range(25):
+            formula = random_formula(seed, num_vars=6, num_clauses=16)
+            order = list(formula.variables)
+            cached = CachingBacktrackingSolver(order=order).solve(formula)
+            plain = SimpleBacktrackingSolver(order=order).solve(formula)
+            assert cached.is_sat == plain.is_sat
+            assert cached.stats.nodes <= plain.stats.nodes
+
+    def test_trace_collects_dcsfs(self):
+        formula = random_formula(3, num_vars=5, num_clauses=10)
+        solver = CachingBacktrackingSolver(
+            order=list(formula.variables), collect_trace=True
+        )
+        solver.solve(formula)
+        assert solver.trace is not None
+        assert solver.trace.total_dcsf() >= 0
+        assert len(solver.trace.sub_formulas_per_depth) == len(formula.variables)
+
+    def test_node_budget_gives_unknown(self):
+        formula = random_formula(11, num_vars=8, num_clauses=20)
+        result = CachingBacktrackingSolver(max_nodes=1).solve(formula)
+        assert result.status in (SatStatus.UNKNOWN, SatStatus.SAT, SatStatus.UNSAT)
+
+
+class TestDpllInternals:
+    def test_unit_propagation_counted(self):
+        # Chain of implications forces propagations.
+        formula = formula_from_ints([[1], [-1, 2], [-2, 3], [-3, 4]])
+        result = solve_dpll(formula)
+        assert result.is_sat
+        assert result.assignment["x4"] == 1
+
+    def test_dynamic_heuristic(self):
+        formula = random_formula(17, num_vars=7, num_clauses=18)
+        static = solve_dpll(formula, dynamic=False)
+        dynamic = solve_dpll(formula, dynamic=True)
+        assert static.is_sat == dynamic.is_sat
+
+    def test_decision_budget(self):
+        formula = random_formula(23, num_vars=10, num_clauses=30)
+        result = DpllSolver(max_decisions=1).solve(formula)
+        assert result.status in (SatStatus.UNKNOWN, SatStatus.SAT, SatStatus.UNSAT)
+
+
+class TestCdclInternals:
+    def test_learns_clauses_on_unsat(self):
+        # Small unsatisfiable formula requiring some search.
+        formula = formula_from_ints(
+            [[1, 2], [1, -2], [-1, 3], [-1, -3]]
+        )
+        result = solve_cdcl(formula)
+        assert result.is_unsat
+        assert result.stats.conflicts >= 1
+
+    def test_phase_hints_respected_when_free(self):
+        formula = formula_from_ints([[1, 2]])
+        result = CdclSolver(phase_hint={"x1": 1}).solve(formula)
+        assert result.is_sat
+
+    def test_restarts_do_not_break_completeness(self):
+        for seed in range(10):
+            formula = random_formula(seed + 500, num_vars=8, num_clauses=24)
+            result = CdclSolver(restart_interval=2).solve(formula)
+            assert result.is_sat == brute_force_sat(formula)
+
+    def test_conflict_budget(self):
+        formula = random_formula(31, num_vars=12, num_clauses=40)
+        result = CdclSolver(max_conflicts=0).solve(formula)
+        assert result.status in (SatStatus.UNKNOWN, SatStatus.SAT, SatStatus.UNSAT)

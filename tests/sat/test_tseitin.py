@@ -1,0 +1,119 @@
+"""Tests for the Figure 2 circuit → CNF encoding.
+
+The key property: for every gate and every input combination, the gate
+clauses are satisfied exactly when the output variable equals the gate
+function — checked exhaustively per gate type, and end-to-end on random
+circuits against the simulator.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.build import NetworkBuilder
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.network import Gate
+from repro.circuits.simulate import exhaustive_patterns, simulate
+from repro.sat.cnf import CnfFormula
+from repro.sat.tseitin import (
+    circuit_sat_formula,
+    gate_clauses,
+    justification_formula,
+    output_assertion_clause,
+)
+from tests.conftest import make_random_network
+
+_TYPES_2IN = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestGateClauses:
+    @pytest.mark.parametrize("gate_type", _TYPES_2IN)
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_clauses_characterise_gate(self, gate_type, arity):
+        if gate_type in (GateType.XOR, GateType.XNOR) and arity > 4:
+            pytest.skip("direct encoding capped")
+        inputs = tuple(f"i{k}" for k in range(arity))
+        gate = Gate("z", gate_type, inputs)
+        formula = CnfFormula(gate_clauses(gate))
+        for values in itertools.product((0, 1), repeat=arity):
+            expected = evaluate_gate(gate_type, list(values)) & 1
+            for out in (0, 1):
+                assignment = dict(zip(inputs, values))
+                assignment["z"] = out
+                satisfied = formula.evaluate(assignment)
+                assert satisfied is (out == expected)
+
+    @pytest.mark.parametrize(
+        "gate_type,table",
+        [
+            (GateType.NOT, {0: 1, 1: 0}),
+            (GateType.BUF, {0: 0, 1: 1}),
+        ],
+    )
+    def test_unary_gates(self, gate_type, table):
+        gate = Gate("z", gate_type, ("a",))
+        formula = CnfFormula(gate_clauses(gate))
+        for a, expected in table.items():
+            for out in (0, 1):
+                assert formula.evaluate({"a": a, "z": out}) is (out == expected)
+
+    def test_constants(self):
+        f0 = CnfFormula(gate_clauses(Gate("z", GateType.CONST0)))
+        assert f0.evaluate({"z": 0}) is True
+        assert f0.evaluate({"z": 1}) is False
+        f1 = CnfFormula(gate_clauses(Gate("z", GateType.CONST1)))
+        assert f1.evaluate({"z": 1}) is True
+
+    def test_input_contributes_nothing(self):
+        assert gate_clauses(Gate("a", GateType.INPUT)) == []
+
+    def test_wide_xor_rejected(self):
+        gate = Gate("z", GateType.XOR, tuple(f"i{k}" for k in range(5)))
+        with pytest.raises(ValueError):
+            gate_clauses(gate)
+
+
+class TestCircuitFormula:
+    def test_output_assertion(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.and_(a, b, name="z"))
+        net = builder.build()
+        assertion = output_assertion_clause(net)
+        assert len(assertion) == 1
+
+    def test_no_outputs_raises(self):
+        builder = NetworkBuilder()
+        builder.inputs(1)
+        with pytest.raises(ValueError):
+            output_assertion_clause(builder.build())
+
+    def test_justification_unknown_net(self):
+        builder = NetworkBuilder()
+        a, b = builder.inputs(2)
+        builder.outputs(builder.and_(a, b))
+        with pytest.raises(ValueError):
+            justification_formula(builder.build(), {"ghost": 1})
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_formula_consistent_with_simulation(self, seed):
+        """f(C) is satisfied by a net assignment iff it is the simulation
+        of some input vector with an output at 1."""
+        net = make_random_network(seed, num_inputs=4, num_gates=7)
+        formula = circuit_sat_formula(net)
+        words, count = exhaustive_patterns(list(net.inputs))
+        values = simulate(net, words, count)
+        for bit in range(count):
+            assignment = {n: (v >> bit) & 1 for n, v in values.items()}
+            expected = any(assignment[o] for o in net.outputs)
+            assert formula.is_satisfied_by(assignment) == expected

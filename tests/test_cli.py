@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.gen.benchmarks import C17_BENCH
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "example",
+            "fig1",
+            "fig8",
+            "gen-study",
+            "bdd-compare",
+            "ablations",
+            "atpg",
+            "cutwidth",
+        ):
+            args = parser.parse_args(
+                [command] + (["x.bench"] if command in ("atpg", "cutwidth") else [])
+            )
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "W(C, A) = 3" in out
+
+    def test_atpg_on_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert main(["atpg", str(path), "--decompose"]) == 0
+        out = capsys.readouterr().out
+        assert "fault coverage: 100.0%" in out
+
+    def test_cutwidth_on_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert main(["cutwidth", str(path), "--decompose"]) == 0
+        out = capsys.readouterr().out
+        assert "W(C, H)" in out
+
+    def test_atpg_on_blif_file(self, tmp_path, capsys):
+        blif = ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n.end\n"
+        path = tmp_path / "m.blif"
+        path.write_text(blif)
+        assert main(["atpg", str(path)]) == 0
+        assert "fault coverage" in capsys.readouterr().out

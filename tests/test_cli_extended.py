@@ -1,0 +1,66 @@
+"""Tests for the extended CLI commands (profile, suite-table, plots)."""
+
+import pytest
+
+from repro.cli import main
+from repro.gen.benchmarks import C17_BENCH
+
+C17_VERILOG = """\
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g1 (N10, N1, N3);
+  nand g2 (N11, N3, N6);
+  nand g3 (N16, N2, N11);
+  nand g4 (N19, N11, N7);
+  nand g5 (N22, N10, N16);
+  nand g6 (N23, N16, N19);
+endmodule
+"""
+
+
+class TestProfileCommand:
+    def test_profile_bench(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconvergent stems" in out
+        assert "nand=6" in out
+
+    def test_profile_verilog(self, tmp_path, capsys):
+        path = tmp_path / "c17.v"
+        path.write_text(C17_VERILOG)
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PIs=5" in out
+
+
+class TestAtpgVerilog:
+    def test_atpg_on_verilog(self, tmp_path, capsys):
+        path = tmp_path / "c17.v"
+        path.write_text(C17_VERILOG)
+        assert main(["atpg", str(path), "--decompose"]) == 0
+        assert "fault coverage: 100.0%" in capsys.readouterr().out
+
+
+class TestPlots:
+    def test_fig8_plot_flag(self, capsys):
+        assert main(["fig8", "--suite", "mcnc", "--max-faults", "2", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=data" in out
+
+    @pytest.mark.slow
+    def test_fig1_plot_flag(self, capsys):
+        assert main(["fig1", "--suite", "mcnc", "--max-faults", "2", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+
+
+class TestSuiteTableCommand:
+    def test_mcnc_table(self, capsys):
+        assert main(["suite-table", "--suite", "mcnc", "--max-faults", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Suite summary (mcnc)" in out
+        assert "W(C,H)" in out

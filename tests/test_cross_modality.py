@@ -1,0 +1,91 @@
+"""Four independent deciders of fault testability must agree.
+
+For every fault of small random circuits, testability is decided by:
+
+1. the SAT engine (CDCL on the Figure-3 miter CNF),
+2. PODEM (structural search, no CNF at all),
+3. BDDs (build the miter output BDDs; testable iff their OR is not 0),
+4. exhaustive fault simulation (ground truth by definition).
+
+Any disagreement indicates a bug in one of four nearly-disjoint code
+paths, which makes this the strongest single test in the repository.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.engine import AtpgEngine, FaultStatus
+from repro.atpg.faults import collapse_faults, inject_fault
+from repro.atpg.miter import UnobservableFault, build_atpg_circuit
+from repro.atpg.podem import PodemEngine, PodemStatus
+from repro.bdd.bdd import ZERO
+from repro.bdd.circuit_bdd import build_output_bdds
+from repro.circuits.decompose import tech_decompose
+from repro.circuits.simulate import simulate_pattern
+from tests.conftest import make_random_network
+
+
+def decide_by_bdd(network, fault) -> bool:
+    """Build BDDs of the miter's XOR outputs; testable iff any is ≠ 0."""
+    try:
+        atpg = build_atpg_circuit(network, fault)
+    except UnobservableFault:
+        return False
+    manager, roots = build_output_bdds(atpg.network)
+    return any(root != ZERO for root in roots.values())
+
+
+def decide_by_simulation(network, fault) -> bool:
+    faulty = inject_fault(network, fault)
+    inputs = list(network.inputs)
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        pattern = dict(zip(inputs, bits))
+        good = simulate_pattern(network, pattern)
+        bad = simulate_pattern(faulty, pattern)
+        if any(good[o] != bad[o] for o in network.outputs):
+            return True
+    return False
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_four_deciders_agree(seed):
+    network = tech_decompose(
+        make_random_network(seed, num_inputs=4, num_gates=7)
+    )
+    sat_engine = AtpgEngine(network)
+    podem = PodemEngine(network, max_backtracks=100_000)
+    for fault in collapse_faults(network):
+        truth = decide_by_simulation(network, fault)
+
+        sat_record = sat_engine.generate_test(fault)
+        sat_says = sat_record.status is FaultStatus.TESTED
+        if sat_record.status is FaultStatus.UNOBSERVABLE:
+            sat_says = False
+        assert sat_says == truth, ("sat", fault)
+
+        podem_result = podem.generate_test(fault)
+        assert podem_result.status is not PodemStatus.ABORTED
+        assert (podem_result.status is PodemStatus.TESTED) == truth, (
+            "podem",
+            fault,
+        )
+
+        assert decide_by_bdd(network, fault) == truth, ("bdd", fault)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_scoap_guided_podem_agrees_too(seed):
+    """SCOAP guidance changes PODEM's search order, never its verdicts."""
+    network = tech_decompose(
+        make_random_network(seed, num_inputs=4, num_gates=6)
+    )
+    plain = PodemEngine(network, max_backtracks=100_000)
+    guided = PodemEngine(network, max_backtracks=100_000, use_scoap=True)
+    for fault in collapse_faults(network):
+        a = plain.generate_test(fault)
+        b = guided.generate_test(fault)
+        assert a.status == b.status, fault
