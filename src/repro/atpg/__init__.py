@@ -9,14 +9,21 @@ from repro.atpg.engine import (
     AtpgEngine,
     AtpgRecord,
     AtpgSummary,
+    EngineStats,
     FaultStatus,
+    make_solver,
 )
 from repro.atpg.fault_sim import (
     FaultSimResult,
+    PatternBlockStore,
     fault_simulate,
     pattern_detects,
     random_pattern_coverage,
     simulate_fault,
+)
+from repro.atpg.parallel import (
+    ParallelAtpgEngine,
+    shard_faults_by_cone,
 )
 from repro.atpg.faults import (
     Fault,
@@ -42,9 +49,12 @@ __all__ = [
     "AtpgEngine",
     "AtpgRecord",
     "AtpgSummary",
+    "EngineStats",
     "Fault",
     "FaultSimResult",
     "FaultStatus",
+    "ParallelAtpgEngine",
+    "PatternBlockStore",
     "PodemEngine",
     "PodemResult",
     "PodemStatus",
@@ -61,8 +71,10 @@ __all__ = [
     "full_fault_list",
     "greedy_cover_compaction",
     "inject_fault",
+    "make_solver",
     "pattern_detects",
     "random_pattern_coverage",
+    "shard_faults_by_cone",
     "reverse_order_compaction",
     "simulate_fault",
 ]

@@ -3,13 +3,29 @@
 The flow of Larrabee [18] / Stephan et al. [24]: for each fault build the
 ATPG-SAT circuit (Figure 3), translate to CNF, and hand it to a SAT
 solver.  A satisfying assignment restricted to the primary inputs is a
-test; an UNSAT answer proves the fault untestable (redundant).  The
-engine optionally performs fault dropping — each new test is
-fault-simulated against the remaining fault list, TEGUS-style.
+test; an UNSAT answer proves the fault untestable (redundant).
+
+The engine amortises the embarrassing per-fault redundancy of that loop:
+
+* faults are ordered easiest-first by SCOAP detection cost, so cheap
+  tests are generated early and drop as much of the hard tail as
+  possible;
+* fault dropping is *batched* — generated tests accumulate in packed
+  64-wide blocks (:class:`~repro.atpg.fault_sim.PatternBlockStore`) and
+  each candidate fault is checked against whole blocks right before its
+  SAT call, which is drop-for-drop equivalent to the classic
+  re-simulate-everything-per-test pass at a fraction of the cost;
+* CNF encoding is incremental — per-gate clause blocks are memoised
+  across miters (:class:`~repro.sat.tseitin.CnfEncodingCache`), so
+  faults with overlapping fanin cones reuse clauses instead of
+  re-running Tseitin from zero;
+* fanout cones are cached per net (both polarities of a stem share one
+  traversal) and reused by miter construction and fault simulation.
 
 Per-instance records (instance size, solve time, search effort) are kept
 for every fault processed: they are exactly the data points of the
-paper's Figure 1.
+paper's Figure 1.  Per-stage timings and cache counters are aggregated
+in :class:`EngineStats` for the perf trajectory.
 """
 
 from __future__ import annotations
@@ -18,17 +34,19 @@ import enum
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.fault_sim import PatternBlockStore, fault_simulate
 from repro.atpg.faults import Fault, collapse_faults
 from repro.atpg.miter import UnobservableFault, build_atpg_circuit
+from repro.atpg.scoap import order_faults
 from repro.circuits.network import Network
 from repro.sat.caching import CachingBacktrackingSolver
 from repro.sat.cdcl import CdclSolver
 from repro.sat.cnf import CnfFormula
 from repro.sat.dpll import DpllSolver
 from repro.sat.result import SatResult, SatStatus
+from repro.sat.tseitin import CnfEncodingCache
 
 
 class FaultStatus(enum.Enum):
@@ -43,16 +61,99 @@ class FaultStatus(enum.Enum):
 
 @dataclass
 class AtpgRecord:
-    """One Figure-1 data point: a single ATPG-SAT instance."""
+    """One Figure-1 data point: a single ATPG-SAT instance.
+
+    ``solve_time`` is pure SAT search; miter construction and CNF
+    encoding are reported separately so the perf trajectory can tell the
+    stages apart.
+    """
 
     fault: Fault
     status: FaultStatus
     num_variables: int = 0
     num_clauses: int = 0
+    build_time: float = 0.0
+    encode_time: float = 0.0
     solve_time: float = 0.0
     decisions: int = 0
     conflicts: int = 0
     test: Optional[dict[str, int]] = None
+
+
+@dataclass
+class EngineStats:
+    """Aggregate perf counters for one ATPG run.
+
+    Stage times partition the hot path: ``build`` (miter construction),
+    ``encode`` (CNF translation), ``solve`` (SAT search), ``fsim``
+    (fault-dropping simulation).  Cache counters come from the
+    per-engine :class:`~repro.sat.tseitin.CnfEncodingCache`;
+    ``replay_solves`` counts coordinator-side SAT calls the parallel
+    engine needed during its reconciliation replay.
+    """
+
+    build_time: float = 0.0
+    encode_time: float = 0.0
+    solve_time: float = 0.0
+    fsim_time: float = 0.0
+    wall_time: float = 0.0
+    sat_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    good_sims: int = 0
+    cone_sims: int = 0
+    workers: int = 1
+    shards: int = 1
+    replay_solves: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of gate encodings served from the CNF cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def stage_times(self) -> dict[str, float]:
+        """Per-stage wall times, keyed by stage name."""
+        return {
+            "build": self.build_time,
+            "encode": self.encode_time,
+            "solve": self.solve_time,
+            "fsim": self.fsim_time,
+        }
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate another run's counters (parallel shard merging).
+
+        Stage times and call counters add; ``workers``/``shards`` are
+        topology facts the coordinator sets explicitly, so they are left
+        untouched here.
+        """
+        self.build_time += other.build_time
+        self.encode_time += other.encode_time
+        self.solve_time += other.solve_time
+        self.fsim_time += other.fsim_time
+        self.sat_calls += other.sat_calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.good_sims += other.good_sims
+        self.cone_sims += other.cone_sims
+        self.replay_solves += other.replay_solves
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready view (used by ``repro atpg --bench-json``)."""
+        return {
+            "stage_times": self.stage_times(),
+            "wall_time": self.wall_time,
+            "sat_calls": self.sat_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "good_sims": self.good_sims,
+            "cone_sims": self.cone_sims,
+            "workers": self.workers,
+            "shards": self.shards,
+            "replay_solves": self.replay_solves,
+        }
 
 
 @dataclass
@@ -61,9 +162,16 @@ class AtpgSummary:
 
     circuit: str
     records: list[AtpgRecord] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
 
     def by_status(self, status: FaultStatus) -> list[AtpgRecord]:
         return [r for r in self.records if r.status is status]
+
+    def status_counts(self) -> dict[str, int]:
+        """Record count per fault status (parity-test currency)."""
+        return {
+            status.value: len(self.by_status(status)) for status in FaultStatus
+        }
 
     @property
     def fault_coverage(self) -> float:
@@ -94,18 +202,29 @@ class AtpgSummary:
         ]
 
 
-SolverFactory = Callable[[], object]
+def make_solver(name: str, max_conflicts: Optional[int] = None):
+    """The single SAT-backend factory shared by every ATPG engine.
 
+    Args:
+        name: one of ``cdcl``, ``dpll``, ``dpll-static``, ``caching``.
+        max_conflicts: per-instance effort budget; scaled to the
+            backend's native unit (decisions for DPLL, nodes for the
+            caching solver).
 
-def _make_solver(name: str, **kwargs):
+    Raises:
+        ValueError: for unknown backend names.
+    """
     if name == "cdcl":
-        return CdclSolver(**kwargs)
-    if name == "dpll":
-        return DpllSolver(dynamic=True, **kwargs)
-    if name == "dpll-static":
-        return DpllSolver(dynamic=False, **kwargs)
+        return CdclSolver(max_conflicts=max_conflicts)
+    if name in ("dpll", "dpll-static"):
+        return DpllSolver(
+            dynamic=(name == "dpll"),
+            max_decisions=(
+                None if max_conflicts is None else max_conflicts * 4
+            ),
+        )
     if name == "caching":
-        return CachingBacktrackingSolver(**kwargs)
+        return CachingBacktrackingSolver(max_nodes=max_conflicts)
     raise ValueError(f"unknown solver {name!r}")
 
 
@@ -121,6 +240,9 @@ class AtpgEngine:
             reported, not silently dropped.
         validate: fault-simulate every generated test (defensive; adds
             time but catches encoder bugs).
+        drop_block_size: patterns packed per fault-dropping block.
+        order: ``auto`` (SCOAP-order the default collapsed list, keep
+            explicit lists as given), ``scoap``, or ``given``.
     """
 
     def __init__(
@@ -129,31 +251,64 @@ class AtpgEngine:
         solver: str = "cdcl",
         max_conflicts: Optional[int] = 100_000,
         validate: bool = True,
+        drop_block_size: int = 64,
+        order: str = "auto",
     ) -> None:
+        if order not in ("auto", "scoap", "given"):
+            raise ValueError(f"unknown fault order {order!r}")
         self.network = network
         self.solver_name = solver
         self.max_conflicts = max_conflicts
         self.validate = validate
+        self.drop_block_size = drop_block_size
+        self.order = order
+        self._encoding_cache = CnfEncodingCache()
+        self._cone_cache: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------
-    def generate_test(self, fault: Fault) -> AtpgRecord:
+    def fault_cone(self, net: str) -> set[str]:
+        """Cached transitive fanout of ``net`` (shared by both polarities
+        of a stem fault, miter construction, and fault simulation)."""
+        cone = self._cone_cache.get(net)
+        if cone is None:
+            cone = self.network.transitive_fanout([net])
+            self._cone_cache[net] = cone
+        return cone
+
+    def generate_test(
+        self, fault: Fault, stats: Optional[EngineStats] = None
+    ) -> AtpgRecord:
         """Run ATPG-SAT for a single fault."""
+        stats = stats if stats is not None else EngineStats()
         start = time.perf_counter()
         try:
-            atpg = build_atpg_circuit(self.network, fault)
+            atpg = build_atpg_circuit(
+                self.network, fault, tfo=self.fault_cone(fault.net)
+            )
         except UnobservableFault:
+            stats.build_time += time.perf_counter() - start
             return AtpgRecord(fault=fault, status=FaultStatus.UNOBSERVABLE)
+        built = time.perf_counter()
 
-        formula = atpg.formula()
+        formula = atpg.formula(cache=self._encoding_cache)
+        encoded = time.perf_counter()
+
         result = self._solve(formula)
-        elapsed = time.perf_counter() - start
+        solved = time.perf_counter()
+
+        stats.build_time += built - start
+        stats.encode_time += encoded - built
+        stats.solve_time += solved - encoded
+        stats.sat_calls += 1
 
         record = AtpgRecord(
             fault=fault,
             status=FaultStatus.ABORTED,
             num_variables=formula.num_variables(),
             num_clauses=formula.num_clauses(),
-            solve_time=elapsed,
+            build_time=built - start,
+            encode_time=encoded - built,
+            solve_time=solved - encoded,
             decisions=result.stats.decisions,
             conflicts=result.stats.conflicts,
         )
@@ -174,20 +329,7 @@ class AtpgEngine:
         return record
 
     def _solve(self, formula: CnfFormula) -> SatResult:
-        if self.solver_name == "cdcl":
-            solver = CdclSolver(max_conflicts=self.max_conflicts)
-        elif self.solver_name in ("dpll", "dpll-static"):
-            solver = DpllSolver(
-                dynamic=(self.solver_name == "dpll"),
-                max_decisions=(
-                    None if self.max_conflicts is None else self.max_conflicts * 4
-                ),
-            )
-        elif self.solver_name == "caching":
-            solver = CachingBacktrackingSolver(max_nodes=self.max_conflicts)
-        else:
-            raise ValueError(f"unknown solver {self.solver_name!r}")
-        return solver.solve(formula)
+        return make_solver(self.solver_name, self.max_conflicts).solve(formula)
 
     def _extract_test(self, assignment: dict[str, int]) -> dict[str, int]:
         """Project a miter model onto the circuit's primary inputs.
@@ -199,35 +341,68 @@ class AtpgEngine:
         }
 
     # ------------------------------------------------------------------
+    def ordered_faults(
+        self, faults: Optional[Sequence[Fault]] = None
+    ) -> list[Fault]:
+        """The fault list :meth:`run` would process, in processing order.
+
+        The parallel engine uses this as the canonical order its replay
+        merge reproduces.
+        """
+        explicit = faults is not None
+        fault_list = list(faults) if explicit else collapse_faults(self.network)
+        if self.order == "scoap" or (self.order == "auto" and not explicit):
+            return order_faults(self.network, fault_list)
+        return fault_list
+
     def run(
         self,
         faults: Optional[Sequence[Fault]] = None,
         fault_dropping: bool = True,
     ) -> AtpgSummary:
-        """ATPG over a fault list (collapsed list by default)."""
-        if faults is None:
-            faults = collapse_faults(self.network)
+        """ATPG over a fault list (collapsed list by default).
+
+        With ``fault_dropping``, each fault is checked against every
+        previously generated test (packed into blocks) immediately
+        before its SAT call; faults already covered are recorded as
+        DROPPED with the earliest detecting test.  This drops exactly
+        the faults the classic re-simulate-after-every-test pass would
+        drop, without its per-test sweep over the remaining list.
+        """
+        wall_start = time.perf_counter()
+        ordered = self.ordered_faults(faults)
         summary = AtpgSummary(circuit=self.network.name)
-        remaining = list(faults)
-        while remaining:
-            fault = remaining.pop(0)
-            record = self.generate_test(fault)
-            summary.records.append(record)
-            if (
-                fault_dropping
-                and record.test is not None
-                and remaining
-            ):
-                outcome = fault_simulate(self.network, remaining, [record.test])
-                if outcome.detected:
-                    dropped = set(outcome.detected)
-                    remaining = [f for f in remaining if f not in dropped]
-                    for covered in sorted(dropped):
-                        summary.records.append(
-                            AtpgRecord(
-                                fault=covered,
-                                status=FaultStatus.DROPPED,
-                                test=record.test,
-                            )
+        stats = summary.stats
+        store = PatternBlockStore(
+            self.network, block_size=self.drop_block_size
+        )
+        cache = self._encoding_cache
+        hits0, misses0 = cache.hits, cache.misses
+
+        for fault in ordered:
+            if fault_dropping and len(store):
+                fsim_start = time.perf_counter()
+                detected = store.first_detection(
+                    fault, cone=self.fault_cone(fault.net)
+                )
+                stats.fsim_time += time.perf_counter() - fsim_start
+                if detected is not None:
+                    summary.records.append(
+                        AtpgRecord(
+                            fault=fault,
+                            status=FaultStatus.DROPPED,
+                            test=store.pattern(detected),
                         )
+                    )
+                    continue
+            record = self.generate_test(fault, stats=stats)
+            summary.records.append(record)
+            if fault_dropping and record.test is not None:
+                store.add(record.test)
+
+        stats.cache_hits = cache.hits - hits0
+        stats.cache_misses = cache.misses - misses0
+        stats.good_sims = store.good_sims
+        stats.cone_sims = store.cone_sims
+        stats.wall_time = time.perf_counter() - wall_start
         return summary

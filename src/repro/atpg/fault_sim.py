@@ -40,6 +40,7 @@ def simulate_fault(
     fault: Fault,
     good_values: Mapping[str, int],
     mask: int,
+    cone: set[str] | None = None,
 ) -> int:
     """Bitmask of patterns for which ``fault`` is observable at an output.
 
@@ -48,12 +49,16 @@ def simulate_fault(
         fault: the fault to inject.
         good_values: fault-free values per net (packed words).
         mask: valid-pattern mask.
+        cone: optional precomputed transitive fanout of the fault site
+            (callers simulating a fault against many pattern blocks cache
+            this — recomputing it dominates small-cone simulations).
     """
     stuck_word = mask if fault.value else 0
     if good_values[fault.net] == stuck_word:
         return 0  # fault never excited by these patterns
 
-    cone = network.transitive_fanout([fault.net])
+    if cone is None:
+        cone = network.transitive_fanout([fault.net])
     faulty: dict[str, int] = {fault.net: stuck_word}
     for net in network.topological_order():
         if net not in cone or net == fault.net:
@@ -105,6 +110,101 @@ def fault_simulate(
         remaining = still
     result.undetected = remaining
     return result
+
+
+class PatternBlockStore:
+    """Generated tests packed into parallel blocks for batched dropping.
+
+    The engine's original dropping pass fault-simulated every remaining
+    fault against each fresh test — one 1-wide simulation block per test,
+    with a full good-circuit simulation and a cone simulation per
+    remaining fault each time.  The store instead accumulates tests into
+    ``block_size``-wide packed blocks whose good-circuit values are
+    computed once and cached; asking whether a fault is already covered
+    (:meth:`first_detection`) costs one fanout-cone simulation per
+    *block* of patterns rather than one per pattern, and full-circuit
+    good simulations happen once per block instead of once per test.
+
+    Blocks are append-only, so detection answers are stable: the earliest
+    detecting pattern index returned for a fault never changes as more
+    patterns arrive, which is what makes the parallel engine's replay
+    merge reproduce the sequential engine's drop attribution exactly.
+    """
+
+    def __init__(
+        self, network: Network, block_size: int = 64
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.network = network
+        self.block_size = block_size
+        self._patterns: list[dict[str, int]] = []
+        #: Closed blocks: (good value word per net, valid-pattern mask).
+        self._closed: list[tuple[dict[str, int], int]] = []
+        self._pending_good: tuple[dict[str, int], int] | None = None
+        self.good_sims = 0
+        self.cone_sims = 0
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def pattern(self, index: int) -> dict[str, int]:
+        """The ``index``-th added pattern."""
+        return self._patterns[index]
+
+    @property
+    def patterns(self) -> list[dict[str, int]]:
+        """All stored patterns, in insertion order."""
+        return list(self._patterns)
+
+    def add(self, pattern: Mapping[str, int]) -> None:
+        """Append a test pattern, closing the current block when full."""
+        self._patterns.append(dict(pattern))
+        self._pending_good = None
+        if len(self._patterns) == (len(self._closed) + 1) * self.block_size:
+            block = self._patterns[-self.block_size :]
+            self._closed.append(self._simulate_block(block))
+
+    def _simulate_block(
+        self, block: Sequence[Mapping[str, int]]
+    ) -> tuple[dict[str, int], int]:
+        words = pack_patterns(block, self.network.inputs)
+        mask = (1 << len(block)) - 1
+        self.good_sims += 1
+        return simulate(self.network, words, len(block)), mask
+
+    def first_detection(
+        self, fault: Fault, cone: set[str] | None = None
+    ) -> int | None:
+        """Index of the earliest stored pattern detecting ``fault``.
+
+        Returns ``None`` if no stored pattern detects it.  ``cone`` is
+        the (optionally precomputed) transitive fanout of the fault site.
+        """
+        if not self._patterns:
+            return None
+        if cone is None:
+            cone = self.network.transitive_fanout([fault.net])
+        for index, (good_values, mask) in enumerate(self._closed):
+            self.cone_sims += 1
+            hits = simulate_fault(self.network, fault, good_values, mask, cone)
+            if hits:
+                return index * self.block_size + _lowest_bit(hits)
+        pending = self._patterns[len(self._closed) * self.block_size :]
+        if pending:
+            if self._pending_good is None:
+                self._pending_good = self._simulate_block(pending)
+            good_values, mask = self._pending_good
+            self.cone_sims += 1
+            hits = simulate_fault(self.network, fault, good_values, mask, cone)
+            if hits:
+                return len(self._closed) * self.block_size + _lowest_bit(hits)
+        return None
+
+
+def _lowest_bit(word: int) -> int:
+    """Position of the least-significant set bit of a nonzero word."""
+    return (word & -word).bit_length() - 1
 
 
 def pattern_detects(

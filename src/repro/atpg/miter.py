@@ -21,7 +21,7 @@ from repro.atpg.faults import Fault
 from repro.circuits.gates import GateType
 from repro.circuits.network import Network
 from repro.sat.cnf import CnfFormula
-from repro.sat.tseitin import circuit_sat_formula
+from repro.sat.tseitin import CnfEncodingCache, circuit_sat_formula
 
 #: Name prefix for the duplicated faulty-cone nets.
 FAULTY_PREFIX = "flt$"
@@ -47,10 +47,15 @@ class AtpgCircuit:
     faulty_nets: tuple[str, ...]
     observing_outputs: tuple[str, ...]
 
-    def formula(self) -> CnfFormula:
-        """The ATPG-SAT CNF: CIRCUIT-SAT on C_ψ^ATPG."""
+    def formula(self, cache: CnfEncodingCache | None = None) -> CnfFormula:
+        """The ATPG-SAT CNF: CIRCUIT-SAT on C_ψ^ATPG.
+
+        With a ``cache``, per-gate clause blocks are shared with every
+        other miter encoded through the same cache (faults with
+        overlapping fanin cones reuse the good side's clauses verbatim).
+        """
         return circuit_sat_formula(
-            self.network, name=f"atpg({self.fault})"
+            self.network, name=f"atpg({self.fault})", cache=cache
         )
 
     def faulty_name(self, net: str) -> str:
@@ -67,7 +72,9 @@ def fault_cone_nets(network: Network, fault: Fault) -> set[str]:
     return network.transitive_fanout([fault.net])
 
 
-def sub_circuit(network: Network, fault: Fault) -> Network:
+def sub_circuit(
+    network: Network, fault: Fault, tfo: set[str] | None = None
+) -> Network:
     """C_ψ^sub: TFI of the TFO of the fault site, as a circuit of C.
 
     Its outputs are the primary outputs of C that can observe ψ.
@@ -75,7 +82,8 @@ def sub_circuit(network: Network, fault: Fault) -> Network:
     Raises:
         UnobservableFault: if no primary output lies in the fanout of X.
     """
-    tfo = fault_cone_nets(network, fault)
+    if tfo is None:
+        tfo = fault_cone_nets(network, fault)
     observing = [out for out in network.outputs if out in tfo]
     if not observing:
         raise UnobservableFault(
@@ -87,8 +95,16 @@ def sub_circuit(network: Network, fault: Fault) -> Network:
     )
 
 
-def build_atpg_circuit(network: Network, fault: Fault) -> AtpgCircuit:
+def build_atpg_circuit(
+    network: Network, fault: Fault, tfo: set[str] | None = None
+) -> AtpgCircuit:
     """Assemble C_ψ^ATPG for ``fault`` on ``network``.
+
+    Args:
+        network: the good circuit.
+        fault: the fault ψ to build the miter for.
+        tfo: optional precomputed fanout cone of ``fault.net`` (engines
+            cache cones per net — both polarities share one traversal).
 
     Raises:
         UnobservableFault: if the fault site reaches no primary output.
@@ -97,14 +113,15 @@ def build_atpg_circuit(network: Network, fault: Fault) -> AtpgCircuit:
     if not network.has_net(fault.net):
         raise ValueError(f"fault on unknown net {fault.net!r}")
 
-    tfo = fault_cone_nets(network, fault)
+    if tfo is None:
+        tfo = fault_cone_nets(network, fault)
     observing = [out for out in network.outputs if out in tfo]
     if not observing:
         raise UnobservableFault(
             f"fault {fault} cannot reach any primary output"
         )
 
-    good = sub_circuit(network, fault)
+    good = sub_circuit(network, fault, tfo=tfo)
     miter = Network(name=f"{network.name}.atpg({fault})")
 
     # Good side: copy C_ψ^sub verbatim.

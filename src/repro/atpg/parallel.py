@@ -1,0 +1,277 @@
+"""Parallel batched ATPG: shard the fault list across worker processes.
+
+The paper's Figure-1 experiment is embarrassingly parallel — thousands
+of independent ATPG-SAT instances — so the fan-out itself is easy.  The
+two things worth being careful about are *cache locality* and
+*determinism*:
+
+* **Sharding by fanout cone.**  Faults whose fanout cones overlap build
+  miters that share most of their gates, so a worker processing them
+  back-to-back gets high hit rates from its per-process
+  :class:`~repro.sat.tseitin.CnfEncodingCache`.  Faults are therefore
+  grouped by the primary outputs that can observe them and whole groups
+  are packed onto shards (greedy LPT on estimated cone work), instead of
+  striping faults round-robin.
+
+* **Deterministic reconciliation of fault dropping.**  Each worker
+  fault-drops only within its shard, so the raw union of worker records
+  depends on the sharding.  The coordinator fixes this with a *replay
+  merge*: it walks the canonical sequential fault order, re-checking
+  each fault against the tests kept so far (batched, via
+  :class:`~repro.atpg.fault_sim.PatternBlockStore`) and taking the
+  worker's SAT result otherwise.  Because an ATPG-SAT call depends only
+  on (circuit, fault) — never on dropping history — the replay
+  reproduces the sequential engine's records *exactly*: same statuses,
+  same tests, same drop attributions, regardless of worker count.  The
+  only sequential SAT calls the coordinator ever redoes itself are for
+  faults a worker dropped in-shard that the global replay does not drop
+  (counted as ``replay_solves``; rare in practice).
+
+``ParallelAtpgEngine`` falls back to in-process execution when
+``workers <= 1`` or the platform cannot fork, so results (and tests)
+never depend on the platform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atpg.engine import (
+    AtpgEngine,
+    AtpgRecord,
+    AtpgSummary,
+    EngineStats,
+    FaultStatus,
+)
+from repro.atpg.fault_sim import PatternBlockStore
+from repro.atpg.faults import Fault
+from repro.circuits.network import Network
+
+
+@dataclass
+class _ShardJob:
+    """Everything a worker needs to run one shard (must pickle)."""
+
+    network: Network
+    faults: list[Fault]
+    solver: str
+    max_conflicts: Optional[int]
+    validate: bool
+    drop_block_size: int
+    fault_dropping: bool
+
+
+def _run_shard(job: _ShardJob) -> AtpgSummary:
+    """Worker entry point: sequential ATPG over one shard."""
+    engine = AtpgEngine(
+        job.network,
+        solver=job.solver,
+        max_conflicts=job.max_conflicts,
+        validate=job.validate,
+        drop_block_size=job.drop_block_size,
+        order="given",  # shards arrive pre-ordered canonically
+    )
+    return engine.run(faults=job.faults, fault_dropping=job.fault_dropping)
+
+
+def shard_faults_by_cone(
+    network: Network, faults: Sequence[Fault], num_shards: int
+) -> list[list[Fault]]:
+    """Partition ``faults`` into cone-coherent, load-balanced shards.
+
+    Faults are grouped by the set of primary outputs observing them (a
+    cheap proxy for "miters share gates"); groups are then packed onto
+    shards greedily, heaviest first, by estimated work (total fanout-cone
+    size).  Within each shard the original fault order is preserved, so
+    workers process their slice in canonical order.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    rank = {fault: index for index, fault in enumerate(faults)}
+    outputs = set(network.outputs)
+
+    groups: dict[tuple[str, ...], list[Fault]] = {}
+    weights: dict[tuple[str, ...], int] = {}
+    net_keys: dict[str, tuple[str, ...]] = {}
+    net_sizes: dict[str, int] = {}
+    for fault in faults:
+        key = net_keys.get(fault.net)
+        if key is None:
+            cone = network.transitive_fanout([fault.net])
+            key = tuple(sorted(out for out in cone if out in outputs))
+            net_keys[fault.net] = key
+            # Estimated instance size: the miter is built from the TFI
+            # of the fanout cone, so that is the work proxy for LPT.
+            net_sizes[fault.net] = len(network.transitive_fanin(cone))
+        groups.setdefault(key, []).append(fault)
+        weights[key] = weights.get(key, 0) + net_sizes[fault.net]
+
+    shards: list[list[Fault]] = [[] for _ in range(num_shards)]
+    loads = [0] * num_shards
+    # Heaviest group first onto the least-loaded shard (LPT); ties break
+    # on the group key so the sharding is deterministic.
+    for key in sorted(groups, key=lambda k: (-weights[k], k)):
+        target = min(range(num_shards), key=lambda i: (loads[i], i))
+        shards[target].extend(groups[key])
+        loads[target] += weights[key]
+    for shard in shards:
+        shard.sort(key=lambda fault: rank[fault])
+    return [shard for shard in shards if shard]
+
+
+class ParallelAtpgEngine:
+    """Fault-parallel ATPG with sequential-identical results.
+
+    Args:
+        network: circuit under test.
+        workers: worker process count; ``None`` uses the CPU count,
+            ``1`` (or platforms without ``fork``) runs in-process.
+        shards_per_worker: shard granularity multiplier — more shards
+            smooth load imbalance at a small cache-locality cost.
+        solver / max_conflicts / validate / drop_block_size: forwarded
+            to the per-worker :class:`AtpgEngine`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        workers: Optional[int] = None,
+        shards_per_worker: int = 1,
+        solver: str = "cdcl",
+        max_conflicts: Optional[int] = 100_000,
+        validate: bool = True,
+        drop_block_size: int = 64,
+    ) -> None:
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shards_per_worker < 1:
+            raise ValueError("shards_per_worker must be >= 1")
+        self.network = network
+        self.workers = workers
+        self.shards_per_worker = shards_per_worker
+        self.solver = solver
+        self.max_conflicts = max_conflicts
+        self.validate = validate
+        self.drop_block_size = drop_block_size
+        # Coordinator-side engine: canonical ordering, replay fallback
+        # SAT calls, and cone caching for the replay's drop checks.
+        self._coordinator = AtpgEngine(
+            network,
+            solver=solver,
+            max_conflicts=max_conflicts,
+            validate=validate,
+            drop_block_size=drop_block_size,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def can_fork() -> bool:
+        """True if this platform supports fork-based worker pools."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _jobs(
+        self, shards: list[list[Fault]], fault_dropping: bool
+    ) -> list[_ShardJob]:
+        return [
+            _ShardJob(
+                network=self.network,
+                faults=shard,
+                solver=self.solver,
+                max_conflicts=self.max_conflicts,
+                validate=self.validate,
+                drop_block_size=self.drop_block_size,
+                fault_dropping=fault_dropping,
+            )
+            for shard in shards
+        ]
+
+    def run(
+        self,
+        faults: Optional[Sequence[Fault]] = None,
+        fault_dropping: bool = True,
+    ) -> AtpgSummary:
+        """ATPG over a fault list, fanned out across worker processes.
+
+        Returns a summary whose records match ``AtpgEngine.run`` on the
+        same arguments exactly (statuses, tests, drop attributions);
+        only timing fields and :class:`EngineStats` differ.
+        """
+        wall_start = time.perf_counter()
+        ordered = self._coordinator.ordered_faults(faults)
+        num_shards = max(
+            1, min(self.workers * self.shards_per_worker, len(ordered))
+        )
+        shards = shard_faults_by_cone(self.network, ordered, num_shards)
+        jobs = self._jobs(shards, fault_dropping)
+
+        use_pool = self.workers > 1 and self.can_fork() and len(jobs) > 1
+        if use_pool:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
+                worker_summaries = pool.map(_run_shard, jobs)
+        else:
+            worker_summaries = [_run_shard(job) for job in jobs]
+
+        summary = self._merge(
+            ordered, worker_summaries, fault_dropping=fault_dropping
+        )
+        summary.stats.workers = self.workers if use_pool else 1
+        summary.stats.shards = len(shards)
+        summary.stats.wall_time = time.perf_counter() - wall_start
+        return summary
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        ordered: Sequence[Fault],
+        worker_summaries: Sequence[AtpgSummary],
+        fault_dropping: bool,
+    ) -> AtpgSummary:
+        """Replay the canonical order to reconcile cross-shard dropping."""
+        by_fault: dict[Fault, AtpgRecord] = {}
+        stats = EngineStats()
+        for worker_summary in worker_summaries:
+            stats.merge(worker_summary.stats)
+            for record in worker_summary.records:
+                by_fault[record.fault] = record
+
+        summary = AtpgSummary(circuit=self.network.name, stats=stats)
+        store = PatternBlockStore(
+            self.network, block_size=self.drop_block_size
+        )
+        for fault in ordered:
+            if fault_dropping and len(store):
+                fsim_start = time.perf_counter()
+                detected = store.first_detection(
+                    fault, cone=self._coordinator.fault_cone(fault.net)
+                )
+                stats.fsim_time += time.perf_counter() - fsim_start
+                if detected is not None:
+                    summary.records.append(
+                        AtpgRecord(
+                            fault=fault,
+                            status=FaultStatus.DROPPED,
+                            test=store.pattern(detected),
+                        )
+                    )
+                    continue
+            record = by_fault.get(fault)
+            if record is None or record.status is FaultStatus.DROPPED:
+                # In-shard drop (or lost record) that the global replay
+                # does not drop: the sequential engine would have solved
+                # it, so solve it here to stay bit-identical.
+                record = self._coordinator.generate_test(fault, stats=stats)
+                stats.replay_solves += 1
+            summary.records.append(record)
+            if fault_dropping and record.test is not None:
+                store.add(record.test)
+
+        stats.good_sims += store.good_sims
+        stats.cone_sims += store.cone_sims
+        return summary

@@ -18,8 +18,10 @@ predictor to compare against the cut-width account.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.atpg.faults import Fault
 from repro.circuits.gates import GateType
 from repro.circuits.network import Network
 
@@ -126,6 +128,27 @@ def compute_scoap(network: Network) -> ScoapMeasures:
                 co[src] = cost
 
     return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)
+
+
+def order_faults(
+    network: Network,
+    faults: Iterable[Fault],
+    measures: ScoapMeasures | None = None,
+) -> list[Fault]:
+    """Faults sorted easiest-first by SCOAP detection cost.
+
+    Dropping-oriented ordering for the ATPG engines: tests for easy
+    faults tend to be cheap to generate and to cover many other faults,
+    so generating them first maximises how much of the hard tail is
+    fault-dropped instead of SAT-solved.  Ties (and infinite costs)
+    break on the fault itself, keeping the order deterministic.
+    """
+    if measures is None:
+        measures = compute_scoap(network)
+    return sorted(
+        faults,
+        key=lambda f: (measures.detection_cost(f.net, f.value), f),
+    )
 
 
 def hardest_faults(

@@ -117,14 +117,52 @@ def _load_netlist(path: str):
     return load_bench(path)
 
 
+def _bench_payload(summary, solver: str) -> dict:
+    """The ``--bench-json`` document for an ATPG summary.
+
+    Schema (documented in README.md § Performance):
+    ``circuit``/``solver``/``faults``/``status_counts``/``fault_coverage``
+    describe the run outcome; ``wall_time_s`` and ``instances_per_sec``
+    the throughput; ``stats`` the per-stage times and cache/parallel
+    counters (see ``EngineStats.as_dict``).
+    """
+    wall = summary.stats.wall_time
+    return {
+        "circuit": summary.circuit,
+        "solver": solver,
+        "faults": len(summary.records),
+        "status_counts": summary.status_counts(),
+        "fault_coverage": summary.fault_coverage,
+        "wall_time_s": wall,
+        "instances_per_sec": len(summary.records) / wall if wall else 0.0,
+        "stats": summary.stats.as_dict(),
+    }
+
+
 def _cmd_atpg(args: argparse.Namespace) -> int:
+    import json
+
     from repro.atpg.engine import AtpgEngine, FaultStatus
+    from repro.atpg.parallel import ParallelAtpgEngine
     from repro.circuits.decompose import tech_decompose
 
     network = _load_netlist(args.netlist)
     if args.decompose:
         network = tech_decompose(network)
-    engine = AtpgEngine(network, solver=args.solver)
+    if args.workers > 1:
+        engine = ParallelAtpgEngine(
+            network,
+            workers=args.workers,
+            solver=args.solver,
+            drop_block_size=args.block_size,
+        )
+    else:
+        engine = AtpgEngine(
+            network,
+            solver=args.solver,
+            drop_block_size=args.block_size,
+            order=args.order,
+        )
     summary = engine.run(fault_dropping=not args.no_dropping)
     print(f"circuit {network.name}: {len(summary.records)} faults")
     for status in FaultStatus:
@@ -132,6 +170,24 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         if count:
             print(f"  {status.value}: {count}")
     print(f"  fault coverage: {summary.fault_coverage:.1%}")
+    stats = summary.stats
+    stages = " ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in stats.stage_times().items()
+    )
+    print(f"  stages: {stages} (wall {stats.wall_time:.3f}s)")
+    print(
+        f"  cnf cache: {stats.cache_hits} hits / {stats.cache_misses} misses "
+        f"({stats.cache_hit_rate:.1%}); sat calls: {stats.sat_calls}"
+    )
+    if stats.workers > 1:
+        print(
+            f"  parallel: {stats.workers} workers, {stats.shards} shards, "
+            f"{stats.replay_solves} replay solves"
+        )
+    if args.bench_json:
+        payload = _bench_payload(summary, args.solver)
+        Path(args.bench_json).write_text(json.dumps(payload, indent=2))
+        print(f"  bench json -> {args.bench_json}")
     if args.compact:
         from repro.atpg.compaction import reverse_order_compaction
         from repro.atpg.faults import collapse_faults
@@ -242,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-dropping", action="store_true")
     p.add_argument("--decompose", action="store_true")
     p.add_argument("--compact", action="store_true")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (>1 uses ParallelAtpgEngine)",
+    )
+    p.add_argument(
+        "--order", choices=("auto", "scoap", "given"), default="auto",
+        help="fault processing order (auto = SCOAP easiest-first)",
+    )
+    p.add_argument(
+        "--block-size", type=int, default=64,
+        help="patterns per packed fault-dropping block",
+    )
+    p.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="write throughput/cache/stage-time JSON to PATH",
+    )
     p.set_defaults(func=_cmd_atpg)
 
     p = sub.add_parser("profile", help="shape statistics of a netlist")

@@ -83,11 +83,70 @@ def _xor_clauses(out: str, ins: Sequence[str], invert: bool) -> list[Clause]:
     return clauses
 
 
-def circuit_clauses(network: Network) -> list[Clause]:
-    """Gate-consistency clauses for the whole network (no output assertion)."""
+class CnfEncodingCache:
+    """Memoises per-gate CNF clause blocks across circuit encodings.
+
+    ATPG encodes one miter per fault, and miters of faults with
+    overlapping fanin cones contain many *structurally identical* gates:
+    the good side of every ``C_ψ^sub`` copies the original circuit's
+    gates verbatim (same output net, same type, same input nets), and
+    faulty cones of same-site faults duplicate each other.  Keying the
+    clause block on the immutable :class:`Gate` therefore lets each gate
+    of the circuit be Tseitin-encoded once per engine run instead of
+    once per fault.
+
+    Clause blocks are returned as tuples of the exact ``frozenset``
+    objects produced by :func:`gate_clauses`, so cached and uncached
+    encodings build equal formulas (clauses are interned, never mutated).
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[Gate, tuple[Clause, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def gate_clauses(self, gate: Gate) -> tuple[Clause, ...]:
+        """Cached consistency clauses for ``gate``."""
+        block = self._blocks.get(gate)
+        if block is None:
+            self.misses += 1
+            block = tuple(gate_clauses(gate))
+            self._blocks[gate] = block
+        else:
+            self.hits += 1
+        return block
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of gate encodings served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss counters (for observability plumbing)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
+def circuit_clauses(
+    network: Network, cache: CnfEncodingCache | None = None
+) -> list[Clause]:
+    """Gate-consistency clauses for the whole network (no output assertion).
+
+    Args:
+        network: circuit to encode.
+        cache: optional :class:`CnfEncodingCache`; when given, per-gate
+            clause blocks are memoised across calls.
+    """
     clauses: list[Clause] = []
-    for gate in network.gates():
-        clauses.extend(gate_clauses(gate))
+    if cache is None:
+        for gate in network.gates():
+            clauses.extend(gate_clauses(gate))
+    else:
+        for gate in network.gates():
+            clauses.extend(cache.gate_clauses(gate))
     return clauses
 
 
@@ -98,14 +157,20 @@ def output_assertion_clause(network: Network) -> Clause:
     return frozenset({pos(out) for out in network.outputs})
 
 
-def circuit_sat_formula(network: Network, name: str | None = None) -> CnfFormula:
+def circuit_sat_formula(
+    network: Network,
+    name: str | None = None,
+    cache: CnfEncodingCache | None = None,
+) -> CnfFormula:
     """The CIRCUIT-SAT formula ``f(C)`` of Section 2.
 
     Gate consistency clauses plus the assertion that at least one primary
     output is 1.  Satisfying assignments restricted to the primary inputs
-    are exactly the satisfying input vectors of the circuit.
+    are exactly the satisfying input vectors of the circuit.  With a
+    ``cache``, per-gate clause blocks are reused across calls — the
+    resulting formula is identical to the uncached encoding.
     """
-    clauses = circuit_clauses(network)
+    clauses = circuit_clauses(network, cache=cache)
     clauses.append(output_assertion_clause(network))
     return CnfFormula(clauses, name=name or f"f({network.name})")
 

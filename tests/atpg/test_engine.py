@@ -120,3 +120,103 @@ class TestFullRun:
             faults=faults, fault_dropping=False
         )
         assert [r.fault for r in summary.records] == faults
+
+
+class TestBatchedDropping:
+    def test_dropping_matches_no_dropping_coverage(self):
+        """Batched dropping never changes which faults are covered."""
+        for seed in (3, 9):
+            net = tech_decompose(
+                make_random_network(seed, num_inputs=4, num_gates=12)
+            )
+            dropped = AtpgEngine(net).run(fault_dropping=True)
+            plain = AtpgEngine(net).run(fault_dropping=False)
+            assert dropped.fault_coverage == plain.fault_coverage
+            covered = lambda s: {
+                r.fault
+                for r in s.records
+                if r.status in (FaultStatus.TESTED, FaultStatus.DROPPED)
+            }
+            assert covered(dropped) == covered(plain)
+
+    def test_dropped_records_carry_detecting_test(self):
+        net = tech_decompose(c17())
+        summary = AtpgEngine(net).run(fault_dropping=True)
+        for record in summary.by_status(FaultStatus.DROPPED):
+            outcome = fault_simulate(net, [record.fault], [record.test])
+            assert record.fault in outcome.detected
+
+    def test_small_block_size_equivalent(self):
+        """Drop decisions are independent of the packing granularity."""
+        net = tech_decompose(c17())
+        wide = AtpgEngine(net, drop_block_size=64).run()
+        narrow = AtpgEngine(net, drop_block_size=3).run()
+        assert [(r.fault, r.status, r.test) for r in wide.records] == [
+            (r.fault, r.status, r.test) for r in narrow.records
+        ]
+
+
+class TestOrderingAndStats:
+    def test_scoap_order_applied_by_default(self):
+        from repro.atpg.scoap import order_faults
+
+        net = tech_decompose(c17())
+        engine = AtpgEngine(net)
+        assert engine.ordered_faults() == order_faults(
+            net, collapse_faults(net)
+        )
+
+    def test_given_order_preserved(self):
+        net = tech_decompose(c17())
+        faults = list(reversed(collapse_faults(net)))
+        engine = AtpgEngine(net, order="given")
+        assert engine.ordered_faults(faults) == faults
+
+    def test_unknown_order_rejected(self):
+        net = tech_decompose(c17())
+        with pytest.raises(ValueError):
+            AtpgEngine(net, order="random")
+
+    def test_stats_populated(self):
+        net = tech_decompose(c17())
+        summary = AtpgEngine(net).run()
+        stats = summary.stats
+        assert stats.sat_calls == len(
+            [
+                r
+                for r in summary.records
+                if r.status
+                in (
+                    FaultStatus.TESTED,
+                    FaultStatus.UNTESTABLE,
+                    FaultStatus.ABORTED,
+                )
+            ]
+        )
+        assert stats.cache_misses > 0
+        assert stats.cache_hits > 0  # overlapping cones must share CNF
+        assert stats.wall_time > 0
+        assert stats.solve_time > 0
+        stages = stats.stage_times()
+        assert set(stages) == {"build", "encode", "solve", "fsim"}
+
+    def test_record_stage_times(self):
+        net = tech_decompose(c17())
+        record = AtpgEngine(net).generate_test(collapse_faults(net)[0])
+        assert record.solve_time >= 0
+        assert record.build_time >= 0
+        assert record.encode_time >= 0
+
+
+class TestSolverFactory:
+    def test_known_backends(self):
+        from repro.atpg.engine import make_solver
+
+        for name in ("cdcl", "dpll", "dpll-static", "caching"):
+            assert make_solver(name, 100) is not None
+
+    def test_unknown_backend(self):
+        from repro.atpg.engine import make_solver
+
+        with pytest.raises(ValueError):
+            make_solver("quantum")

@@ -81,3 +81,78 @@ class TestCoverage:
         result = fault_simulate(net, [], [{"in0": 1, "in1": 1}])
         assert result.coverage == 1.0
         assert not result.undetected
+
+
+class TestPatternBlockStore:
+    def _store_net(self, seed=6):
+        return make_random_network(seed, num_inputs=4, num_gates=10)
+
+    def test_first_detection_matches_fault_simulate(self):
+        import random
+
+        from repro.atpg.fault_sim import PatternBlockStore
+
+        rng = random.Random(0)
+        net = self._store_net()
+        store = PatternBlockStore(net, block_size=4)  # force several blocks
+        patterns = [
+            {n: rng.randrange(2) for n in net.inputs} for _ in range(11)
+        ]
+        for pattern in patterns:
+            store.add(pattern)
+        assert len(store) == 11
+        for fault in full_fault_list(net):
+            outcome = fault_simulate(net, [fault], patterns)
+            mask = outcome.detected.get(fault, 0)
+            expected = (mask & -mask).bit_length() - 1 if mask else None
+            assert store.first_detection(fault) == expected, fault
+
+    def test_detection_stable_as_patterns_arrive(self):
+        """Earliest-detection answers never change once given."""
+        import random
+
+        from repro.atpg.fault_sim import PatternBlockStore
+
+        rng = random.Random(1)
+        net = self._store_net(seed=8)
+        store = PatternBlockStore(net, block_size=3)
+        faults = full_fault_list(net)
+        first_seen: dict = {}
+        for _ in range(10):
+            store.add({n: rng.randrange(2) for n in net.inputs})
+            for fault in faults:
+                hit = store.first_detection(fault)
+                if fault in first_seen:
+                    assert hit == first_seen[fault], fault
+                elif hit is not None:
+                    first_seen[fault] = hit
+
+    def test_empty_store_detects_nothing(self):
+        from repro.atpg.fault_sim import PatternBlockStore
+
+        net = and_net()
+        store = PatternBlockStore(net)
+        assert store.first_detection(Fault("z", 0)) is None
+        assert store.patterns == []
+
+    def test_precomputed_cone_agrees(self):
+        from repro.atpg.fault_sim import PatternBlockStore
+
+        net = and_net()
+        store = PatternBlockStore(net, block_size=2)
+        store.add({"in0": 1, "in1": 1})
+        store.add({"in0": 0, "in1": 1})
+        fault = Fault("z", 0)
+        cone = net.transitive_fanout([fault.net])
+        assert store.first_detection(fault, cone=cone) == store.first_detection(
+            fault
+        )
+        assert store.first_detection(fault) == 0  # pattern 0 detects sa0
+
+    def test_invalid_block_size(self):
+        import pytest
+
+        from repro.atpg.fault_sim import PatternBlockStore
+
+        with pytest.raises(ValueError):
+            PatternBlockStore(and_net(), block_size=0)

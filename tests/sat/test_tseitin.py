@@ -117,3 +117,68 @@ class TestCircuitFormula:
             assignment = {n: (v >> bit) & 1 for n, v in values.items()}
             expected = any(assignment[o] for o in net.outputs)
             assert formula.is_satisfied_by(assignment) == expected
+
+
+class TestEncodingCache:
+    def _miters(self):
+        """Two ATPG miters with heavily overlapping fanin cones."""
+        from repro.atpg.faults import Fault
+        from repro.atpg.miter import build_atpg_circuit
+        from repro.circuits.decompose import tech_decompose
+        from repro.gen.benchmarks import c17
+
+        net = tech_decompose(c17())
+        nets = [n for n in net.topological_order() if net.fanouts(n)]
+        return net, [
+            build_atpg_circuit(net, Fault(nets[1], 0)),
+            build_atpg_circuit(net, Fault(nets[1], 1)),
+            build_atpg_circuit(net, Fault(nets[3], 0)),
+        ]
+
+    def test_cached_formula_identical_to_uncached(self):
+        from repro.sat.tseitin import CnfEncodingCache
+
+        _, miters = self._miters()
+        cache = CnfEncodingCache()
+        for miter in miters:
+            assert miter.formula(cache=cache) == miter.formula()
+
+    def test_overlapping_cones_hit_the_cache(self):
+        from repro.sat.tseitin import CnfEncodingCache
+
+        _, miters = self._miters()
+        cache = CnfEncodingCache()
+        for miter in miters:
+            miter.formula(cache=cache)
+        # Same-stem polarities share nearly the whole miter; the third
+        # fault still shares the good side of the overlapping cone.
+        assert cache.hits > 0
+        assert 0.0 < cache.hit_rate < 1.0
+        counters = cache.counters()
+        assert counters["hits"] == cache.hits
+        assert counters["misses"] == cache.misses == len(cache)
+
+    def test_cache_respects_gate_identity(self):
+        """Structurally different gates never share a cache entry."""
+        from repro.sat.tseitin import CnfEncodingCache
+
+        cache = CnfEncodingCache()
+        a = Gate("z", GateType.AND, ("a", "b"))
+        b = Gate("z", GateType.OR, ("a", "b"))
+        assert cache.gate_clauses(a) != cache.gate_clauses(b)
+        assert cache.misses == 2 and cache.hits == 0
+        assert cache.gate_clauses(a) == tuple(gate_clauses(a))
+        assert cache.hits == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_cached_circuit_formula_equal_on_random_circuits(self, seed):
+        from repro.sat.tseitin import CnfEncodingCache
+
+        net = make_random_network(seed, num_inputs=4, num_gates=8)
+        cache = CnfEncodingCache()
+        assert circuit_sat_formula(net, cache=cache) == circuit_sat_formula(net)
+        # Second encoding through the same cache is all hits.
+        misses_before = cache.misses
+        assert circuit_sat_formula(net, cache=cache) == circuit_sat_formula(net)
+        assert cache.misses == misses_before

@@ -55,3 +55,59 @@ class TestCommands:
         path.write_text(blif)
         assert main(["atpg", str(path)]) == 0
         assert "fault coverage" in capsys.readouterr().out
+
+
+class TestAtpgPerfFlags:
+    def test_atpg_parallel_with_bench_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        out_json = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "atpg",
+                    str(path),
+                    "--decompose",
+                    "--workers",
+                    "2",
+                    "--bench-json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cnf cache:" in out
+        assert "stages:" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["circuit"] == "c17"
+        assert payload["fault_coverage"] == 1.0
+        assert payload["instances_per_sec"] > 0
+        assert set(payload["stats"]["stage_times"]) == {
+            "build",
+            "encode",
+            "solve",
+            "fsim",
+        }
+        assert payload["stats"]["cache_hits"] > 0
+
+    def test_atpg_order_and_block_size(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert (
+            main(
+                [
+                    "atpg",
+                    str(path),
+                    "--decompose",
+                    "--order",
+                    "given",
+                    "--block-size",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "fault coverage: 100.0%" in capsys.readouterr().out
