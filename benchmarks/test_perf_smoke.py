@@ -1,4 +1,4 @@
-"""Perf smoke: the batched/parallel ATPG pipeline versus the seed loop.
+"""Perf smoke: seed loop vs batched vs incremental vs parallel ATPG.
 
 Runs the engines on a generated ≥500-fault circuit and records the
 throughput trajectory in ``BENCH_atpg.json`` at the repo root:
@@ -6,14 +6,24 @@ throughput trajectory in ``BENCH_atpg.json`` at the repo root:
 * ``seed_style`` — a faithful re-creation of the original engine loop
   (per-fault uncached Tseitin encoding, ``pop(0)`` worklist, eager
   one-pattern-at-a-time fault dropping over the remaining list);
-* ``batched`` — ``AtpgEngine`` with the cone-cached CNF encoding and
-  block-packed fault dropping (``order="given"`` so the SAT-call
-  sequence is identical to the seed loop and the comparison is pure
-  engine overhead);
-* ``parallel`` — ``ParallelAtpgEngine`` across 2 workers.
+* ``batched`` — ``AtpgEngine`` in ``fresh`` solver mode with the
+  cone-cached CNF encoding and block-packed fault dropping
+  (``order="given"`` so the SAT-call sequence is identical to the seed
+  loop and the comparison is pure engine overhead);
+* ``incremental`` — ``AtpgEngine`` in the default ``incremental`` mode:
+  one persistent assumption-based CDCL core per output cone, learned
+  clauses / activities / phases retained across the fault batch;
+* ``parallel`` — ``ParallelAtpgEngine`` across 2 workers (incremental
+  workers with a warm shared encoding cache).
 
-The smoke asserts the batched path is measurably faster than the seed
-loop and that everything fits a CI-safe wall-clock budget.
+The smoke asserts the batched path beats the seed loop, the incremental
+solve stage beats the batched solve stage by ≥1.3x at identical fault
+coverage, and batched throughput has not regressed >25% against the
+committed ``BENCH_atpg.json`` baseline (the regression ratchet).
+
+Run it via the ``bench`` marker::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -m bench
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.atpg.engine import AtpgEngine, make_solver
 from repro.atpg.fault_sim import fault_simulate
@@ -31,9 +43,14 @@ from repro.circuits.decompose import tech_decompose
 from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
 from repro.sat.result import SatStatus
 
+pytestmark = pytest.mark.bench
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
-#: Whole-smoke wall-clock budget (seconds); the measured total is ~10s.
+#: Whole-smoke wall-clock budget (seconds); the measured total is ~12s.
 BUDGET_S = 120.0
+#: Regression ratchet: fail if batched throughput drops below this
+#: fraction of the committed baseline's.
+RATCHET = 0.75
 
 
 def _bench_circuit():
@@ -77,8 +94,20 @@ def _seed_style_run(network, faults):
     return sat_calls, detected
 
 
+def _baseline_throughput():
+    """Batched instances/sec recorded in the committed BENCH_atpg.json."""
+    if not BENCH_PATH.exists():
+        return None
+    try:
+        committed = json.loads(BENCH_PATH.read_text())
+        return committed["batched"]["instances_per_sec"]
+    except (ValueError, KeyError):
+        return None
+
+
 def test_perf_smoke():
     smoke_start = time.perf_counter()
+    baseline_ips = _baseline_throughput()
     network = _bench_circuit()
     faults = collapse_faults(network)
     assert len(faults) >= 500, "bench circuit must exercise ≥500 faults"
@@ -87,27 +116,37 @@ def test_perf_smoke():
     seed_sat_calls, seed_detected = _seed_style_run(network, faults)
     seed_time = time.perf_counter() - start
 
-    # order="given" pins the SAT-call sequence to the seed loop's, so
-    # the timing delta isolates the encoding-cache + batched-dropping
-    # engine work, not an ordering heuristic.
-    engine = AtpgEngine(network, order="given")
+    # order="given" pins the SAT-call sequence to the seed loop's, and
+    # solver_mode="fresh" pins each call to a cold start, so the timing
+    # delta isolates the encoding-cache + batched-dropping engine work.
+    engine = AtpgEngine(network, order="given", solver_mode="fresh")
     start = time.perf_counter()
     batched = engine.run(faults=faults)
     batched_time = time.perf_counter() - start
+
+    # The default mode: persistent per-cone solvers, clause groups.
+    inc_engine = AtpgEngine(network, order="given")
+    start = time.perf_counter()
+    incremental = inc_engine.run(faults=faults)
+    incremental_time = time.perf_counter() - start
 
     par_engine = ParallelAtpgEngine(network, workers=2)
     start = time.perf_counter()
     parallel = par_engine.run(faults=faults)
     parallel_time = time.perf_counter() - start
 
-    # Equivalence: batching/parallelism change nothing about coverage.
+    # Equivalence: batching/incrementality/parallelism change nothing
+    # about coverage.
     assert batched.stats.sat_calls == seed_sat_calls
     batched_detected = sum(
         1 for r in batched.records if r.test is not None
     )
     assert batched_detected == seed_detected
+    assert incremental.fault_coverage == batched.fault_coverage
     assert parallel.fault_coverage == batched.fault_coverage
 
+    batched_solve = batched.stats.solve_time
+    incremental_solve = incremental.stats.solve_time
     payload = {
         "circuit": network.name,
         "faults": len(faults),
@@ -117,6 +156,7 @@ def test_perf_smoke():
             "sat_calls": seed_sat_calls,
         },
         "batched": {
+            "solver_mode": "fresh",
             "wall_time_s": batched_time,
             "instances_per_sec": len(faults) / batched_time,
             "sat_calls": batched.stats.sat_calls,
@@ -124,12 +164,32 @@ def test_perf_smoke():
             "stage_times": batched.stats.stage_times(),
             "speedup_vs_seed": seed_time / batched_time,
         },
+        "incremental": {
+            "solver_mode": "incremental",
+            "wall_time_s": incremental_time,
+            "instances_per_sec": len(faults) / incremental_time,
+            "sat_calls": incremental.stats.sat_calls,
+            "cache_hit_rate": incremental.stats.cache_hit_rate,
+            "stage_times": incremental.stats.stage_times(),
+            "solver_rates": incremental.stats.solver_rates(),
+            "conflicts": incremental.stats.conflicts,
+            "speedup_vs_seed": seed_time / incremental_time,
+            "solve_speedup_vs_batched": (
+                batched_solve / incremental_solve
+                if incremental_solve
+                else float("inf")
+            ),
+        },
         "parallel": {
+            "solver_mode": "incremental",
             "wall_time_s": parallel_time,
             "instances_per_sec": len(faults) / parallel_time,
             "workers": parallel.stats.workers,
             "shards": parallel.stats.shards,
             "replay_solves": parallel.stats.replay_solves,
+            "worker_solve_times_s": [
+                ws.solve_time for ws in parallel.worker_stats
+            ],
             "speedup_vs_seed": seed_time / parallel_time,
         },
         "fault_coverage": batched.fault_coverage,
@@ -145,5 +205,20 @@ def test_perf_smoke():
         f"{seed_time:.2f}s"
     )
     assert batched.stats.cache_hit_rate > 0.5
+
+    # ISSUE 2 acceptance: the incremental solve stage beats the fresh
+    # solve stage by >= 1.3x at identical fault coverage.
+    assert incremental_solve * 1.3 <= batched_solve, (
+        f"incremental solve stage not >=1.3x faster: "
+        f"{incremental_solve:.3f}s vs batched {batched_solve:.3f}s"
+    )
+
+    # Regression ratchet against the committed baseline.
+    if baseline_ips is not None:
+        new_ips = len(faults) / batched_time
+        assert new_ips >= baseline_ips * RATCHET, (
+            f"batched throughput regressed: {new_ips:.1f}/s vs committed "
+            f"{baseline_ips:.1f}/s (ratchet {RATCHET:.0%})"
+        )
 
     assert time.perf_counter() - smoke_start < BUDGET_S

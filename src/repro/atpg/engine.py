@@ -19,6 +19,13 @@ The engine amortises the embarrassing per-fault redundancy of that loop:
   across miters (:class:`~repro.sat.tseitin.CnfEncodingCache`), so
   faults with overlapping fanin cones reuse clauses instead of
   re-running Tseitin from zero;
+* SAT solving is incremental by default — one persistent
+  assumption-based CDCL solver per observing-output cone
+  (:class:`~repro.sat.incremental.IncrementalSatSolver`): the cone's
+  good-circuit CNF is loaded once, each fault's miter delta is pushed
+  as an activation-guarded clause group, and learned clauses, VSIDS
+  activities, and saved phases survive across the fault batch
+  (``solver_mode="fresh"`` restores per-fault cold starts);
 * fanout cones are cached per net (both polarities of a stem share one
   traversal) and reused by miter construction and fault simulation.
 
@@ -38,13 +45,18 @@ from typing import Optional
 
 from repro.atpg.fault_sim import PatternBlockStore, fault_simulate
 from repro.atpg.faults import Fault, collapse_faults
-from repro.atpg.miter import UnobservableFault, build_atpg_circuit
+from repro.atpg.miter import (
+    UnobservableFault,
+    build_atpg_circuit,
+    build_fault_delta,
+)
 from repro.atpg.scoap import order_faults
 from repro.circuits.network import Network
 from repro.sat.caching import CachingBacktrackingSolver
 from repro.sat.cdcl import CdclSolver
 from repro.sat.cnf import CnfFormula
 from repro.sat.dpll import DpllSolver
+from repro.sat.incremental import IncrementalSatSolver
 from repro.sat.result import SatResult, SatStatus
 from repro.sat.tseitin import CnfEncodingCache
 
@@ -105,6 +117,9 @@ class EngineStats:
     workers: int = 1
     shards: int = 1
     replay_solves: int = 0
+    propagations: int = 0
+    decisions: int = 0
+    conflicts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -138,6 +153,19 @@ class EngineStats:
         self.good_sims += other.good_sims
         self.cone_sims += other.cone_sims
         self.replay_solves += other.replay_solves
+        self.propagations += other.propagations
+        self.decisions += other.decisions
+        self.conflicts += other.conflicts
+
+    def solver_rates(self) -> dict[str, float]:
+        """Search throughput per second of SAT solve time (the baseline
+        currency for future solver PRs)."""
+        solve = self.solve_time
+        return {
+            "propagations_per_sec": self.propagations / solve if solve else 0.0,
+            "decisions_per_sec": self.decisions / solve if solve else 0.0,
+            "conflicts_per_sec": self.conflicts / solve if solve else 0.0,
+        }
 
     def as_dict(self) -> dict[str, float]:
         """JSON-ready view (used by ``repro atpg --bench-json``)."""
@@ -153,16 +181,26 @@ class EngineStats:
             "workers": self.workers,
             "shards": self.shards,
             "replay_solves": self.replay_solves,
+            "propagations": self.propagations,
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            **self.solver_rates(),
         }
 
 
 @dataclass
 class AtpgSummary:
-    """Aggregate outcome of a full-circuit ATPG run."""
+    """Aggregate outcome of a full-circuit ATPG run.
+
+    ``worker_stats`` holds the per-shard :class:`EngineStats` of a
+    parallel run (stage timings included), so load imbalance and shard
+    setup overhead are visible; empty for sequential runs.
+    """
 
     circuit: str
     records: list[AtpgRecord] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
+    worker_stats: list[EngineStats] = field(default_factory=list)
 
     def by_status(self, status: FaultStatus) -> list[AtpgRecord]:
         return [r for r in self.records if r.status is status]
@@ -228,6 +266,21 @@ def make_solver(name: str, max_conflicts: Optional[int] = None):
     raise ValueError(f"unknown solver {name!r}")
 
 
+@dataclass
+class _ConeSolverEntry:
+    """One persistent incremental solver per observing-output set.
+
+    The base formula is the good-circuit CNF of ``relevant`` (the
+    transitive fanin of the observing outputs); every fault observed by
+    exactly these outputs pushes its miter delta onto this solver, so
+    learned clauses, activities, and phases carry across the group.
+    """
+
+    solver: IncrementalSatSolver
+    relevant: set[str]
+    base_clauses: int
+
+
 class AtpgEngine:
     """Test generator for single stuck-at faults on a circuit.
 
@@ -243,6 +296,17 @@ class AtpgEngine:
         drop_block_size: patterns packed per fault-dropping block.
         order: ``auto`` (SCOAP-order the default collapsed list, keep
             explicit lists as given), ``scoap``, or ``given``.
+        solver_mode: ``incremental`` (default) keeps one persistent
+            assumption-based CDCL solver per observing-output cone —
+            each fault's miter is pushed as an activation-guarded delta
+            and learned clauses/VSIDS activities/saved phases survive
+            across the fault batch.  ``fresh`` compiles and solves every
+            miter from scratch.  Both modes agree on every fault's
+            SAT/UNSAT verdict and on fault coverage; generated test
+            *vectors* may differ (either mode's tests are validated).
+            Non-CDCL backends always use the fresh path.
+        encoding_cache: optional pre-warmed per-gate CNF cache to share
+            (the parallel engine ships one to every worker).
     """
 
     def __init__(
@@ -253,17 +317,31 @@ class AtpgEngine:
         validate: bool = True,
         drop_block_size: int = 64,
         order: str = "auto",
+        solver_mode: str = "incremental",
+        encoding_cache: Optional[CnfEncodingCache] = None,
     ) -> None:
         if order not in ("auto", "scoap", "given"):
             raise ValueError(f"unknown fault order {order!r}")
+        if solver_mode not in ("incremental", "fresh"):
+            raise ValueError(f"unknown solver mode {solver_mode!r}")
         self.network = network
         self.solver_name = solver
         self.max_conflicts = max_conflicts
         self.validate = validate
         self.drop_block_size = drop_block_size
         self.order = order
-        self._encoding_cache = CnfEncodingCache()
+        self.solver_mode = solver_mode
+        self._encoding_cache = (
+            encoding_cache if encoding_cache is not None else CnfEncodingCache()
+        )
         self._cone_cache: dict[str, set[str]] = {}
+        self._cone_solvers: dict[tuple[str, ...], _ConeSolverEntry] = {}
+        self._topo: Optional[list[str]] = None
+
+    @property
+    def incremental(self) -> bool:
+        """True when faults are solved on persistent per-cone solvers."""
+        return self.solver_mode == "incremental" and self.solver_name == "cdcl"
 
     # ------------------------------------------------------------------
     def fault_cone(self, net: str) -> set[str]:
@@ -280,6 +358,14 @@ class AtpgEngine:
     ) -> AtpgRecord:
         """Run ATPG-SAT for a single fault."""
         stats = stats if stats is not None else EngineStats()
+        if self.incremental:
+            return self._generate_test_incremental(fault, stats)
+        return self._generate_test_fresh(fault, stats)
+
+    def _generate_test_fresh(
+        self, fault: Fault, stats: EngineStats
+    ) -> AtpgRecord:
+        """Cold-start path: build miter, compile, solve from scratch."""
         start = time.perf_counter()
         try:
             atpg = build_atpg_circuit(
@@ -300,6 +386,9 @@ class AtpgEngine:
         stats.encode_time += encoded - built
         stats.solve_time += solved - encoded
         stats.sat_calls += 1
+        stats.propagations += result.stats.propagations
+        stats.decisions += result.stats.decisions
+        stats.conflicts += result.stats.conflicts
 
         record = AtpgRecord(
             fault=fault,
@@ -312,21 +401,116 @@ class AtpgEngine:
             decisions=result.stats.decisions,
             conflicts=result.stats.conflicts,
         )
+        self._finish_record(record, result)
+        return record
+
+    def _generate_test_incremental(
+        self, fault: Fault, stats: EngineStats
+    ) -> AtpgRecord:
+        """Hot path: push the fault's miter delta onto the persistent
+        solver of its observing-output cone and solve under the delta's
+        activation assumption."""
+        start = time.perf_counter()
+        tfo = self.fault_cone(fault.net)
+        observing = tuple(
+            out for out in self.network.outputs if out in tfo
+        )
+        if not observing:
+            stats.build_time += time.perf_counter() - start
+            return AtpgRecord(fault=fault, status=FaultStatus.UNOBSERVABLE)
+        entry = self._cone_solver(observing, stats)
+        delta = build_fault_delta(
+            self.network,
+            fault,
+            tfo=tfo,
+            relevant=entry.relevant,
+            topo_order=self._topo_order(),
+            cache=self._encoding_cache,
+        )
+        built = time.perf_counter()
+
+        group = entry.solver.push_group(delta.clauses)
+        num_variables = entry.solver.num_vars
+        encoded = time.perf_counter()
+
+        result = entry.solver.solve(group, max_conflicts=self.max_conflicts)
+        entry.solver.retire(group)
+        solved = time.perf_counter()
+
+        stats.build_time += built - start
+        stats.encode_time += encoded - built
+        stats.solve_time += solved - encoded
+        stats.sat_calls += 1
+        stats.propagations += result.stats.propagations
+        stats.decisions += result.stats.decisions
+        stats.conflicts += result.stats.conflicts
+
+        record = AtpgRecord(
+            fault=fault,
+            status=FaultStatus.ABORTED,
+            num_variables=num_variables,
+            num_clauses=entry.base_clauses + group.num_clauses,
+            build_time=built - start,
+            encode_time=encoded - built,
+            solve_time=solved - encoded,
+            decisions=result.stats.decisions,
+            conflicts=result.stats.conflicts,
+        )
+        self._finish_record(record, result)
+        if record.test is not None:
+            # Seed the cone's saved phases from the simulated net values
+            # of the test just found: nearby faults need assignments that
+            # differ only around the new fault site, so the next search
+            # starts close to a known-good model.
+            entry.solver.seed_phases(self.network.evaluate(record.test))
+        return record
+
+    def _finish_record(self, record: AtpgRecord, result: SatResult) -> None:
+        """Map the SAT outcome onto the record (shared by both paths)."""
         if result.status is SatStatus.UNSAT:
             record.status = FaultStatus.UNTESTABLE
         elif result.status is SatStatus.SAT:
             assert result.assignment is not None
             test = self._extract_test(result.assignment)
             if self.validate:
-                outcome = fault_simulate(self.network, [fault], [test])
-                if fault not in outcome.detected:
+                outcome = fault_simulate(self.network, [record.fault], [test])
+                if record.fault not in outcome.detected:
                     raise RuntimeError(
-                        f"SAT model for {fault} failed fault simulation — "
-                        "encoder or solver bug"
+                        f"SAT model for {record.fault} failed fault "
+                        "simulation — encoder or solver bug"
                     )
             record.status = FaultStatus.TESTED
             record.test = test
-        return record
+
+    def _topo_order(self) -> list[str]:
+        """The network's topological net order, computed once."""
+        if self._topo is None:
+            self._topo = self.network.topological_order()
+        return self._topo
+
+    def _cone_solver(
+        self, observing: tuple[str, ...], stats: EngineStats
+    ) -> _ConeSolverEntry:
+        """Persistent solver for the faults observed by ``observing``,
+        its base loaded with the good-circuit CNF of their fanin."""
+        entry = self._cone_solvers.get(observing)
+        if entry is None:
+            setup_start = time.perf_counter()
+            relevant = self.network.transitive_fanin(observing)
+            clauses = []
+            encode = self._encoding_cache.gate_clauses
+            gate = self.network.gate
+            for net in self._topo_order():
+                if net in relevant:
+                    clauses.extend(encode(gate(net)))
+            solver = IncrementalSatSolver()
+            solver.add_base(clauses)
+            entry = _ConeSolverEntry(
+                solver=solver, relevant=relevant, base_clauses=len(clauses)
+            )
+            self._cone_solvers[observing] = entry
+            stats.encode_time += time.perf_counter() - setup_start
+        return entry
 
     def _solve(self, formula: CnfFormula) -> SatResult:
         return make_solver(self.solver_name, self.max_conflicts).solve(formula)

@@ -15,13 +15,18 @@ Given circuit C and fault ψ on net X:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.atpg.faults import Fault
 from repro.circuits.gates import GateType
-from repro.circuits.network import Network
-from repro.sat.cnf import CnfFormula
-from repro.sat.tseitin import CnfEncodingCache, circuit_sat_formula
+from repro.circuits.network import Gate, Network
+from repro.sat.cnf import Clause, CnfFormula, pos
+from repro.sat.tseitin import (
+    CnfEncodingCache,
+    circuit_sat_formula,
+    gate_clauses,
+)
 
 #: Name prefix for the duplicated faulty-cone nets.
 FAULTY_PREFIX = "flt$"
@@ -170,3 +175,101 @@ def build_atpg_circuit(
 def atpg_sat_formula(network: Network, fault: Fault) -> CnfFormula:
     """ATPG-SAT(C, ψ) as a CNF formula (Section 2's reduction)."""
     return build_atpg_circuit(network, fault).formula()
+
+
+@dataclass
+class FaultDelta:
+    """Per-fault miter clauses against an already-loaded good circuit.
+
+    The clauses cover only what :func:`build_atpg_circuit` adds *on top
+    of* the good-circuit CNF: the duplicated faulty cone, the XOR
+    comparators, and the detection assertion.  The incremental engine
+    pushes them as one activation-guarded clause group onto a persistent
+    solver whose base already holds the good-side clauses.
+
+    Attributes:
+        fault: the fault ψ the delta encodes.
+        clauses: faulty-cone + XOR + output-assertion clauses.
+        cone_nets: good-circuit names duplicated into the faulty cone.
+        observing_outputs: primary outputs that can observe ψ.
+    """
+
+    fault: Fault
+    clauses: list[Clause]
+    cone_nets: tuple[str, ...]
+    observing_outputs: tuple[str, ...]
+
+
+def build_fault_delta(
+    network: Network,
+    fault: Fault,
+    tfo: set[str],
+    relevant: set[str],
+    topo_order: Sequence[str],
+    cache: CnfEncodingCache | None = None,
+) -> FaultDelta:
+    """Emit the miter clauses ``fault`` adds over the good-circuit CNF.
+
+    Equivalent to encoding the faulty cone and XOR comparators of
+    :func:`build_atpg_circuit`, minus the good side (assumed already
+    present as gate clauses of every net in ``relevant``).  The cone is
+    restricted to ``tfo ∩ relevant``: fanout branches that reach no
+    observing output cannot affect the XOR comparators, and dropping
+    them keeps every side input the faulty cone taps inside the
+    constrained region.
+
+    Args:
+        network: the good circuit.
+        fault: the fault ψ.
+        tfo: precomputed fanout cone of ``fault.net`` (inclusive).
+        relevant: nets whose good-side gate clauses the solver holds —
+            the transitive fanin of the observing outputs.
+        topo_order: a topological net order of ``network`` (cached by
+            the caller; only cone members are visited).
+        cache: optional shared per-gate CNF cache — faulty-cone gates of
+            same-site faults and XOR comparators repeat across deltas.
+
+    Raises:
+        UnobservableFault: if the fault site reaches no primary output.
+    """
+    observing = tuple(out for out in network.outputs if out in tfo)
+    if not observing:
+        raise UnobservableFault(
+            f"fault {fault} cannot reach any primary output"
+        )
+    encode = cache.gate_clauses if cache is not None else gate_clauses
+
+    clauses: list[Clause] = []
+    cone: list[str] = []
+    for net in topo_order:
+        if net not in tfo or net not in relevant:
+            continue
+        cone.append(net)
+        if net == fault.net:
+            const = GateType.CONST1 if fault.value else GateType.CONST0
+            gate = Gate(FAULTY_PREFIX + net, const, ())
+        else:
+            source = network.gate(net)
+            gate = Gate(
+                FAULTY_PREFIX + net,
+                source.gate_type,
+                tuple(
+                    FAULTY_PREFIX + src if src in tfo else src
+                    for src in source.inputs
+                ),
+            )
+        clauses.extend(encode(gate))
+
+    for out in observing:
+        xor_gate = Gate(
+            XOR_PREFIX + out, GateType.XOR, (out, FAULTY_PREFIX + out)
+        )
+        clauses.extend(encode(xor_gate))
+    clauses.append(frozenset({pos(XOR_PREFIX + out) for out in observing}))
+
+    return FaultDelta(
+        fault=fault,
+        clauses=clauses,
+        cone_nets=tuple(cone),
+        observing_outputs=observing,
+    )

@@ -19,13 +19,19 @@ two things worth being careful about are *cache locality* and
   merge*: it walks the canonical sequential fault order, re-checking
   each fault against the tests kept so far (batched, via
   :class:`~repro.atpg.fault_sim.PatternBlockStore`) and taking the
-  worker's SAT result otherwise.  Because an ATPG-SAT call depends only
-  on (circuit, fault) — never on dropping history — the replay
-  reproduces the sequential engine's records *exactly*: same statuses,
-  same tests, same drop attributions, regardless of worker count.  The
-  only sequential SAT calls the coordinator ever redoes itself are for
-  faults a worker dropped in-shard that the global replay does not drop
-  (counted as ``replay_solves``; rare in practice).
+  worker's SAT result otherwise.  An ATPG-SAT *verdict* depends only on
+  (circuit, fault) — never on dropping history — so statuses and
+  coverage always match the sequential engine.  In ``fresh`` solver
+  mode the *model* is history-independent too and the replay reproduces
+  the sequential records exactly: same statuses, same tests, same drop
+  attributions, regardless of worker count.  In ``incremental`` mode
+  (the default) each worker's persistent solver state depends on its
+  shard, so test vectors (and hence the TESTED/DROPPED split) can
+  differ from a sequential run — coverage, UNSAT proofs, and test
+  validity are unaffected.  The only sequential SAT calls the
+  coordinator ever redoes itself are for faults a worker dropped
+  in-shard that the global replay does not drop (counted as
+  ``replay_solves``; rare in practice).
 
 ``ParallelAtpgEngine`` falls back to in-process execution when
 ``workers <= 1`` or the platform cannot fork, so results (and tests)
@@ -50,6 +56,7 @@ from repro.atpg.engine import (
 from repro.atpg.fault_sim import PatternBlockStore
 from repro.atpg.faults import Fault
 from repro.circuits.network import Network
+from repro.sat.tseitin import CnfEncodingCache
 
 
 @dataclass
@@ -63,6 +70,8 @@ class _ShardJob:
     validate: bool
     drop_block_size: int
     fault_dropping: bool
+    solver_mode: str
+    encoding_cache: Optional[CnfEncodingCache]
 
 
 def _run_shard(job: _ShardJob) -> AtpgSummary:
@@ -74,6 +83,8 @@ def _run_shard(job: _ShardJob) -> AtpgSummary:
         validate=job.validate,
         drop_block_size=job.drop_block_size,
         order="given",  # shards arrive pre-ordered canonically
+        solver_mode=job.solver_mode,
+        encoding_cache=job.encoding_cache,
     )
     return engine.run(faults=job.faults, fault_dropping=job.fault_dropping)
 
@@ -132,8 +143,14 @@ class ParallelAtpgEngine:
             ``1`` (or platforms without ``fork``) runs in-process.
         shards_per_worker: shard granularity multiplier — more shards
             smooth load imbalance at a small cache-locality cost.
-        solver / max_conflicts / validate / drop_block_size: forwarded
-            to the per-worker :class:`AtpgEngine`.
+        solver / max_conflicts / validate / drop_block_size /
+            solver_mode: forwarded to the per-worker :class:`AtpgEngine`.
+        min_faults_per_shard: never split below this many faults per
+            shard — small fault lists run on fewer shards (often one, in
+            process) because fork/merge overhead would dominate.
+        warm_start: pre-encode every network gate into a shared
+            :class:`CnfEncodingCache` shipped to each worker, so workers
+            skip the cold Tseitin pass over the circuit.
     """
 
     def __init__(
@@ -145,6 +162,9 @@ class ParallelAtpgEngine:
         max_conflicts: Optional[int] = 100_000,
         validate: bool = True,
         drop_block_size: int = 64,
+        solver_mode: str = "incremental",
+        min_faults_per_shard: int = 32,
+        warm_start: bool = True,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -152,6 +172,8 @@ class ParallelAtpgEngine:
             raise ValueError("workers must be >= 1")
         if shards_per_worker < 1:
             raise ValueError("shards_per_worker must be >= 1")
+        if min_faults_per_shard < 1:
+            raise ValueError("min_faults_per_shard must be >= 1")
         self.network = network
         self.workers = workers
         self.shards_per_worker = shards_per_worker
@@ -159,6 +181,9 @@ class ParallelAtpgEngine:
         self.max_conflicts = max_conflicts
         self.validate = validate
         self.drop_block_size = drop_block_size
+        self.solver_mode = solver_mode
+        self.min_faults_per_shard = min_faults_per_shard
+        self.warm_start = warm_start
         # Coordinator-side engine: canonical ordering, replay fallback
         # SAT calls, and cone caching for the replay's drop checks.
         self._coordinator = AtpgEngine(
@@ -167,6 +192,7 @@ class ParallelAtpgEngine:
             max_conflicts=max_conflicts,
             validate=validate,
             drop_block_size=drop_block_size,
+            solver_mode=solver_mode,
         )
 
     # ------------------------------------------------------------------
@@ -178,6 +204,13 @@ class ParallelAtpgEngine:
     def _jobs(
         self, shards: list[list[Fault]], fault_dropping: bool
     ) -> list[_ShardJob]:
+        cache: Optional[CnfEncodingCache] = None
+        if self.warm_start:
+            # Encode every gate once here; each worker starts from a
+            # copy of the warm cache instead of a cold Tseitin pass.
+            cache = CnfEncodingCache()
+            for gate in self.network.gates():
+                cache.gate_clauses(gate)
         return [
             _ShardJob(
                 network=self.network,
@@ -187,6 +220,8 @@ class ParallelAtpgEngine:
                 validate=self.validate,
                 drop_block_size=self.drop_block_size,
                 fault_dropping=fault_dropping,
+                solver_mode=self.solver_mode,
+                encoding_cache=cache,
             )
             for shard in shards
         ]
@@ -198,14 +233,20 @@ class ParallelAtpgEngine:
     ) -> AtpgSummary:
         """ATPG over a fault list, fanned out across worker processes.
 
-        Returns a summary whose records match ``AtpgEngine.run`` on the
-        same arguments exactly (statuses, tests, drop attributions);
-        only timing fields and :class:`EngineStats` differ.
+        In ``fresh`` solver mode the records match ``AtpgEngine.run`` on
+        the same arguments exactly (statuses, tests, drop attributions);
+        in ``incremental`` mode coverage and SAT/UNSAT verdicts match
+        while test vectors may differ (see the module docstring).
         """
         wall_start = time.perf_counter()
         ordered = self._coordinator.ordered_faults(faults)
         num_shards = max(
-            1, min(self.workers * self.shards_per_worker, len(ordered))
+            1,
+            min(
+                self.workers * self.shards_per_worker,
+                len(ordered),
+                max(1, len(ordered) // self.min_faults_per_shard),
+            ),
         )
         shards = shard_faults_by_cone(self.network, ordered, num_shards)
         jobs = self._jobs(shards, fault_dropping)
@@ -241,7 +282,11 @@ class ParallelAtpgEngine:
             for record in worker_summary.records:
                 by_fault[record.fault] = record
 
-        summary = AtpgSummary(circuit=self.network.name, stats=stats)
+        summary = AtpgSummary(
+            circuit=self.network.name,
+            stats=stats,
+            worker_stats=[ws.stats for ws in worker_summaries],
+        )
         store = PatternBlockStore(
             self.network, block_size=self.drop_block_size
         )

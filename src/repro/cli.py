@@ -117,19 +117,22 @@ def _load_netlist(path: str):
     return load_bench(path)
 
 
-def _bench_payload(summary, solver: str) -> dict:
+def _bench_payload(summary, solver: str, solver_mode: str = "incremental") -> dict:
     """The ``--bench-json`` document for an ATPG summary.
 
     Schema (documented in README.md § Performance):
-    ``circuit``/``solver``/``faults``/``status_counts``/``fault_coverage``
-    describe the run outcome; ``wall_time_s`` and ``instances_per_sec``
-    the throughput; ``stats`` the per-stage times and cache/parallel
-    counters (see ``EngineStats.as_dict``).
+    ``circuit``/``solver``/``solver_mode``/``faults``/``status_counts``/
+    ``fault_coverage`` describe the run outcome; ``wall_time_s`` and
+    ``instances_per_sec`` the throughput; ``stats`` the per-stage times,
+    solver search rates, and cache/parallel counters (see
+    ``EngineStats.as_dict``); ``worker_stats`` the per-shard stage times
+    of a parallel run.
     """
     wall = summary.stats.wall_time
-    return {
+    payload = {
         "circuit": summary.circuit,
         "solver": solver,
+        "solver_mode": solver_mode,
         "faults": len(summary.records),
         "status_counts": summary.status_counts(),
         "fault_coverage": summary.fault_coverage,
@@ -137,6 +140,9 @@ def _bench_payload(summary, solver: str) -> dict:
         "instances_per_sec": len(summary.records) / wall if wall else 0.0,
         "stats": summary.stats.as_dict(),
     }
+    if summary.worker_stats:
+        payload["worker_stats"] = [ws.as_dict() for ws in summary.worker_stats]
+    return payload
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
@@ -155,6 +161,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             workers=args.workers,
             solver=args.solver,
             drop_block_size=args.block_size,
+            solver_mode=args.solver_mode,
         )
     else:
         engine = AtpgEngine(
@@ -162,6 +169,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             solver=args.solver,
             drop_block_size=args.block_size,
             order=args.order,
+            solver_mode=args.solver_mode,
         )
     summary = engine.run(fault_dropping=not args.no_dropping)
     print(f"circuit {network.name}: {len(summary.records)} faults")
@@ -179,13 +187,19 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         f"  cnf cache: {stats.cache_hits} hits / {stats.cache_misses} misses "
         f"({stats.cache_hit_rate:.1%}); sat calls: {stats.sat_calls}"
     )
+    rates = stats.solver_rates()
+    print(
+        f"  solver: {stats.propagations} props, {stats.decisions} decisions, "
+        f"{stats.conflicts} conflicts "
+        f"({rates['propagations_per_sec']:,.0f} props/s)"
+    )
     if stats.workers > 1:
         print(
             f"  parallel: {stats.workers} workers, {stats.shards} shards, "
             f"{stats.replay_solves} replay solves"
         )
     if args.bench_json:
-        payload = _bench_payload(summary, args.solver)
+        payload = _bench_payload(summary, args.solver, args.solver_mode)
         Path(args.bench_json).write_text(json.dumps(payload, indent=2))
         print(f"  bench json -> {args.bench_json}")
     if args.compact:
@@ -295,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("netlist")
     p.add_argument("--solver", default="cdcl")
+    p.add_argument(
+        "--solver-mode", choices=("incremental", "fresh"),
+        default="incremental",
+        help="incremental = persistent per-cone CDCL solver with "
+        "assumption-guarded fault deltas (default); fresh = cold start "
+        "per fault",
+    )
     p.add_argument("--no-dropping", action="store_true")
     p.add_argument("--decompose", action="store_true")
     p.add_argument("--compact", action="store_true")

@@ -6,12 +6,27 @@ analysis, non-chronological backjumping, VSIDS-style activities and
 geometric restarts.  The paper models conflict learning abstractly via
 the sub-formula cache of Algorithm 1; this solver is the concrete modern
 counterpart and serves as a cross-check oracle and an ablation point.
+
+The solver is split in two layers:
+
+* :class:`CdclCore` — a *persistent* integer-level engine.  Variables
+  and clauses are appended over its lifetime, ``solve(assumptions)``
+  can be called any number of times, and learned clauses, VSIDS
+  activities, and saved phases survive between calls.  This is the
+  substrate of the incremental ATPG path
+  (:mod:`repro.sat.incremental`), which solves a whole fault list as
+  one incremental sequence instead of thousands of cold starts.
+* :class:`CdclSolver` — the formula-level wrapper with the classic
+  one-shot ``solve(formula)`` API.  It compiles the formula (cached,
+  so repeated solves on the same formula skip recompilation and the
+  per-call clause copy) and runs a fresh core per call.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from heapq import heapify, heappop, heappush
 from typing import Optional
 
 from repro.sat.cnf import CnfFormula
@@ -20,15 +35,549 @@ from repro.sat.result import SatResult, SatStatus, SolverStats
 
 _UNASSIGNED = -1
 
+#: Rescale threshold for VSIDS activities (MiniSat's 1e100 scheme).
+_ACTIVITY_CAP = 1e100
+
+
+class CdclCore:
+    """Persistent CDCL engine over integer literals.
+
+    State (assignment trail, watches, learned-clause database, VSIDS
+    activities, saved phases) lives across :meth:`solve` calls.  New
+    variables and clauses may be appended between calls; callers that
+    append guarded clause groups (activation literals) can release the
+    group's variables back for recycling once the group is retired and
+    trigger :meth:`collect` to sweep root-satisfied clauses.
+
+    Clauses are plain ``list[int]`` objects referenced by identity from
+    the watch lists and the implication graph, so the learned database
+    can be reduced without invalidating indices.
+    """
+
+    def __init__(
+        self, restart_interval: int = 128, decay: float = 0.95
+    ) -> None:
+        self.restart_interval = restart_interval
+        self.decay = decay
+
+        self.values: list[int] = []
+        self.level: list[int] = []
+        self.reason: list[Optional[list[int]]] = []
+        self.activity: list[float] = []
+        self.saved_phase: list[int] = []
+        self.released: list[bool] = []
+        self.watches: list[list[list[int]]] = []
+
+        self.base: list[list[int]] = []
+        self.learned: list[list[int]] = []
+        self._lbd: dict[int, int] = {}  # id(clause) -> literal block distance
+
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.root_failed = False
+
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []
+        self._free: list[int] = []
+        #: Vars released while still root-assigned (activation literals);
+        #: recycled by :meth:`collect` once their clauses are swept.
+        self._zombie: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Allocated variable count (including recyclable slots)."""
+        return len(self.values)
+
+    def new_var(self) -> int:
+        """Allocate a variable index (recycling released ones)."""
+        if self._free:
+            var = self._free.pop()
+            self.released[var] = False
+            self.activity[var] = 0.0
+            self.saved_phase[var] = 0
+            heappush(self._heap, (0.0, var))
+            return var
+        var = len(self.values)
+        self.values.append(_UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(0)
+        self.released.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        heappush(self._heap, (0.0, var))
+        return var
+
+    def release_var(self, var: int, defer: bool = False) -> None:
+        """Mark ``var`` dead.  Immediately recyclable unless ``defer``
+        (for vars still root-assigned, e.g. activation literals, which
+        :meth:`collect` recycles after sweeping their clauses)."""
+        self.released[var] = True
+        if defer or self.values[var] != _UNASSIGNED:
+            self._zombie.append(var)
+        else:
+            self._free.append(var)
+
+    def set_activity(self, var: int, value: float) -> None:
+        """Seed a variable's activity (static-order tie-breaking)."""
+        self.activity[var] = value
+        if self.values[var] == _UNASSIGNED and not self.released[var]:
+            heappush(self._heap, (-value, var))
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def add_clause(self, lits: list[int]) -> bool:
+        """Append a problem clause (root simplified).
+
+        Must be called at decision level 0.  The given list is stored
+        as-is when no simplification applies, and the solver may permute
+        its literal order in place during watch maintenance (the literal
+        *set* is never changed).  Returns ``False`` when the database
+        became root-inconsistent.
+        """
+        if self.root_failed:
+            return False
+        kept: Optional[list[int]] = None  # lazily copied on simplification
+        for index, lit in enumerate(lits):
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # satisfied at root: never attach
+            if value == 0:
+                if kept is None:
+                    kept = lits[:index]
+                continue
+            if kept is not None:
+                kept.append(lit)
+        clause = lits if kept is None else kept
+        if not clause:
+            self.root_failed = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.root_failed = True
+                return False
+            return True
+        self.base.append(clause)
+        self.watches[clause[0]].append(clause)
+        self.watches[clause[1]].append(clause)
+        return True
+
+    def _detach(self, clause: list[int]) -> None:
+        """Remove ``clause`` from its two watch lists (by identity)."""
+        for lit in (clause[0], clause[1]):
+            watching = self.watches[lit]
+            for i, other in enumerate(watching):
+                if other is clause:
+                    watching[i] = watching[-1]
+                    watching.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+    def current_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.values[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason_clause: Optional[list[int]]) -> bool:
+        var = lit >> 1
+        value = 1 ^ (lit & 1)
+        if self.values[var] != _UNASSIGNED:
+            return self.values[var] == value
+        self.values[var] = value
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_clause
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self, stats: SolverStats) -> Optional[list[int]]:
+        """Unit propagation.  Returns a conflicting clause, or None."""
+        values = self.values
+        watches = self.watches
+        trail = self.trail
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
+            self.qhead += 1
+            false_lit = lit ^ 1
+            watching = watches[false_lit]
+            i = 0
+            while i < len(watching):
+                cl = watching[i]
+                if cl[0] == false_lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                fv = values[first >> 1]
+                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+                    i += 1
+                    continue
+                found = False
+                for k in range(2, len(cl)):
+                    other = cl[k]
+                    ov = values[other >> 1]
+                    if ov == _UNASSIGNED or ov ^ (other & 1) != 0:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        watches[cl[1]].append(cl)
+                        watching[i] = watching[-1]
+                        watching.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                if fv != _UNASSIGNED:  # first is false: conflict
+                    return cl
+                stats.propagations += 1
+                self._enqueue(first, cl)
+                i += 1
+        return None
+
+    def propagate_root(self, stats: Optional[SolverStats] = None) -> bool:
+        """Settle root-level units (after appends).  False on conflict."""
+        if self.root_failed:
+            return False
+        if self._propagate(stats or SolverStats()) is not None:
+            self.root_failed = True
+            return False
+        return True
+
+    def backjump(self, target_level: int) -> None:
+        """Undo assignments above ``target_level``, saving phases."""
+        if self.current_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        trail = self.trail
+        while len(trail) > limit:
+            lit = trail.pop()
+            var = lit >> 1
+            self.saved_phase[var] = self.values[var]
+            self.values[var] = _UNASSIGNED
+            self.reason[var] = None
+            if not self.released[var]:
+                heappush(self._heap, (-self.activity[var], var))
+        del self.trail_lim[target_level:]
+        self.qhead = len(trail)
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        value = self.activity[var] + self._var_inc
+        self.activity[var] = value
+        if self.values[var] == _UNASSIGNED and not self.released[var]:
+            heappush(self._heap, (-value, var))
+        if value > _ACTIVITY_CAP:
+            self._rescale()
+
+    def _rescale(self) -> None:
+        scale = 1.0 / _ACTIVITY_CAP
+        for var in range(len(self.activity)):
+            self.activity[var] *= scale
+        self._var_inc *= scale
+        self._heap = [
+            (-self.activity[var], var)
+            for var in range(len(self.values))
+            if self.values[var] == _UNASSIGNED and not self.released[var]
+        ]
+        heapify(self._heap)
+
+    def _pick_branch(self) -> int:
+        heap = self._heap
+        values = self.values
+        activity = self.activity
+        released = self.released
+        while heap:
+            negact, var = heappop(heap)
+            if (
+                values[var] == _UNASSIGNED
+                and not released[var]
+                and -negact == activity[var]
+            ):
+                return var
+        return -1
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(
+        self, conflict: list[int], stats: SolverStats
+    ) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis (MiniSat structure).
+
+        Relies on the invariant that a reason clause stores its implied
+        literal at position 0.
+
+        Returns:
+            (learned clause with asserting literal first, backjump
+            level, literal block distance of the learned clause).
+        """
+        learned: list[int] = []
+        seen = [False] * len(self.values)
+        level = self.level
+        path_count = 0
+        p: Optional[int] = None
+        cl: Optional[list[int]] = conflict
+        index = len(self.trail) - 1
+        current = self.current_level()
+        while True:
+            assert cl is not None
+            # Skip position 0 when it is the literal we resolved on.
+            for q in cl[0 if p is None else 1 :]:
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if level[var] >= current:
+                        path_count += 1
+                    else:
+                        learned.append(q)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            p = self.trail[index]
+            var = p >> 1
+            seen[var] = False
+            path_count -= 1
+            index -= 1
+            if path_count <= 0:
+                break
+            cl = self.reason[var]
+        learned.insert(0, negate(p))
+        if len(learned) == 1:
+            return learned, 0, 1
+        back_level = max(level[q >> 1] for q in learned[1:])
+        lbd = len({level[q >> 1] for q in learned})
+        return learned, back_level, lbd
+
+    def _record_learned(
+        self, learned: list[int], lbd: int, stats: SolverStats
+    ) -> None:
+        """Attach a learned clause and assert its first literal."""
+        stats.learned_clauses += 1
+        if len(learned) >= 2:
+            # Watch invariant: position 1 must hold a literal from the
+            # backjump level, else future backtracks can leave the
+            # clause incorrectly watched.
+            best = max(
+                range(1, len(learned)),
+                key=lambda j: self.level[learned[j] >> 1],
+            )
+            learned[1], learned[best] = learned[best], learned[1]
+            self.learned.append(learned)
+            self._lbd[id(learned)] = lbd
+            self.watches[learned[0]].append(learned)
+            self.watches[learned[1]].append(learned)
+            self._enqueue(learned[0], learned)
+        else:
+            self._enqueue(learned[0], None)
+
+    def reduce_learned(self) -> int:
+        """Drop the worst half of the learned database.
+
+        Clauses are ranked by (LBD, length); glue clauses (LBD <= 2),
+        binaries, and clauses locked as reasons on the current trail are
+        always kept.  Returns the number of clauses removed.
+        """
+        locked = {
+            id(reason) for reason in self.reason if reason is not None
+        }
+        lbd = self._lbd
+        candidates = [
+            cl
+            for cl in self.learned
+            if id(cl) not in locked
+            and len(cl) > 2
+            and lbd.get(id(cl), 99) > 2
+        ]
+        candidates.sort(key=lambda cl: (lbd.get(id(cl), 99), len(cl)))
+        victims = {id(cl) for cl in candidates[len(candidates) // 2 :]}
+        if not victims:
+            return 0
+        for cl in self.learned:
+            if id(cl) in victims:
+                self._detach(cl)
+                lbd.pop(id(cl), None)
+        self.learned = [cl for cl in self.learned if id(cl) not in victims]
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (activation-literal retirement)
+    # ------------------------------------------------------------------
+    def collect(self) -> int:
+        """Sweep clauses satisfied at the root and recycle zombie vars.
+
+        Retiring an activation literal ``t`` (root unit ``¬t``)
+        permanently satisfies every clause tagged with ``¬t`` — the
+        group's deltas and any learned clause derived from them.  This
+        sweep removes them, rebuilds the watch lists, and returns
+        deferred-release variables (the ``t``s themselves) to the free
+        list.  Must be called at decision level 0 with propagation
+        settled.
+
+        Returns the number of clauses removed.
+        """
+        assert self.current_level() == 0
+        values = self.values
+        released = self.released
+
+        def root_satisfied(cl: list[int]) -> bool:
+            for lit in cl:
+                value = values[lit >> 1]
+                if value != _UNASSIGNED and value ^ (lit & 1) == 1:
+                    return True
+            return False
+
+        removed = 0
+        for name in ("base", "learned"):
+            kept: list[list[int]] = []
+            for cl in getattr(self, name):
+                if root_satisfied(cl):
+                    removed += 1
+                    self._lbd.pop(id(cl), None)
+                else:
+                    kept.append(cl)
+            setattr(self, name, kept)
+        if not removed and not self._zombie:
+            return 0
+
+        # Drop zombie vars from the root trail and recycle them.
+        if self._zombie:
+            zombies = set(self._zombie)
+            self.trail = [
+                lit for lit in self.trail if (lit >> 1) not in zombies
+            ]
+            self.qhead = len(self.trail)
+            for var in self._zombie:
+                self.values[var] = _UNASSIGNED
+                self.reason[var] = None
+                self.activity[var] = 0.0
+                self.saved_phase[var] = 0
+                self._free.append(var)
+            self._zombie.clear()
+
+        # Rebuild watches; pick non-root-false watch positions so the
+        # two-watched-literal invariant holds from a clean slate.
+        self.watches = [[] for _ in range(2 * len(values))]
+        for cl in self.base + self.learned:
+            free = 0
+            for k in range(len(cl)):
+                value = values[cl[k] >> 1]
+                if value == _UNASSIGNED or value ^ (cl[k] & 1) == 1:
+                    cl[free], cl[k] = cl[k], cl[free]
+                    free += 1
+                    if free == 2:
+                        break
+            self.watches[cl[0]].append(cl)
+            self.watches[cl[1]].append(cl)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> tuple[SatStatus, SolverStats]:
+        """CDCL search under ``assumptions``.
+
+        Assumption literals are decided first, in order; if one is
+        falsified the answer is UNSAT *under the assumptions* (the
+        database stays consistent and future calls are fine).  On SAT
+        the assignment is left in place for the caller to decode; the
+        next call (or :meth:`backjump`) harvests it as saved phases.
+
+        Returns:
+            (status, per-call statistics).  ``UNKNOWN`` when the
+            conflict budget was exceeded.
+        """
+        stats = SolverStats()
+        self.backjump(0)
+        if self.root_failed or self._propagate(stats) is not None:
+            self.root_failed = True
+            return SatStatus.UNSAT, stats
+
+        restart_limit = self.restart_interval
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate(stats)
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if (
+                    max_conflicts is not None
+                    and stats.conflicts > max_conflicts
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
+                if self.current_level() == 0:
+                    self.root_failed = True
+                    return SatStatus.UNSAT, stats
+                learned, back_level, lbd = self._analyze(conflict, stats)
+                self.backjump(back_level)
+                self._record_learned(learned, lbd, stats)
+                self._var_inc /= self.decay
+                if self._var_inc > _ACTIVITY_CAP:
+                    self._rescale()
+                if len(self.learned) > max(1000, 2 * len(self.base)):
+                    self.reduce_learned()
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                restart_limit = int(restart_limit * 1.5)
+                stats.restarts += 1
+                self.backjump(0)
+                continue
+
+            lit = None
+            while self.current_level() < len(assumptions):
+                p = assumptions[self.current_level()]
+                value = self._lit_value(p)
+                if value == 1:
+                    # Already satisfied: open a dummy level and move on.
+                    self.trail_lim.append(len(self.trail))
+                elif value == 0:
+                    self.backjump(0)
+                    return SatStatus.UNSAT, stats
+                else:
+                    lit = p
+                    break
+            if lit is None:
+                var = self._pick_branch()
+                if var == -1:
+                    return SatStatus.SAT, stats
+                stats.decisions += 1
+                stats.nodes += 1
+                lit = 2 * var + (0 if self.saved_phase[var] == 1 else 1)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
 
 class CdclSolver:
-    """CDCL solver over a compiled CNF.
+    """One-shot CDCL solver over a compiled CNF.
 
     Args:
         max_conflicts: conflict budget; exceeded search returns ``UNKNOWN``.
         restart_interval: conflicts before the first restart (grows 1.5x).
         decay: VSIDS activity decay factor per conflict.
         phase_hint: optional map from variable name to preferred phase.
+        order: optional static variable order used to break activity ties.
+
+    The compiled form (and its clause storage) is cached per formula:
+    repeated solves on the same formula skip both recompilation and the
+    per-call clause copy.  Each call still searches from a cold state —
+    use :class:`CdclCore` / :mod:`repro.sat.incremental` when learned
+    clauses should persist between solves.
     """
 
     def __init__(
@@ -44,238 +593,54 @@ class CdclSolver:
         self.decay = decay
         self.phase_hint = phase_hint or {}
         self._order = list(order) if order is not None else None
+        self._compiled_for: Optional[CnfFormula] = None
+        self._compiled = None
 
     def solve(self, formula: CnfFormula) -> SatResult:
         """Decide satisfiability of ``formula``."""
         start = time.perf_counter()
-        stats = SolverStats()
-        compiled = compile_formula(formula)
-        num_vars = compiled.num_vars
-        clauses: list[list[int]] = [list(c) for c in compiled.clauses]
+        if self._compiled_for is None or not (
+            self._compiled_for is formula or self._compiled_for == formula
+        ):
+            self._compiled = compile_formula(formula)
+            self._compiled_for = formula
+        compiled = self._compiled
 
-        if any(not c for c in clauses):
-            stats.time_seconds = time.perf_counter() - start
-            return SatResult(SatStatus.UNSAT, stats=stats)
-        if num_vars == 0:
-            stats.time_seconds = time.perf_counter() - start
-            return SatResult(SatStatus.SAT, assignment={}, stats=stats)
-
-        values = [_UNASSIGNED] * num_vars
-        level = [0] * num_vars
-        reason: list[Optional[int]] = [None] * num_vars  # clause index
-        activity = [0.0] * num_vars
-        saved_phase = [0] * num_vars
+        core = CdclCore(
+            restart_interval=self.restart_interval, decay=self.decay
+        )
+        for _ in range(compiled.num_vars):
+            core.new_var()
         for name, phase in self.phase_hint.items():
             idx = compiled.index_of.get(name)
             if idx is not None:
-                saved_phase[idx] = 1 if phase else 0
+                core.saved_phase[idx] = 1 if phase else 0
         if self._order is not None:
             # Seed activities so the static order breaks ties.
             rank = len(self._order)
             for position, name in enumerate(self._order):
                 idx = compiled.index_of.get(name)
                 if idx is not None:
-                    activity[idx] = float(rank - position) * 1e-6
+                    core.set_activity(idx, float(rank - position) * 1e-6)
 
-        watches: list[list[int]] = [[] for _ in range(2 * num_vars)]
-        initial_units: list[int] = []
-        for ci, cl in enumerate(clauses):
-            if len(cl) == 1:
-                initial_units.append(cl[0])
-            else:
-                watches[cl[0]].append(ci)
-                watches[cl[1]].append(ci)
-
-        trail: list[int] = []
-        trail_lim: list[int] = []
-        qhead = 0
-
-        def current_level() -> int:
-            return len(trail_lim)
-
-        def lit_value(lit: int) -> int:
-            v = values[var_of(lit)]
-            if v == _UNASSIGNED:
-                return _UNASSIGNED
-            return v ^ (lit & 1)
-
-        def enqueue(lit: int, reason_clause: Optional[int]) -> bool:
-            var = var_of(lit)
-            value = 1 ^ (lit & 1)
-            if values[var] != _UNASSIGNED:
-                return values[var] == value
-            values[var] = value
-            level[var] = current_level()
-            reason[var] = reason_clause
-            trail.append(lit)
-            return True
-
-        def propagate() -> Optional[int]:
-            """Returns conflicting clause index, or None."""
-            nonlocal qhead
-            while qhead < len(trail):
-                lit = trail[qhead]
-                qhead += 1
-                false_lit = negate(lit)
-                watching = watches[false_lit]
-                i = 0
-                while i < len(watching):
-                    ci = watching[i]
-                    cl = clauses[ci]
-                    if cl[0] == false_lit:
-                        cl[0], cl[1] = cl[1], cl[0]
-                    first = cl[0]
-                    if lit_value(first) == 1:
-                        i += 1
-                        continue
-                    found = False
-                    for k in range(2, len(cl)):
-                        if lit_value(cl[k]) != 0:
-                            cl[1], cl[k] = cl[k], cl[1]
-                            watches[cl[1]].append(ci)
-                            watching[i] = watching[-1]
-                            watching.pop()
-                            found = True
-                            break
-                    if found:
-                        continue
-                    if lit_value(first) == 0:
-                        return ci
-                    stats.propagations += 1
-                    enqueue(first, ci)
-                    i += 1
-            return None
-
-        def analyze(conflict_ci: int) -> tuple[list[int], int]:
-            """First-UIP conflict analysis (MiniSat structure).
-
-            Relies on the invariant that a reason clause stores its implied
-            literal at position 0.
-
-            Returns:
-                (learned clause with asserting literal first, backjump level).
-            """
-            learned: list[int] = []
-            seen = [False] * num_vars
-            path_count = 0
-            p: Optional[int] = None
-            ci: Optional[int] = conflict_ci
-            index = len(trail) - 1
-            while True:
-                assert ci is not None
-                cl = clauses[ci]
-                # Skip position 0 when it is the literal we resolved on.
-                for q in cl[0 if p is None else 1 :]:
-                    var = q >> 1
-                    if not seen[var] and level[var] > 0:
-                        seen[var] = True
-                        activity[var] += 1.0
-                        if level[var] >= current_level():
-                            path_count += 1
-                        else:
-                            learned.append(q)
-                while not seen[trail[index] >> 1]:
-                    index -= 1
-                p = trail[index]
-                var = p >> 1
-                seen[var] = False
-                path_count -= 1
-                index -= 1
-                if path_count <= 0:
-                    break
-                ci = reason[var]
-            learned.insert(0, negate(p))
-            if len(learned) == 1:
-                return learned, 0
-            back_level = max(level[q >> 1] for q in learned[1:])
-            return learned, back_level
-
-        def backjump(target_level: int) -> None:
-            nonlocal qhead
-            if current_level() <= target_level:
-                return
-            limit = trail_lim[target_level]
-            while len(trail) > limit:
-                lit = trail.pop()
-                var = var_of(lit)
-                saved_phase[var] = values[var]
-                values[var] = _UNASSIGNED
-                reason[var] = None
-            del trail_lim[target_level:]
-            qhead = len(trail)
-
-        def pick_branch() -> int:
-            best, best_act = -1, -1.0
-            for var in range(num_vars):
-                if values[var] == _UNASSIGNED and activity[var] > best_act:
-                    best, best_act = var, activity[var]
-            return best
-
-        for lit in initial_units:
-            if not enqueue(lit, None):
-                stats.time_seconds = time.perf_counter() - start
-                return SatResult(SatStatus.UNSAT, stats=stats)
-        if propagate() is not None:
+        for clause in compiled.clauses:
+            if not core.add_clause(clause):
+                break
+        if core.root_failed:
+            stats = SolverStats()
             stats.time_seconds = time.perf_counter() - start
             return SatResult(SatStatus.UNSAT, stats=stats)
+        if compiled.num_vars == 0:
+            stats = SolverStats()
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(SatStatus.SAT, assignment={}, stats=stats)
 
-        restart_limit = self.restart_interval
-        conflicts_since_restart = 0
-
-        while True:
-            conflict = propagate()
-            if conflict is not None:
-                stats.conflicts += 1
-                conflicts_since_restart += 1
-                if (
-                    self.max_conflicts is not None
-                    and stats.conflicts > self.max_conflicts
-                ):
-                    stats.time_seconds = time.perf_counter() - start
-                    return SatResult(SatStatus.UNKNOWN, stats=stats)
-                if current_level() == 0:
-                    stats.time_seconds = time.perf_counter() - start
-                    return SatResult(SatStatus.UNSAT, stats=stats)
-                learned, back_level = analyze(conflict)
-                backjump(back_level)
-                ci = len(clauses)
-                if len(learned) >= 2:
-                    # Watch invariant: position 1 must hold a literal from
-                    # the backjump level, else future backtracks can leave
-                    # the clause incorrectly watched.
-                    best = max(
-                        range(1, len(learned)), key=lambda j: level[learned[j] >> 1]
-                    )
-                    learned[1], learned[best] = learned[best], learned[1]
-                clauses.append(learned)
-                stats.learned_clauses += 1
-                if len(learned) >= 2:
-                    watches[learned[0]].append(ci)
-                    watches[learned[1]].append(ci)
-                    enqueue(learned[0], ci)
-                else:
-                    enqueue(learned[0], None)
-                for var in range(num_vars):
-                    activity[var] *= self.decay
-                continue
-
-            if conflicts_since_restart >= restart_limit:
-                conflicts_since_restart = 0
-                restart_limit = int(restart_limit * 1.5)
-                stats.restarts += 1
-                backjump(0)
-                continue
-
-            var = pick_branch()
-            if var == -1:
-                stats.time_seconds = time.perf_counter() - start
-                model = compiled.decode_assignment(values)
-                return SatResult(SatStatus.SAT, assignment=model, stats=stats)
-            stats.decisions += 1
-            stats.nodes += 1
-            trail_lim.append(len(trail))
-            lit = 2 * var + (0 if saved_phase[var] == 1 else 1)
-            enqueue(lit, None)
+        status, stats = core.solve(max_conflicts=self.max_conflicts)
+        stats.time_seconds = time.perf_counter() - start
+        if status is SatStatus.SAT:
+            model = compiled.decode_assignment(core.values)
+            return SatResult(SatStatus.SAT, assignment=model, stats=stats)
+        return SatResult(status, stats=stats)
 
 
 def solve_cdcl(formula: CnfFormula, **kwargs) -> SatResult:

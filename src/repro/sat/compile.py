@@ -8,13 +8,20 @@ compile the formula once into dense integer literals:
 * variable ``i`` (0-based) has positive literal ``2*i`` and negative
   literal ``2*i + 1`` (LSB = polarity, MiniSat convention);
 * a clause is a list of literal ints.
+
+:func:`compile_formula` is the whole-formula batch path.
+:class:`IncrementalCompiler` is the append path used by the incremental
+SAT layer (:mod:`repro.sat.incremental`): clauses arrive a group at a
+time, new names are interned against a live variable allocator, and
+names can be released again when their clause group is retired.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
-from repro.sat.cnf import CnfFormula
+from repro.sat.cnf import Clause, CnfFormula
 
 
 def lit_of(var_index: int, positive: bool) -> int:
@@ -81,3 +88,60 @@ def compile_formula(formula: CnfFormula) -> CompiledCnf:
         index_of=index_of,
         name_of=names,
     )
+
+
+class IncrementalCompiler:
+    """Interns variable names to solver indices, one clause at a time.
+
+    Unlike :func:`compile_formula`, which needs the whole formula up
+    front to fix a dense index range, this compiler allocates indices
+    on first sight of a name via the ``allocate`` callback (normally
+    the persistent solver's ``new_var``), so clause groups can be
+    appended to a live solver without recompiling anything.  Releasing
+    the names of a retired group lets the solver recycle their indices.
+    """
+
+    def __init__(self, allocate: Callable[[], int]) -> None:
+        self._allocate = allocate
+        self._index_of: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index_of)
+
+    def var(self, name: str) -> int:
+        """Index of ``name``, allocating a fresh variable on first use."""
+        index = self._index_of.get(name)
+        if index is None:
+            index = self._allocate()
+            self._index_of[name] = index
+        return index
+
+    def lookup(self, name: str) -> int | None:
+        """Index of ``name`` if interned, else ``None`` (no allocation)."""
+        return self._index_of.get(name)
+
+    def clause_ints(self, clause: Clause) -> list[int] | None:
+        """Integer form of a named clause, or ``None`` for a tautology.
+
+        Duplicate literals are merged, mirroring :func:`compile_formula`.
+        """
+        seen: set[int] = set()
+        for literal in clause:
+            lit = lit_of(self.var(literal.variable), literal.positive)
+            if negate(lit) in seen:
+                return None
+            seen.add(lit)
+        return sorted(seen)
+
+    def release(self, names: Iterable[str]) -> list[int]:
+        """Forget ``names`` and return their (now recyclable) indices."""
+        freed: list[int] = []
+        for name in names:
+            index = self._index_of.pop(name, None)
+            if index is not None:
+                freed.append(index)
+        return freed
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        """Live ``(name, index)`` pairs (model decoding)."""
+        return self._index_of.items()

@@ -1,10 +1,18 @@
 """Tests for the parallel batched ATPG engine.
 
-The headline property is *exact parity*: ``ParallelAtpgEngine`` must
-reproduce the sequential engine's records bit-for-bit (statuses, tests,
-drop attributions) for any worker count, because an ATPG-SAT call
-depends only on (circuit, fault) and the coordinator replays the
-canonical fault order when merging shards.
+The headline property is *exact parity* in ``fresh`` solver mode:
+``ParallelAtpgEngine`` must reproduce the sequential engine's records
+bit-for-bit (statuses, tests, drop attributions) for any worker count,
+because a fresh ATPG-SAT call depends only on (circuit, fault) and the
+coordinator replays the canonical fault order when merging shards.
+
+In ``incremental`` mode (the default) each worker's persistent solver
+state depends on its shard, so test *vectors* may differ from a
+sequential run; coverage, UNSAT verdicts, and the covered fault set
+must still match exactly (``TestIncrementalParallel``).
+
+Parity tests pass ``min_faults_per_shard=1`` so the small test circuits
+actually split across shards instead of collapsing to one.
 """
 
 import pytest
@@ -30,40 +38,101 @@ def _parity_circuits():
     ]
 
 
+def _fresh_parallel(net, workers):
+    return ParallelAtpgEngine(
+        net, workers=workers, solver_mode="fresh", min_faults_per_shard=1
+    )
+
+
 class TestParity:
     @pytest.mark.parametrize("workers", [1, 2, 3])
     def test_matches_sequential_exactly(self, workers):
         for net in _parity_circuits():
-            seq = AtpgEngine(net).run()
-            par = ParallelAtpgEngine(net, workers=workers).run()
+            seq = AtpgEngine(net, solver_mode="fresh").run()
+            par = _fresh_parallel(net, workers).run()
             assert _essence(par) == _essence(seq), net.name
             assert par.fault_coverage == seq.fault_coverage
             assert par.status_counts() == seq.status_counts()
 
     def test_matches_sequential_without_dropping(self):
         net = tech_decompose(c17())
-        seq = AtpgEngine(net).run(fault_dropping=False)
-        par = ParallelAtpgEngine(net, workers=2).run(fault_dropping=False)
+        seq = AtpgEngine(net, solver_mode="fresh").run(fault_dropping=False)
+        par = _fresh_parallel(net, 2).run(fault_dropping=False)
         assert _essence(par) == _essence(seq)
         assert not par.by_status(FaultStatus.DROPPED)
 
     def test_explicit_fault_list(self):
         net = tech_decompose(c17())
         faults = collapse_faults(net)[:6]
-        seq = AtpgEngine(net).run(faults=faults)
-        par = ParallelAtpgEngine(net, workers=2).run(faults=faults)
+        seq = AtpgEngine(net, solver_mode="fresh").run(faults=faults)
+        par = _fresh_parallel(net, 2).run(faults=faults)
         assert _essence(par) == _essence(seq)
 
     def test_in_process_fallback_matches_pool(self, monkeypatch):
         """Platforms without fork must produce identical results."""
         net = make_random_network(7, num_inputs=4, num_gates=12)
-        pooled = ParallelAtpgEngine(net, workers=2).run()
+        pooled = ParallelAtpgEngine(
+            net, workers=2, min_faults_per_shard=1
+        ).run()
         monkeypatch.setattr(
             ParallelAtpgEngine, "can_fork", staticmethod(lambda: False)
         )
-        fallback = ParallelAtpgEngine(net, workers=2).run()
+        fallback = ParallelAtpgEngine(
+            net, workers=2, min_faults_per_shard=1
+        ).run()
         assert _essence(fallback) == _essence(pooled)
         assert fallback.stats.workers == 1  # recorded as in-process
+
+
+class TestIncrementalParallel:
+    """Default-mode parallel runs: semantic (not bit-exact) parity."""
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_coverage_and_verdicts_match_sequential(self, workers):
+        for net in _parity_circuits():
+            seq = AtpgEngine(net).run()
+            par = ParallelAtpgEngine(
+                net, workers=workers, min_faults_per_shard=1
+            ).run()
+            assert par.fault_coverage == seq.fault_coverage, net.name
+            untestable = lambda s: {
+                r.fault for r in s.by_status(FaultStatus.UNTESTABLE)
+            }
+            covered = lambda s: {
+                r.fault
+                for r in s.records
+                if r.status in (FaultStatus.TESTED, FaultStatus.DROPPED)
+            }
+            assert untestable(par) == untestable(seq), net.name
+            assert covered(par) == covered(seq), net.name
+
+    def test_parallel_tests_are_valid(self):
+        from repro.atpg.fault_sim import fault_simulate
+
+        net = make_random_network(6, num_inputs=5, num_gates=16)
+        par = ParallelAtpgEngine(
+            net, workers=2, min_faults_per_shard=1
+        ).run()
+        for record in par.records:
+            if record.test is not None:
+                outcome = fault_simulate(net, [record.fault], [record.test])
+                assert record.fault in outcome.detected
+
+    def test_small_fault_lists_collapse_to_one_shard(self):
+        net = tech_decompose(c17())
+        faults = collapse_faults(net)[:8]
+        summary = ParallelAtpgEngine(net, workers=4).run(faults=faults)
+        assert summary.stats.shards == 1  # min_faults_per_shard=32 default
+
+    def test_worker_stats_recorded(self):
+        net = tech_decompose(c17())
+        summary = ParallelAtpgEngine(
+            net, workers=2, min_faults_per_shard=1
+        ).run()
+        assert summary.worker_stats
+        assert len(summary.worker_stats) == summary.stats.shards
+        assert all(ws.sat_calls >= 0 for ws in summary.worker_stats)
+        assert sum(ws.sat_calls for ws in summary.worker_stats) > 0
 
 
 class TestStats:

@@ -1,0 +1,227 @@
+"""Tests for the persistent CDCL core and the incremental solver layer.
+
+Covers the MiniSat-style mechanics ISSUE 2 introduces: solving under
+assumptions on persistent state, activation-guarded clause groups with
+push/solve/retire cycles, conflict budgets returning UNKNOWN without
+poisoning the core, variable-index recycling bounded by the garbage
+collector, and randomized parity against the fresh ``solve_cdcl`` path.
+"""
+
+import random
+
+import pytest
+
+from repro.sat.cdcl import CdclCore, solve_cdcl
+from repro.sat.cnf import CnfFormula, clause, formula_from_ints, neg, pos
+from repro.sat.compile import lit_of, negate
+from repro.sat.incremental import IncrementalSatSolver
+from repro.sat.result import SatStatus
+
+
+def random_formula(seed: int, num_vars: int = 6, num_clauses: int = 14):
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.choice((1, 2, 2, 3, 3))
+        chosen = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return formula_from_ints(clauses)
+
+
+def unsat_parity_formula():
+    """All eight 3-literal clauses over three variables: UNSAT, and any
+    proof needs at least one conflict (no root units)."""
+    ints = []
+    for a in (1, -1):
+        for b in (2, -2):
+            for c in (3, -3):
+                ints.append([a, b, c])
+    return formula_from_ints(ints)
+
+
+class TestCoreAssumptions:
+    def test_unsat_under_assumptions_then_sat_without(self):
+        core = CdclCore()
+        x0, x1 = core.new_var(), core.new_var()
+        core.add_clause([lit_of(x0, True), lit_of(x1, True)])
+
+        status, _ = core.solve(
+            assumptions=(lit_of(x0, False), lit_of(x1, False))
+        )
+        assert status is SatStatus.UNSAT
+        assert not core.root_failed  # assumption failure is not root UNSAT
+
+        status, _ = core.solve()
+        assert status is SatStatus.SAT
+        assert core.values[x0] == 1 or core.values[x1] == 1
+
+    def test_assumption_forces_model(self):
+        core = CdclCore()
+        x0, x1 = core.new_var(), core.new_var()
+        core.add_clause([lit_of(x0, False), lit_of(x1, True)])  # x0 -> x1
+
+        status, _ = core.solve(assumptions=(lit_of(x0, True),))
+        assert status is SatStatus.SAT
+        assert core.values[x0] == 1
+        assert core.values[x1] == 1
+
+    def test_learned_state_survives_across_calls(self):
+        core = CdclCore()
+        formula = unsat_parity_formula()
+        index = {name: core.new_var() for name in formula.variables}
+        for named in formula.clauses:
+            core.add_clause(
+                [lit_of(index[l.variable], l.positive) for l in named]
+            )
+
+        status, first = core.solve()
+        assert status is SatStatus.UNSAT
+        assert first.conflicts >= 1
+        # Root UNSAT is permanent: the next call answers immediately.
+        status, second = core.solve()
+        assert status is SatStatus.UNSAT
+        assert second.conflicts == 0
+
+    def test_budget_unknown_does_not_poison_core(self):
+        core = CdclCore()
+        formula = unsat_parity_formula()
+        index = {name: core.new_var() for name in formula.variables}
+        for named in formula.clauses:
+            core.add_clause(
+                [lit_of(index[l.variable], l.positive) for l in named]
+            )
+
+        status, _ = core.solve(max_conflicts=0)
+        assert status is SatStatus.UNKNOWN
+        status, _ = core.solve()
+        assert status is SatStatus.UNSAT
+
+    def test_reduce_learned_preserves_answers(self):
+        core = CdclCore()
+        formula = random_formula(23, num_vars=10, num_clauses=30)
+        index = {name: core.new_var() for name in formula.variables}
+        for named in formula.clauses:
+            core.add_clause(
+                [lit_of(index[l.variable], l.positive) for l in named]
+            )
+        before, _ = core.solve()
+        core.backjump(0)
+        core.reduce_learned()
+        after, _ = core.solve()
+        assert after is before
+
+
+class TestClauseGroups:
+    def test_push_solve_retire_cycle(self):
+        solver = IncrementalSatSolver()
+        solver.add_base([clause(pos("a"), pos("b"))])
+
+        group = solver.push_group([clause(neg("a")), clause(neg("b"))])
+        assert solver.solve(group).status is SatStatus.UNSAT
+        solver.retire(group)
+
+        # The contradiction retired with its group; the base is SAT.
+        assert solver.solve().status is SatStatus.SAT
+
+        group = solver.push_group([clause(pos("a"))])
+        result = solver.solve(group)
+        assert result.status is SatStatus.SAT
+        assert result.assignment["a"] == 1
+        solver.retire(group)
+
+    def test_retire_is_idempotent(self):
+        solver = IncrementalSatSolver()
+        solver.add_base([clause(pos("a"))])
+        group = solver.push_group([clause(pos("b"))])
+        solver.retire(group)
+        solver.retire(group)
+        assert solver.solve().status is SatStatus.SAT
+
+    def test_budget_then_retry_with_more(self):
+        solver = IncrementalSatSolver()
+        group = solver.push_group(unsat_parity_formula().clauses)
+        assert solver.solve(group, max_conflicts=0).status is (
+            SatStatus.UNKNOWN
+        )
+        assert solver.solve(group).status is SatStatus.UNSAT
+        solver.retire(group)
+        assert solver.solve().status is SatStatus.SAT
+
+    def test_group_variables_are_recycled(self):
+        """50 push/retire cycles must not grow the core unboundedly."""
+        solver = IncrementalSatSolver(gc_interval=4)
+        solver.add_base([clause(pos("keep"))])
+        high_water = 0
+        for round_index in range(50):
+            name = f"g{round_index}"
+            group = solver.push_group(
+                [
+                    clause(pos("keep"), pos(name)),
+                    clause(neg(name), pos(f"{name}_out")),
+                ]
+            )
+            assert solver.solve(group).status is SatStatus.SAT
+            solver.retire(group)
+            high_water = max(high_water, solver.core.num_vars)
+            # Released names leave the compiler immediately.
+            assert solver.num_vars == 1
+        # Named vars recycle instantly; activation vars recycle at each
+        # gc sweep, so the core plateaus within a few rounds.
+        assert solver.core.num_vars <= 1 + 2 + solver.gc_interval + 2
+        assert solver.core.num_vars <= high_water
+
+    def test_collect_sweeps_retired_clauses(self):
+        solver = IncrementalSatSolver(gc_interval=1000)  # manual collect
+        solver.add_base([clause(pos("a"), pos("b"))])
+        baseline = len(solver.core.base)
+        group = solver.push_group(
+            [clause(pos("c")), clause(neg("c"), pos("d"))]
+        )
+        solver.solve(group)
+        solver.retire(group)
+        assert len(solver.core.base) > baseline  # still attached (inert)
+        swept = solver.core.collect()
+        assert swept >= group.num_clauses
+        # The retire unit [-t] itself stays; the group's clauses go.
+        assert len(solver.core.base) <= baseline + 1
+
+    def test_phase_seeding_steers_the_model(self):
+        solver = IncrementalSatSolver()
+        solver.add_base([clause(pos("a"), pos("b"))])
+        solver.seed_phases({"a": 0, "b": 1})
+        result = solver.solve()
+        assert result.status is SatStatus.SAT
+        assert result.assignment["b"] == 1
+        assert result.assignment.get("a", 0) == 0
+
+
+class TestParityWithFreshSolver:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_single_group_matches_solve_cdcl(self, seed):
+        formula = random_formula(seed, num_vars=7, num_clauses=20)
+        fresh = solve_cdcl(formula)
+
+        solver = IncrementalSatSolver()
+        group = solver.push_group(formula.clauses)
+        result = solver.solve(group)
+        assert result.status is fresh.status, seed
+        if result.status is SatStatus.SAT:
+            assert formula.is_satisfied_by(result.assignment)
+
+    def test_batch_of_groups_matches_fresh_verdicts(self):
+        """A realistic batch: shared base, successive deltas, retained
+        learned clauses — every verdict must match a cold start."""
+        base = random_formula(101, num_vars=8, num_clauses=10)
+        solver = IncrementalSatSolver(gc_interval=3)
+        solver.add_base(base.clauses)
+        for seed in range(20):
+            delta = random_formula(200 + seed, num_vars=8, num_clauses=8)
+            combined = CnfFormula(base.clauses | delta.clauses)
+            fresh = solve_cdcl(combined)
+
+            group = solver.push_group(delta.clauses)
+            result = solver.solve(group)
+            assert result.status is fresh.status, seed
+            if result.status is SatStatus.SAT:
+                assert combined.is_satisfied_by(result.assignment)
+            solver.retire(group)
