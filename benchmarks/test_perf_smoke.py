@@ -144,6 +144,8 @@ def test_perf_smoke():
     assert batched_detected == seed_detected
     assert incremental.fault_coverage == batched.fault_coverage
     assert parallel.fault_coverage == batched.fault_coverage
+    # A bench run with chaos in it is not a perf measurement.
+    assert parallel.stats.health.clean, parallel.stats.health.as_dict()
 
     batched_solve = batched.stats.solve_time
     incremental_solve = incremental.stats.solve_time

@@ -5,13 +5,29 @@ from repro.atpg.compaction import (
     greedy_cover_compaction,
     reverse_order_compaction,
 )
+from repro.atpg.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+    resumable_records,
+)
 from repro.atpg.engine import (
+    ABORT_BUDGET,
+    ABORT_DEADLINE,
+    ABORT_SHARD_CRASHED,
+    ABORT_SHARD_TIMEOUT,
     AtpgEngine,
     AtpgRecord,
     AtpgSummary,
     EngineStats,
     FaultStatus,
+    RunHealth,
     make_solver,
+)
+from repro.atpg.supervisor import (
+    FailedShard,
+    ShardSupervisor,
+    SupervisorReport,
 )
 from repro.atpg.fault_sim import (
     FaultSimResult,
@@ -45,16 +61,28 @@ from repro.atpg.miter import (
 )
 
 __all__ = [
+    "ABORT_BUDGET",
+    "ABORT_DEADLINE",
+    "ABORT_SHARD_CRASHED",
+    "ABORT_SHARD_TIMEOUT",
     "AtpgCircuit",
     "AtpgEngine",
     "AtpgRecord",
     "AtpgSummary",
+    "CheckpointError",
+    "CheckpointWriter",
     "EngineStats",
+    "FailedShard",
     "Fault",
     "FaultSimResult",
     "FaultStatus",
     "ParallelAtpgEngine",
     "PatternBlockStore",
+    "RunHealth",
+    "ShardSupervisor",
+    "SupervisorReport",
+    "load_checkpoint",
+    "resumable_records",
     "PodemEngine",
     "PodemResult",
     "PodemStatus",

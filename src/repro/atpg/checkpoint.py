@@ -1,0 +1,232 @@
+"""Checkpoint journal: resumable ATPG runs over a JSONL record log.
+
+A long unattended ATPG run can die for many reasons — run deadline,
+OOM-killed worker, Ctrl-C, a machine reboot.  The checkpoint layer makes
+those deaths cheap: per-fault :class:`~repro.atpg.engine.AtpgRecord`
+results are appended to a JSON-lines journal *as shards complete*, and a
+later run started with ``resume_from`` skips every fault whose verdict
+is already journaled, re-dispatching only the remainder.  Because the
+parallel coordinator replays the canonical fault order when merging
+(see :mod:`repro.atpg.parallel`), a resumed run produces the same final
+merge as an uninterrupted one.
+
+Journal layout — one JSON object per line:
+
+* line 1: a header ``{"type": "header", "version": 1, "circuit": ...,
+  "config": {...}}``;
+* then records ``{"type": "record", "net": ..., "value": ...,
+  "status": ..., "test": ..., "abort_reason": ..., ...}``.
+
+The format is append-only and crash-tolerant: a truncated trailing line
+(the write the crash interrupted) is ignored on load, and duplicate
+fault lines (a resumed run journaling into the same file) resolve to the
+last occurrence.
+
+Which journaled verdicts are *final* on resume:
+
+* ``TESTED`` / ``UNTESTABLE`` / ``UNOBSERVABLE`` / ``DROPPED`` — kept
+  (the replay merge re-validates dropping globally anyway);
+* ``ABORTED`` with reason ``budget_exhausted`` — kept: the conflict
+  budget is deterministic, re-running would abort again;
+* ``ABORTED`` with an orchestration reason (deadline, shard timeout,
+  worker crash) — **re-dispatched**: those faults never got their full
+  budget, which is exactly what resuming is for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, TextIO
+
+from repro.atpg.engine import (
+    ABORT_BUDGET,
+    AtpgRecord,
+    AtpgSummary,
+    FaultStatus,
+)
+from repro.atpg.faults import Fault
+
+JOURNAL_VERSION = 1
+
+
+def record_to_dict(record: AtpgRecord) -> dict:
+    """JSON-ready view of one per-fault record (journal line payload)."""
+    return {
+        "type": "record",
+        "net": record.fault.net,
+        "value": record.fault.value,
+        "status": record.status.value,
+        "num_variables": record.num_variables,
+        "num_clauses": record.num_clauses,
+        "build_time": record.build_time,
+        "encode_time": record.encode_time,
+        "solve_time": record.solve_time,
+        "decisions": record.decisions,
+        "conflicts": record.conflicts,
+        "test": record.test,
+        "abort_reason": record.abort_reason,
+    }
+
+
+def record_from_dict(payload: dict) -> AtpgRecord:
+    """Rebuild an :class:`AtpgRecord` from its journal line."""
+    return AtpgRecord(
+        fault=Fault(payload["net"], payload["value"]),
+        status=FaultStatus(payload["status"]),
+        num_variables=payload.get("num_variables", 0),
+        num_clauses=payload.get("num_clauses", 0),
+        build_time=payload.get("build_time", 0.0),
+        encode_time=payload.get("encode_time", 0.0),
+        solve_time=payload.get("solve_time", 0.0),
+        decisions=payload.get("decisions", 0),
+        conflicts=payload.get("conflicts", 0),
+        test=payload.get("test"),
+        abort_reason=payload.get("abort_reason"),
+    )
+
+
+def is_final(record: AtpgRecord) -> bool:
+    """True when a journaled verdict need not be re-dispatched on
+    resume (see the module docstring for the rule)."""
+    if record.status is not FaultStatus.ABORTED:
+        return True
+    return record.abort_reason == ABORT_BUDGET
+
+
+class CheckpointError(ValueError):
+    """A journal could not be loaded (bad header, circuit mismatch)."""
+
+
+class CheckpointWriter:
+    """Append-only JSONL journal of per-fault records.
+
+    Safe to point at the journal being resumed: records are appended and
+    duplicates resolve to the last line on load.  Every write is flushed
+    so a killed run loses at most the line being written.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        circuit: str,
+        config: Optional[dict] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.circuit = circuit
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        if not new_file:
+            # A journal killed mid-write ends in a torn partial line with
+            # no newline.  Appending straight after it would glue the
+            # first new record onto the torn fragment, losing both, so
+            # start on a fresh line.
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, 2)
+                torn_tail = fh.read(1) != b"\n"
+        self._fh: Optional[TextIO] = open(self.path, "a", encoding="utf-8")
+        if not new_file and torn_tail:
+            self._fh.write("\n")
+            self._fh.flush()
+        if new_file:
+            self._write_line(
+                {
+                    "type": "header",
+                    "version": JOURNAL_VERSION,
+                    "circuit": circuit,
+                    "config": config or {},
+                }
+            )
+
+    def _write_line(self, payload: dict) -> None:
+        assert self._fh is not None, "writer is closed"
+        self._fh.write(json.dumps(payload) + "\n")
+        self._fh.flush()
+
+    def write_record(self, record: AtpgRecord) -> None:
+        """Journal one per-fault record (flushed immediately)."""
+        self._write_line(record_to_dict(record))
+
+    def write_summary(self, summary: AtpgSummary) -> None:
+        """Journal every record of a completed shard summary."""
+        for record in summary.records:
+            self.write_record(record)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: str | Path, circuit: Optional[str] = None
+) -> tuple[dict, dict[Fault, AtpgRecord]]:
+    """Load a journal written by :class:`CheckpointWriter`.
+
+    Args:
+        path: the JSONL journal.
+        circuit: when given, the journal header's circuit name must
+            match (resuming against the wrong netlist is always a bug).
+
+    Returns:
+        (header, records) where records maps each journaled fault to its
+        *last* journaled record.
+
+    Raises:
+        CheckpointError: missing/corrupt header or circuit mismatch.
+    """
+    path = Path(path)
+    header: Optional[dict] = None
+    records: dict[Fault, AtpgRecord] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # A truncated trailing line is the normal signature of a
+                # killed run; anything torn mid-file is also unusable.
+                continue
+            if line_no == 1:
+                if payload.get("type") != "header":
+                    raise CheckpointError(
+                        f"{path}: first journal line is not a header"
+                    )
+                if payload.get("version") != JOURNAL_VERSION:
+                    raise CheckpointError(
+                        f"{path}: unsupported journal version "
+                        f"{payload.get('version')!r}"
+                    )
+                header = payload
+                continue
+            if payload.get("type") != "record":
+                continue
+            record = record_from_dict(payload)
+            records[record.fault] = record
+    if header is None:
+        raise CheckpointError(f"{path}: journal has no header")
+    if circuit is not None and header.get("circuit") != circuit:
+        raise CheckpointError(
+            f"{path}: journal is for circuit "
+            f"{header.get('circuit')!r}, not {circuit!r}"
+        )
+    return header, records
+
+
+def resumable_records(
+    path: str | Path, circuit: Optional[str] = None
+) -> dict[Fault, AtpgRecord]:
+    """The journaled records a resumed run can treat as settled."""
+    _, records = load_checkpoint(path, circuit=circuit)
+    return {
+        fault: record
+        for fault, record in records.items()
+        if is_final(record)
+    }

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import enum
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -52,6 +52,7 @@ from repro.atpg.miter import (
 )
 from repro.atpg.scoap import order_faults
 from repro.circuits.network import Network
+from repro.circuits.validate import check_network
 from repro.sat.caching import CachingBacktrackingSolver
 from repro.sat.cdcl import CdclSolver
 from repro.sat.cnf import CnfFormula
@@ -69,6 +70,15 @@ class FaultStatus(enum.Enum):
     UNOBSERVABLE = "unobservable"  # no structural path to any output
     ABORTED = "aborted"  # resource limit
     DROPPED = "dropped"  # detected by an earlier pattern (fault dropping)
+
+
+#: Machine-readable reasons attached to ABORTED records
+#: (``AtpgRecord.abort_reason``).  ``BUDGET`` is the per-fault conflict
+#: budget; the others come from the run orchestration layer.
+ABORT_BUDGET = "budget_exhausted"
+ABORT_DEADLINE = "deadline_exceeded"
+ABORT_SHARD_TIMEOUT = "shard_timeout"
+ABORT_SHARD_CRASHED = "shard_crashed"
 
 
 @dataclass
@@ -90,6 +100,75 @@ class AtpgRecord:
     decisions: int = 0
     conflicts: int = 0
     test: Optional[dict[str, int]] = None
+    abort_reason: Optional[str] = None
+
+
+@dataclass
+class RunHealth:
+    """Robustness telemetry for one ATPG run.
+
+    Counts the orchestration events that distinguish a clean run from a
+    degraded one: shard retries, timed-out / crashed workers, automatic
+    shard splits, the in-process degraded-mode flag, whether the
+    run-level deadline fired, and a histogram of abort reasons over the
+    final records (``AtpgRecord.abort_reason`` values).
+    """
+
+    retries: int = 0
+    timed_out_shards: int = 0
+    crashed_shards: int = 0
+    shard_splits: int = 0
+    degraded: bool = False
+    deadline_hit: bool = False
+    abort_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no supervision event fired during the run."""
+        return not (
+            self.retries
+            or self.timed_out_shards
+            or self.crashed_shards
+            or self.shard_splits
+            or self.degraded
+            or self.deadline_hit
+            or self.abort_reasons
+        )
+
+    def count_aborts(self, records: Sequence["AtpgRecord"]) -> None:
+        """Recompute the abort-reason histogram from final records."""
+        reasons: dict[str, int] = {}
+        for record in records:
+            if record.status is FaultStatus.ABORTED:
+                reason = record.abort_reason or "unknown"
+                reasons[reason] = reasons.get(reason, 0) + 1
+        self.abort_reasons = reasons
+
+    def merge(self, other: "RunHealth") -> None:
+        """Accumulate another run's supervision counters.
+
+        ``abort_reasons`` is *not* merged: it is recomputed over the
+        final merged records by whoever owns the summary, so shard-level
+        histograms never double-count.
+        """
+        self.retries += other.retries
+        self.timed_out_shards += other.timed_out_shards
+        self.crashed_shards += other.crashed_shards
+        self.shard_splits += other.shard_splits
+        self.degraded = self.degraded or other.degraded
+        self.deadline_hit = self.deadline_hit or other.deadline_hit
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (the ``health`` block of ``--bench-json``)."""
+        return {
+            "retries": self.retries,
+            "timed_out_shards": self.timed_out_shards,
+            "crashed_shards": self.crashed_shards,
+            "shard_splits": self.shard_splits,
+            "degraded": self.degraded,
+            "deadline_hit": self.deadline_hit,
+            "abort_reasons": dict(self.abort_reasons),
+        }
 
 
 @dataclass
@@ -120,6 +199,7 @@ class EngineStats:
     propagations: int = 0
     decisions: int = 0
     conflicts: int = 0
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -156,6 +236,7 @@ class EngineStats:
         self.propagations += other.propagations
         self.decisions += other.decisions
         self.conflicts += other.conflicts
+        self.health.merge(other.health)
 
     def solver_rates(self) -> dict[str, float]:
         """Search throughput per second of SAT solve time (the baseline
@@ -184,6 +265,7 @@ class EngineStats:
             "propagations": self.propagations,
             "decisions": self.decisions,
             "conflicts": self.conflicts,
+            "health": self.health.as_dict(),
             **self.solver_rates(),
         }
 
@@ -240,7 +322,11 @@ class AtpgSummary:
         ]
 
 
-def make_solver(name: str, max_conflicts: Optional[int] = None):
+def make_solver(
+    name: str,
+    max_conflicts: Optional[int] = None,
+    deadline_at: Optional[float] = None,
+):
     """The single SAT-backend factory shared by every ATPG engine.
 
     Args:
@@ -248,12 +334,15 @@ def make_solver(name: str, max_conflicts: Optional[int] = None):
         max_conflicts: per-instance effort budget; scaled to the
             backend's native unit (decisions for DPLL, nodes for the
             caching solver).
+        deadline_at: absolute ``time.monotonic()`` wall-clock cutoff for
+            the search (CDCL only; the other backends rely on their
+            node/decision budgets).
 
     Raises:
         ValueError: for unknown backend names.
     """
     if name == "cdcl":
-        return CdclSolver(max_conflicts=max_conflicts)
+        return CdclSolver(max_conflicts=max_conflicts, deadline_at=deadline_at)
     if name in ("dpll", "dpll-static"):
         return DpllSolver(
             dynamic=(name == "dpll"),
@@ -291,8 +380,14 @@ class AtpgEngine:
             ``caching``.
         max_conflicts: per-fault effort budget (CDCL) — aborted faults are
             reported, not silently dropped.
-        validate: fault-simulate every generated test (defensive; adds
-            time but catches encoder bugs).
+        validate: structurally validate the network at construction
+            (cyclic or undriven-net netlists raise
+            :class:`~repro.circuits.validate.ValidationError` up front
+            instead of a deep ``KeyError`` mid-run) and fault-simulate
+            every generated test (defensive; adds time but catches
+            encoder bugs).  ``validate_network=False`` skips just the
+            structural check (the parallel engine uses it for workers
+            whose network the coordinator already validated).
         drop_block_size: patterns packed per fault-dropping block.
         order: ``auto`` (SCOAP-order the default collapsed list, keep
             explicit lists as given), ``scoap``, or ``given``.
@@ -307,6 +402,13 @@ class AtpgEngine:
             Non-CDCL backends always use the fresh path.
         encoding_cache: optional pre-warmed per-gate CNF cache to share
             (the parallel engine ships one to every worker).
+        deadline: run-level wall-clock budget in seconds.  When a
+            :meth:`run` exceeds it, remaining faults are recorded
+            ABORTED with reason ``deadline_exceeded`` (periodic time
+            checks inside the CDCL solve loop stop an in-flight search
+            too) and the run returns cleanly with partial coverage.
+        validate_network: override just the structural network check
+            (defaults to ``validate``).
     """
 
     def __init__(
@@ -319,11 +421,18 @@ class AtpgEngine:
         order: str = "auto",
         solver_mode: str = "incremental",
         encoding_cache: Optional[CnfEncodingCache] = None,
+        deadline: Optional[float] = None,
+        validate_network: Optional[bool] = None,
     ) -> None:
         if order not in ("auto", "scoap", "given"):
             raise ValueError(f"unknown fault order {order!r}")
         if solver_mode not in ("incremental", "fresh"):
             raise ValueError(f"unknown solver mode {solver_mode!r}")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds")
+        structural = validate if validate_network is None else validate_network
+        if structural:
+            check_network(network)
         self.network = network
         self.solver_name = solver
         self.max_conflicts = max_conflicts
@@ -331,6 +440,8 @@ class AtpgEngine:
         self.drop_block_size = drop_block_size
         self.order = order
         self.solver_mode = solver_mode
+        self.deadline = deadline
+        self._deadline_at: Optional[float] = None
         self._encoding_cache = (
             encoding_cache if encoding_cache is not None else CnfEncodingCache()
         )
@@ -433,7 +544,11 @@ class AtpgEngine:
         num_variables = entry.solver.num_vars
         encoded = time.perf_counter()
 
-        result = entry.solver.solve(group, max_conflicts=self.max_conflicts)
+        result = entry.solver.solve(
+            group,
+            max_conflicts=self.max_conflicts,
+            deadline_at=self._deadline_at,
+        )
         entry.solver.retire(group)
         solved = time.perf_counter()
 
@@ -467,6 +582,10 @@ class AtpgEngine:
 
     def _finish_record(self, record: AtpgRecord, result: SatResult) -> None:
         """Map the SAT outcome onto the record (shared by both paths)."""
+        if result.status is SatStatus.UNKNOWN:
+            record.abort_reason = (
+                ABORT_DEADLINE if self._past_deadline() else ABORT_BUDGET
+            )
         if result.status is SatStatus.UNSAT:
             record.status = FaultStatus.UNTESTABLE
         elif result.status is SatStatus.SAT:
@@ -512,8 +631,17 @@ class AtpgEngine:
             stats.encode_time += time.perf_counter() - setup_start
         return entry
 
+    def _past_deadline(self) -> bool:
+        """True when the active run deadline has expired."""
+        return (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        )
+
     def _solve(self, formula: CnfFormula) -> SatResult:
-        return make_solver(self.solver_name, self.max_conflicts).solve(formula)
+        return make_solver(
+            self.solver_name, self.max_conflicts, deadline_at=self._deadline_at
+        ).solve(formula)
 
     def _extract_test(self, assignment: dict[str, int]) -> dict[str, int]:
         """Project a miter model onto the circuit's primary inputs.
@@ -543,6 +671,8 @@ class AtpgEngine:
         self,
         faults: Optional[Sequence[Fault]] = None,
         fault_dropping: bool = True,
+        deadline_at: Optional[float] = None,
+        on_record: Optional[Callable[[AtpgRecord], None]] = None,
     ) -> AtpgSummary:
         """ATPG over a fault list (collapsed list by default).
 
@@ -552,8 +682,20 @@ class AtpgEngine:
         DROPPED with the earliest detecting test.  This drops exactly
         the faults the classic re-simulate-after-every-test pass would
         drop, without its per-test sweep over the remaining list.
+
+        Args:
+            deadline_at: absolute ``time.monotonic()`` deadline imposed
+                by an orchestrator; defaults to the engine's own
+                ``deadline`` budget counted from this call.  Once
+                passed, every remaining fault is recorded ABORTED with
+                reason ``deadline_exceeded`` and the run returns.
+            on_record: per-record callback fired as each record is
+                finalised (the checkpoint journal hook).
         """
         wall_start = time.perf_counter()
+        if deadline_at is None and self.deadline is not None:
+            deadline_at = time.monotonic() + self.deadline
+        self._deadline_at = deadline_at
         ordered = self.ordered_faults(faults)
         summary = AtpgSummary(circuit=self.network.name)
         stats = summary.stats
@@ -563,30 +705,48 @@ class AtpgEngine:
         cache = self._encoding_cache
         hits0, misses0 = cache.hits, cache.misses
 
-        for fault in ordered:
-            if fault_dropping and len(store):
-                fsim_start = time.perf_counter()
-                detected = store.first_detection(
-                    fault, cone=self.fault_cone(fault.net)
-                )
-                stats.fsim_time += time.perf_counter() - fsim_start
-                if detected is not None:
-                    summary.records.append(
-                        AtpgRecord(
+        try:
+            for fault in ordered:
+                if self._past_deadline():
+                    stats.health.deadline_hit = True
+                    record = AtpgRecord(
+                        fault=fault,
+                        status=FaultStatus.ABORTED,
+                        abort_reason=ABORT_DEADLINE,
+                    )
+                    summary.records.append(record)
+                    if on_record is not None:
+                        on_record(record)
+                    continue
+                if fault_dropping and len(store):
+                    fsim_start = time.perf_counter()
+                    detected = store.first_detection(
+                        fault, cone=self.fault_cone(fault.net)
+                    )
+                    stats.fsim_time += time.perf_counter() - fsim_start
+                    if detected is not None:
+                        record = AtpgRecord(
                             fault=fault,
                             status=FaultStatus.DROPPED,
                             test=store.pattern(detected),
                         )
-                    )
-                    continue
-            record = self.generate_test(fault, stats=stats)
-            summary.records.append(record)
-            if fault_dropping and record.test is not None:
-                store.add(record.test)
+                        summary.records.append(record)
+                        if on_record is not None:
+                            on_record(record)
+                        continue
+                record = self.generate_test(fault, stats=stats)
+                summary.records.append(record)
+                if on_record is not None:
+                    on_record(record)
+                if fault_dropping and record.test is not None:
+                    store.add(record.test)
+        finally:
+            self._deadline_at = None
 
         stats.cache_hits = cache.hits - hits0
         stats.cache_misses = cache.misses - misses0
         stats.good_sims = store.good_sims
         stats.cone_sims = store.cone_sims
+        stats.health.count_aborts(summary.records)
         stats.wall_time = time.perf_counter() - wall_start
         return summary

@@ -33,6 +33,18 @@ two things worth being careful about are *cache locality* and
   in-shard that the global replay does not drop (counted as
   ``replay_solves``; rare in practice).
 
+Execution is *supervised* (:mod:`repro.atpg.supervisor`): shards run in
+single-purpose forked workers with per-shard wall-clock timeouts, crash
+detection, bounded retry with automatic shard splitting, and graceful
+degradation to in-process execution when forking is unavailable or the
+pool keeps dying.  Whatever happens, :meth:`ParallelAtpgEngine.run`
+terminates with a *complete* :class:`AtpgSummary`: faults whose shards
+could not be run are recorded ABORTED with a machine-readable reason
+(``shard_timeout`` / ``shard_crashed`` / ``deadline_exceeded``) and the
+supervision counters land in ``summary.stats.health``.  Per-fault
+results can be journaled to a JSONL checkpoint as shards complete and a
+killed run resumed from it (:mod:`repro.atpg.checkpoint`).
+
 ``ParallelAtpgEngine`` falls back to in-process execution when
 ``workers <= 1`` or the platform cannot fork, so results (and tests)
 never depend on the platform.
@@ -43,10 +55,13 @@ from __future__ import annotations
 import multiprocessing
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Optional
 
+from repro.atpg.checkpoint import CheckpointWriter, resumable_records
 from repro.atpg.engine import (
+    ABORT_DEADLINE,
     AtpgEngine,
     AtpgRecord,
     AtpgSummary,
@@ -55,6 +70,7 @@ from repro.atpg.engine import (
 )
 from repro.atpg.fault_sim import PatternBlockStore
 from repro.atpg.faults import Fault
+from repro.atpg.supervisor import ShardSupervisor
 from repro.circuits.network import Network
 from repro.sat.tseitin import CnfEncodingCache
 
@@ -72,9 +88,10 @@ class _ShardJob:
     fault_dropping: bool
     solver_mode: str
     encoding_cache: Optional[CnfEncodingCache]
+    deadline_at: Optional[float] = None
 
 
-def _run_shard(job: _ShardJob) -> AtpgSummary:
+def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
     """Worker entry point: sequential ATPG over one shard."""
     engine = AtpgEngine(
         job.network,
@@ -85,8 +102,27 @@ def _run_shard(job: _ShardJob) -> AtpgSummary:
         order="given",  # shards arrive pre-ordered canonically
         solver_mode=job.solver_mode,
         encoding_cache=job.encoding_cache,
+        # The coordinator validated the network once already.
+        validate_network=False,
     )
-    return engine.run(faults=job.faults, fault_dropping=job.fault_dropping)
+    return engine.run(
+        faults=job.faults,
+        fault_dropping=job.fault_dropping,
+        deadline_at=job.deadline_at,
+        on_record=on_record,
+    )
+
+
+def _split_shard(job: _ShardJob) -> list[_ShardJob]:
+    """Halve a failing shard (canonical fault order preserved) so the
+    supervisor can isolate a poisonous fault by bisection."""
+    if len(job.faults) < 2:
+        return [job]
+    mid = len(job.faults) // 2
+    return [
+        replace(job, faults=job.faults[:mid]),
+        replace(job, faults=job.faults[mid:]),
+    ]
 
 
 def shard_faults_by_cone(
@@ -151,6 +187,16 @@ class ParallelAtpgEngine:
         warm_start: pre-encode every network gate into a shared
             :class:`CnfEncodingCache` shipped to each worker, so workers
             skip the cold Tseitin pass over the circuit.
+        deadline: run-level wall-clock budget in seconds.  Past it, the
+            supervisor stops dispatching, terminates running workers,
+            and the remaining faults are recorded ABORTED with reason
+            ``deadline_exceeded``.
+        shard_timeout: per-shard wall-clock budget in seconds; a shard
+            exceeding it is terminated, retried, and eventually split
+            (``None`` = unlimited).
+        max_shard_attempts: dispatch attempts per shard before the
+            supervisor splits it (and, for single-fault shards, gives
+            up and records the fault ABORTED).
     """
 
     def __init__(
@@ -165,6 +211,9 @@ class ParallelAtpgEngine:
         solver_mode: str = "incremental",
         min_faults_per_shard: int = 32,
         warm_start: bool = True,
+        deadline: Optional[float] = None,
+        shard_timeout: Optional[float] = None,
+        max_shard_attempts: int = 2,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -174,6 +223,10 @@ class ParallelAtpgEngine:
             raise ValueError("shards_per_worker must be >= 1")
         if min_faults_per_shard < 1:
             raise ValueError("min_faults_per_shard must be >= 1")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0 seconds")
         self.network = network
         self.workers = workers
         self.shards_per_worker = shards_per_worker
@@ -184,6 +237,12 @@ class ParallelAtpgEngine:
         self.solver_mode = solver_mode
         self.min_faults_per_shard = min_faults_per_shard
         self.warm_start = warm_start
+        self.deadline = deadline
+        self.shard_timeout = shard_timeout
+        self.max_shard_attempts = max_shard_attempts
+        #: Worker entry point; tests monkeypatch this with chaos
+        #: variants (crashing / hanging shards) to exercise supervision.
+        self._shard_runner = _run_shard
         # Coordinator-side engine: canonical ordering, replay fallback
         # SAT calls, and cone caching for the replay's drop checks.
         self._coordinator = AtpgEngine(
@@ -202,7 +261,10 @@ class ParallelAtpgEngine:
         return "fork" in multiprocessing.get_all_start_methods()
 
     def _jobs(
-        self, shards: list[list[Fault]], fault_dropping: bool
+        self,
+        shards: list[list[Fault]],
+        fault_dropping: bool,
+        deadline_at: Optional[float] = None,
     ) -> list[_ShardJob]:
         cache: Optional[CnfEncodingCache] = None
         if self.warm_start:
@@ -222,6 +284,7 @@ class ParallelAtpgEngine:
                 fault_dropping=fault_dropping,
                 solver_mode=self.solver_mode,
                 encoding_cache=cache,
+                deadline_at=deadline_at,
             )
             for shard in shards
         ]
@@ -230,42 +293,137 @@ class ParallelAtpgEngine:
         self,
         faults: Optional[Sequence[Fault]] = None,
         fault_dropping: bool = True,
+        resume_from: Optional[str | Path] = None,
+        checkpoint_to: Optional[str | Path] = None,
     ) -> AtpgSummary:
-        """ATPG over a fault list, fanned out across worker processes.
+        """ATPG over a fault list, fanned out across supervised workers.
 
         In ``fresh`` solver mode the records match ``AtpgEngine.run`` on
         the same arguments exactly (statuses, tests, drop attributions);
         in ``incremental`` mode coverage and SAT/UNSAT verdicts match
         while test vectors may differ (see the module docstring).
+
+        Args:
+            resume_from: JSONL checkpoint journal of an earlier
+                (interrupted) run; faults with settled journaled
+                verdicts are not re-dispatched and the final merge
+                matches an uninterrupted run's.
+            checkpoint_to: journal per-fault records here as shards
+                complete (may equal ``resume_from`` to continue the same
+                journal).
+
+        The returned summary is always *complete*: every requested fault
+        has a record, with orchestration casualties (crashed / timed-out
+        shards, deadline) marked ABORTED and a machine-readable
+        ``abort_reason``; supervision counters are in
+        ``summary.stats.health``.
         """
         wall_start = time.perf_counter()
+        deadline_at = (
+            time.monotonic() + self.deadline
+            if self.deadline is not None
+            else None
+        )
         ordered = self._coordinator.ordered_faults(faults)
+
+        settled: dict[Fault, AtpgRecord] = {}
+        if resume_from is not None:
+            wanted = set(ordered)
+            settled = {
+                fault: record
+                for fault, record in resumable_records(
+                    resume_from, circuit=self.network.name
+                ).items()
+                if fault in wanted
+            }
+        remaining = [fault for fault in ordered if fault not in settled]
+
         num_shards = max(
             1,
             min(
                 self.workers * self.shards_per_worker,
-                len(ordered),
-                max(1, len(ordered) // self.min_faults_per_shard),
+                len(remaining),
+                max(1, len(remaining) // self.min_faults_per_shard),
             ),
         )
-        shards = shard_faults_by_cone(self.network, ordered, num_shards)
-        jobs = self._jobs(shards, fault_dropping)
-
+        shards = (
+            shard_faults_by_cone(self.network, remaining, num_shards)
+            if remaining
+            else []
+        )
+        jobs = self._jobs(shards, fault_dropping, deadline_at)
         use_pool = self.workers > 1 and self.can_fork() and len(jobs) > 1
-        if use_pool:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-                worker_summaries = pool.map(_run_shard, jobs)
-        else:
-            worker_summaries = [_run_shard(job) for job in jobs]
+
+        writer: Optional[CheckpointWriter] = None
+        try:
+            if checkpoint_to is not None:
+                writer = CheckpointWriter(
+                    checkpoint_to,
+                    circuit=self.network.name,
+                    config={
+                        "solver": self.solver,
+                        "solver_mode": self.solver_mode,
+                        "max_conflicts": self.max_conflicts,
+                        "fault_dropping": fault_dropping,
+                    },
+                )
+            report = self._supervise(jobs, use_pool, deadline_at, writer)
+        finally:
+            if writer is not None:
+                writer.close()
 
         summary = self._merge(
-            ordered, worker_summaries, fault_dropping=fault_dropping
+            ordered,
+            report.results,
+            fault_dropping=fault_dropping,
+            settled=settled,
+            failed=report.failed,
+            deadline_at=deadline_at,
         )
+        summary.stats.health.merge(report.health)
+        summary.stats.health.count_aborts(summary.records)
         summary.stats.workers = self.workers if use_pool else 1
         summary.stats.shards = len(shards)
         summary.stats.wall_time = time.perf_counter() - wall_start
         return summary
+
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        jobs: list[_ShardJob],
+        use_pool: bool,
+        deadline_at: Optional[float],
+        writer: Optional[CheckpointWriter],
+    ):
+        """Run the shard jobs under a :class:`ShardSupervisor`."""
+        journaled: set[int] = set()
+
+        def fallback(job: _ShardJob) -> AtpgSummary:
+            # In-process execution journals per fault (there is no
+            # shard-completion message to wait for), and marks its
+            # summary so on_result does not journal it twice.
+            on_record = writer.write_record if writer is not None else None
+            shard_summary = self._shard_runner(job, on_record=on_record)
+            journaled.add(id(shard_summary))
+            return shard_summary
+
+        def on_result(shard_summary: AtpgSummary) -> None:
+            if writer is not None and id(shard_summary) not in journaled:
+                writer.write_summary(shard_summary)
+
+        supervisor = ShardSupervisor(
+            self._shard_runner,
+            fallback_fn=fallback,
+            split_job=_split_shard,
+            workers=min(self.workers, max(1, len(jobs))),
+            shard_timeout=self.shard_timeout,
+            max_attempts=self.max_shard_attempts,
+            deadline_at=deadline_at,
+            use_processes=use_pool,
+            mark_degraded=self.workers > 1 and not self.can_fork(),
+            on_result=on_result,
+        )
+        return supervisor.run(jobs)
 
     # ------------------------------------------------------------------
     def _merge(
@@ -273,14 +431,31 @@ class ParallelAtpgEngine:
         ordered: Sequence[Fault],
         worker_summaries: Sequence[AtpgSummary],
         fault_dropping: bool,
+        settled: Optional[dict[Fault, AtpgRecord]] = None,
+        failed: Sequence = (),
+        deadline_at: Optional[float] = None,
     ) -> AtpgSummary:
-        """Replay the canonical order to reconcile cross-shard dropping."""
-        by_fault: dict[Fault, AtpgRecord] = {}
+        """Replay the canonical order to reconcile cross-shard dropping.
+
+        ``settled`` records (from a resumed checkpoint) and ABORTED
+        placeholders for ``failed`` shards enter the replay exactly like
+        worker records, so the merge stays deterministic no matter how
+        the run was interrupted or degraded.
+        """
+        by_fault: dict[Fault, AtpgRecord] = dict(settled or {})
         stats = EngineStats()
         for worker_summary in worker_summaries:
             stats.merge(worker_summary.stats)
             for record in worker_summary.records:
                 by_fault[record.fault] = record
+        for failure in failed:
+            for fault in failure.job.faults:
+                if fault not in by_fault:
+                    by_fault[fault] = AtpgRecord(
+                        fault=fault,
+                        status=FaultStatus.ABORTED,
+                        abort_reason=failure.reason,
+                    )
 
         summary = AtpgSummary(
             circuit=self.network.name,
@@ -290,32 +465,48 @@ class ParallelAtpgEngine:
         store = PatternBlockStore(
             self.network, block_size=self.drop_block_size
         )
-        for fault in ordered:
-            if fault_dropping and len(store):
-                fsim_start = time.perf_counter()
-                detected = store.first_detection(
-                    fault, cone=self._coordinator.fault_cone(fault.net)
-                )
-                stats.fsim_time += time.perf_counter() - fsim_start
-                if detected is not None:
-                    summary.records.append(
-                        AtpgRecord(
-                            fault=fault,
-                            status=FaultStatus.DROPPED,
-                            test=store.pattern(detected),
-                        )
+        coordinator = self._coordinator
+        coordinator._deadline_at = deadline_at
+        try:
+            for fault in ordered:
+                if fault_dropping and len(store):
+                    fsim_start = time.perf_counter()
+                    detected = store.first_detection(
+                        fault, cone=coordinator.fault_cone(fault.net)
                     )
-                    continue
-            record = by_fault.get(fault)
-            if record is None or record.status is FaultStatus.DROPPED:
-                # In-shard drop (or lost record) that the global replay
-                # does not drop: the sequential engine would have solved
-                # it, so solve it here to stay bit-identical.
-                record = self._coordinator.generate_test(fault, stats=stats)
-                stats.replay_solves += 1
-            summary.records.append(record)
-            if fault_dropping and record.test is not None:
-                store.add(record.test)
+                    stats.fsim_time += time.perf_counter() - fsim_start
+                    if detected is not None:
+                        summary.records.append(
+                            AtpgRecord(
+                                fault=fault,
+                                status=FaultStatus.DROPPED,
+                                test=store.pattern(detected),
+                            )
+                        )
+                        continue
+                record = by_fault.get(fault)
+                if record is None or record.status is FaultStatus.DROPPED:
+                    # In-shard drop (or lost record) that the global
+                    # replay does not drop: the sequential engine would
+                    # have solved it, so solve it here to stay
+                    # bit-identical — unless the run deadline already
+                    # passed, in which case it is a deadline abort like
+                    # any other undispatched fault.
+                    if coordinator._past_deadline():
+                        stats.health.deadline_hit = True
+                        record = AtpgRecord(
+                            fault=fault,
+                            status=FaultStatus.ABORTED,
+                            abort_reason=ABORT_DEADLINE,
+                        )
+                    else:
+                        record = coordinator.generate_test(fault, stats=stats)
+                        stats.replay_solves += 1
+                summary.records.append(record)
+                if fault_dropping and record.test is not None:
+                    store.add(record.test)
+        finally:
+            coordinator._deadline_at = None
 
         stats.good_sims += store.good_sims
         stats.cone_sims += store.cone_sims

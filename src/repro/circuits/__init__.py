@@ -21,7 +21,12 @@ from repro.circuits.simulate import (
     simulate_pattern,
     unpack_pattern,
 )
-from repro.circuits.validate import ValidationReport, check_network, validate_network
+from repro.circuits.validate import (
+    ValidationError,
+    ValidationReport,
+    check_network,
+    validate_network,
+)
 
 __all__ = [
     "CircuitProfile",
@@ -31,6 +36,7 @@ __all__ = [
     "NetworkBuilder",
     "NetworkError",
     "PATTERNS_PER_WORD",
+    "ValidationError",
     "ValidationReport",
     "check_network",
     "evaluate_gate",

@@ -13,6 +13,13 @@ from repro.circuits.gates import GateType
 from repro.circuits.network import Network, NetworkError
 
 
+class ValidationError(NetworkError):
+    """A netlist failed structural validation (cyclic, undriven nets,
+    …).  Subclasses :class:`NetworkError` so existing handlers keep
+    working; raised by :func:`check_network` and, via it, by the ATPG
+    engines' fail-fast construction check."""
+
+
 @dataclass
 class ValidationReport:
     """Outcome of :func:`validate_network`."""
@@ -89,8 +96,9 @@ def check_network(network: Network, **kwargs) -> None:
     """Like :func:`validate_network` but raises on the first problem.
 
     Raises:
-        NetworkError: with all error messages joined, if validation fails.
+        ValidationError: with all error messages joined, if validation
+            fails (a :class:`NetworkError` subclass).
     """
     report = validate_network(network, **kwargs)
     if not report.ok:
-        raise NetworkError("; ".join(report.errors))
+        raise ValidationError("; ".join(report.errors))

@@ -151,27 +151,55 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     from repro.atpg.engine import AtpgEngine, FaultStatus
     from repro.atpg.parallel import ParallelAtpgEngine
     from repro.circuits.decompose import tech_decompose
+    from repro.circuits.validate import ValidationError
 
     network = _load_netlist(args.netlist)
     if args.decompose:
         network = tech_decompose(network)
-    if args.workers > 1:
-        engine = ParallelAtpgEngine(
-            network,
-            workers=args.workers,
-            solver=args.solver,
-            drop_block_size=args.block_size,
-            solver_mode=args.solver_mode,
+    validate = not args.no_validate
+    # Checkpoint/resume and shard supervision live in the parallel
+    # engine; it runs in-process when workers == 1, so any of those
+    # flags routes through it.
+    supervised = (
+        args.workers > 1
+        or args.resume is not None
+        or args.checkpoint is not None
+        or args.shard_timeout is not None
+    )
+    try:
+        if supervised:
+            engine = ParallelAtpgEngine(
+                network,
+                workers=args.workers,
+                solver=args.solver,
+                drop_block_size=args.block_size,
+                solver_mode=args.solver_mode,
+                validate=validate,
+                deadline=args.deadline,
+                shard_timeout=args.shard_timeout,
+            )
+        else:
+            engine = AtpgEngine(
+                network,
+                solver=args.solver,
+                drop_block_size=args.block_size,
+                order=args.order,
+                solver_mode=args.solver_mode,
+                validate=validate,
+                deadline=args.deadline,
+            )
+    except ValidationError as exc:
+        print(f"error: invalid netlist {args.netlist}: {exc}", file=sys.stderr)
+        return 2
+    if supervised:
+        checkpoint = args.checkpoint if args.checkpoint else args.resume
+        summary = engine.run(
+            fault_dropping=not args.no_dropping,
+            resume_from=args.resume,
+            checkpoint_to=checkpoint,
         )
     else:
-        engine = AtpgEngine(
-            network,
-            solver=args.solver,
-            drop_block_size=args.block_size,
-            order=args.order,
-            solver_mode=args.solver_mode,
-        )
-    summary = engine.run(fault_dropping=not args.no_dropping)
+        summary = engine.run(fault_dropping=not args.no_dropping)
     print(f"circuit {network.name}: {len(summary.records)} faults")
     for status in FaultStatus:
         count = len(summary.by_status(status))
@@ -197,6 +225,21 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         print(
             f"  parallel: {stats.workers} workers, {stats.shards} shards, "
             f"{stats.replay_solves} replay solves"
+        )
+    health = stats.health
+    if not health.clean:
+        reasons = " ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(health.abort_reasons.items())
+        )
+        print(
+            f"  health: retries={health.retries} "
+            f"timeouts={health.timed_out_shards} "
+            f"crashes={health.crashed_shards} "
+            f"splits={health.shard_splits} "
+            f"degraded={health.degraded} "
+            f"deadline_hit={health.deadline_hit}"
+            + (f" aborts[{reasons}]" if reasons else "")
         )
     if args.bench_json:
         payload = _bench_payload(summary, args.solver, args.solver_mode)
@@ -334,6 +377,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bench-json", default=None, metavar="PATH",
         help="write throughput/cache/stage-time JSON to PATH",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="run-level wall-clock budget; past it the run stops "
+        "cleanly with remaining faults ABORTED (deadline_exceeded)",
+    )
+    p.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget; a shard exceeding it is "
+        "terminated, retried, and split on repeat failure",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal per-fault records to a JSONL file as shards "
+        "complete (resumable with --resume)",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume an interrupted run from its checkpoint journal "
+        "(continues journaling to the same file unless --checkpoint "
+        "overrides it)",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip structural netlist validation (cyclic/undriven-net "
+        "checks) before ATPG",
     )
     p.set_defaults(func=_cmd_atpg)
 

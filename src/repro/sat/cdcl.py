@@ -486,6 +486,7 @@ class CdclCore:
         self,
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
+        deadline_at: Optional[float] = None,
     ) -> tuple[SatStatus, SolverStats]:
         """CDCL search under ``assumptions``.
 
@@ -495,15 +496,24 @@ class CdclCore:
         the assignment is left in place for the caller to decode; the
         next call (or :meth:`backjump`) harvests it as saved phases.
 
+        Args:
+            max_conflicts: conflict budget for this call.
+            deadline_at: absolute ``time.monotonic()`` cutoff, checked
+                periodically alongside the conflict budget (every 64
+                conflicts and every 512 decisions) so an over-deadline
+                search stops within a bounded slice of work.
+
         Returns:
             (status, per-call statistics).  ``UNKNOWN`` when the
-            conflict budget was exceeded.
+            conflict budget or the deadline was exceeded.
         """
         stats = SolverStats()
         self.backjump(0)
         if self.root_failed or self._propagate(stats) is not None:
             self.root_failed = True
             return SatStatus.UNSAT, stats
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return SatStatus.UNKNOWN, stats
 
         restart_limit = self.restart_interval
         conflicts_since_restart = 0
@@ -516,6 +526,13 @@ class CdclCore:
                 if (
                     max_conflicts is not None
                     and stats.conflicts > max_conflicts
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
+                if (
+                    deadline_at is not None
+                    and stats.conflicts & 63 == 0
+                    and time.monotonic() >= deadline_at
                 ):
                     self.backjump(0)
                     return SatStatus.UNKNOWN, stats
@@ -558,6 +575,13 @@ class CdclCore:
                     return SatStatus.SAT, stats
                 stats.decisions += 1
                 stats.nodes += 1
+                if (
+                    deadline_at is not None
+                    and stats.decisions & 511 == 0
+                    and time.monotonic() >= deadline_at
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
                 lit = 2 * var + (0 if self.saved_phase[var] == 1 else 1)
             self.trail_lim.append(len(self.trail))
             self._enqueue(lit, None)
@@ -568,6 +592,9 @@ class CdclSolver:
 
     Args:
         max_conflicts: conflict budget; exceeded search returns ``UNKNOWN``.
+        deadline_at: absolute ``time.monotonic()`` wall-clock cutoff,
+            checked periodically in the search loop; exceeded search
+            returns ``UNKNOWN``.
         restart_interval: conflicts before the first restart (grows 1.5x).
         decay: VSIDS activity decay factor per conflict.
         phase_hint: optional map from variable name to preferred phase.
@@ -587,8 +614,10 @@ class CdclSolver:
         decay: float = 0.95,
         phase_hint: Optional[dict[str, int]] = None,
         order: Optional[Sequence[str]] = None,
+        deadline_at: Optional[float] = None,
     ) -> None:
         self.max_conflicts = max_conflicts
+        self.deadline_at = deadline_at
         self.restart_interval = restart_interval
         self.decay = decay
         self.phase_hint = phase_hint or {}
@@ -635,7 +664,9 @@ class CdclSolver:
             stats.time_seconds = time.perf_counter() - start
             return SatResult(SatStatus.SAT, assignment={}, stats=stats)
 
-        status, stats = core.solve(max_conflicts=self.max_conflicts)
+        status, stats = core.solve(
+            max_conflicts=self.max_conflicts, deadline_at=self.deadline_at
+        )
         stats.time_seconds = time.perf_counter() - start
         if status is SatStatus.SAT:
             model = compiled.decode_assignment(core.values)

@@ -141,14 +141,19 @@ class IncrementalSatSolver:
         self,
         group: Optional[ClauseGroup] = None,
         max_conflicts: Optional[int] = None,
+        deadline_at: Optional[float] = None,
     ) -> SatResult:
         """Solve base ∧ (group's clauses, if given) under the group's
         activation assumption.  Learned clauses, activities, and saved
-        phases persist into the next call."""
+        phases persist into the next call.  ``deadline_at`` is an
+        absolute ``time.monotonic()`` cutoff forwarded to the core's
+        periodic wall-clock check."""
         start = time.perf_counter()
         assumptions = () if group is None else (group.assumption,)
         status, stats = self.core.solve(
-            assumptions=assumptions, max_conflicts=max_conflicts
+            assumptions=assumptions,
+            max_conflicts=max_conflicts,
+            deadline_at=deadline_at,
         )
         stats.time_seconds = time.perf_counter() - start
         if status is SatStatus.SAT:

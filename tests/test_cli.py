@@ -57,6 +57,62 @@ class TestCommands:
         assert "fault coverage" in capsys.readouterr().out
 
 
+CYCLIC_BENCH = """\
+INPUT(a)
+OUTPUT(x)
+x = AND(y, a)
+y = OR(x, a)
+"""
+
+
+class TestAtpgRobustnessFlags:
+    def _c17(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        return path
+
+    def test_deadline_zero_exits_cleanly(self, tmp_path, capsys):
+        assert (
+            main(["atpg", str(self._c17(tmp_path)), "--deadline", "0"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault coverage: 0.0%" in out
+        assert "deadline_hit=True" in out
+        assert "deadline_exceeded" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        path = self._c17(tmp_path)
+        journal = tmp_path / "run.jsonl"
+        assert main(["atpg", str(path), "--checkpoint", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert "fault coverage: 100.0%" in first
+        assert main(["atpg", str(path), "--resume", str(journal)]) == 0
+        resumed = capsys.readouterr().out
+        assert "fault coverage: 100.0%" in resumed
+
+    def test_cyclic_netlist_fails_fast(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.bench"
+        path.write_text(CYCLIC_BENCH)
+        assert main(["atpg", str(path)]) == 2
+        assert "invalid netlist" in capsys.readouterr().err
+
+    def test_shard_timeout_flag_accepted(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "atpg",
+                    str(self._c17(tmp_path)),
+                    "--shard-timeout",
+                    "30",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "fault coverage: 100.0%" in capsys.readouterr().out
+
+
 class TestAtpgPerfFlags:
     def test_atpg_parallel_with_bench_json(self, tmp_path, capsys):
         import json
@@ -92,6 +148,21 @@ class TestAtpgPerfFlags:
             "fsim",
         }
         assert payload["stats"]["cache_hits"] > 0
+
+    def test_bench_json_reports_health(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        out_json = tmp_path / "bench.json"
+        assert (
+            main(["atpg", str(path), "--bench-json", str(out_json)]) == 0
+        )
+        capsys.readouterr()
+        health = json.loads(out_json.read_text())["stats"]["health"]
+        assert health["retries"] == 0
+        assert health["degraded"] is False
+        assert health["abort_reasons"] == {}
 
     def test_atpg_order_and_block_size(self, tmp_path, capsys):
         path = tmp_path / "c17.bench"
