@@ -1,0 +1,201 @@
+"""Perf smoke for the width-analysis pipeline (ISSUE 4 acceptance).
+
+Runs the full-fault (uncapped) Figure-8 sweep on the standard bench
+circuit and records the trajectory in ``BENCH_width.json`` at the repo
+root:
+
+* ``sequential_loop`` — a faithful re-creation of the historical
+  ``fault_width_samples`` loop: per fault, rebuild the sub-circuit,
+  rebuild the hypergraph, re-run the full recursive min-cut-bisection
+  MLA (no dedup, no caching);
+* ``pipeline_sequential`` — ``WidthAnalysisPipeline`` in cold (parity)
+  mode, one process: the sub-circuit signature memo alone;
+* ``pipeline_parallel`` — the same sweep fanned across 2 supervised
+  workers (the acceptance configuration);
+* ``pipeline_warm`` — the cone-seeded warm mode across 2 workers, for
+  the quality/speed trade-off record.
+
+Asserts: parallel ≥3× faster than the historical loop, cold-mode widths
+equal to (hence ≤) the historical estimator's on every fault, parallel
+merge bit-identical to sequential, and a ratchet against the committed
+``BENCH_width.json``.
+
+Run it via the ``bench`` marker::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_width_study.py -m bench
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.atpg.faults import collapse_faults
+from repro.atpg.miter import UnobservableFault, sub_circuit
+from repro.circuits.decompose import tech_decompose
+from repro.core.hypergraph import circuit_hypergraph
+from repro.core.mla import estimate_cutwidth
+from repro.core.ordering import dfs_cone_ordering
+from repro.core.width_pipeline import WidthAnalysisPipeline
+from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
+
+pytestmark = pytest.mark.bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_width.json"
+#: Whole-smoke wall-clock budget (seconds); measured total is ~250s,
+#: dominated by the honest no-dedup baseline sweep.
+BUDGET_S = 540.0
+#: Acceptance: parallel pipeline vs historical sequential loop.
+MIN_SPEEDUP = 3.0
+#: Regression ratchet: fail if parallel throughput drops below this
+#: fraction of the committed baseline's.
+RATCHET = 0.75
+
+
+def _bench_circuit():
+    spec = RandomCircuitSpec(
+        num_inputs=26, num_gates=520, num_outputs=12, seed=7
+    )
+    return tech_decompose(random_circuit(spec))
+
+
+def _sequential_loop(network, faults, seed=0):
+    """The historical estimator, re-created for an honest baseline.
+
+    Exactly the pre-pipeline ``fault_width_samples`` body: every fault
+    rebuilds C_ψ^sub, rebuilds its hypergraph, and reruns the full
+    recursive-bisection MLA — no signature dedup, no cone cache.
+    """
+    samples = []
+    for fault in faults:
+        try:
+            sub = sub_circuit(network, fault)
+        except UnobservableFault:
+            continue
+        graph = circuit_hypergraph(sub)
+        width = estimate_cutwidth(
+            graph, seed=seed, candidate_orders=[dfs_cone_ordering(sub)]
+        )
+        samples.append((fault, graph.num_vertices, width))
+    return samples
+
+
+def _baseline_throughput():
+    """Parallel faults/sec recorded in the committed BENCH_width.json."""
+    if not BENCH_PATH.exists():
+        return None
+    try:
+        committed = json.loads(BENCH_PATH.read_text())
+        return committed["pipeline_parallel"]["faults_per_sec"]
+    except (ValueError, KeyError):
+        return None
+
+
+def test_width_study_perf():
+    smoke_start = time.perf_counter()
+    baseline_fps = _baseline_throughput()
+    network = _bench_circuit()
+    faults = collapse_faults(network)
+    assert len(faults) >= 500, "bench circuit must exercise ≥500 faults"
+
+    start = time.perf_counter()
+    reference = _sequential_loop(network, faults)
+    loop_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    seq = WidthAnalysisPipeline(network, seed=0, mode="cold").run()
+    seq_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    par = WidthAnalysisPipeline(network, seed=0, mode="cold", workers=2).run()
+    par_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = WidthAnalysisPipeline(network, seed=0, mode="warm", workers=2).run()
+    warm_time = time.perf_counter() - start
+
+    # Equivalence: dedup is lossless against the historical loop —
+    # same faults, same sizes, and (cold parity) identical widths, which
+    # trivially satisfies the ≤-on-every-fault acceptance bound.
+    assert len(seq.samples) == len(reference)
+    for sample, (fault, size, width) in zip(seq.samples, reference):
+        assert sample.fault == fault
+        assert sample.sub_circuit_size == size
+        assert sample.cutwidth <= width
+        assert sample.cutwidth == width  # cold mode is exact parity
+
+    # Determinism: the parallel merge is bit-identical to sequential.
+    assert par.samples == seq.samples
+    assert par.unobservable == seq.unobservable
+    assert not par.skipped
+    # A bench run with chaos in it is not a perf measurement.
+    assert par.stats.health.clean, par.stats.health.as_dict()
+
+    payload = {
+        "circuit": network.name,
+        "faults": len(faults),
+        "samples": len(seq.samples),
+        "unique_sub_circuits": seq.stats.sub_cache_misses,
+        "max_cutwidth": seq.max_cutwidth,
+        "sequential_loop": {
+            "wall_time_s": loop_time,
+            "faults_per_sec": len(faults) / loop_time,
+        },
+        "pipeline_sequential": {
+            "mode": "cold",
+            "wall_time_s": seq_time,
+            "faults_per_sec": len(faults) / seq_time,
+            "cache_hit_rate": seq.stats.cache_hit_rate,
+            "stage_times": seq.stats.stage_times(),
+            "speedup_vs_loop": loop_time / seq_time,
+        },
+        "pipeline_parallel": {
+            "mode": "cold",
+            "workers": par.stats.workers,
+            "shards": par.stats.shards,
+            "wall_time_s": par_time,
+            "faults_per_sec": len(faults) / par_time,
+            "cache_hit_rate": par.stats.cache_hit_rate,
+            "stage_times": par.stats.stage_times(),
+            "speedup_vs_loop": loop_time / par_time,
+            "health": par.stats.health.as_dict(),
+        },
+        "pipeline_warm": {
+            "mode": "warm",
+            "workers": warm.stats.workers,
+            "wall_time_s": warm_time,
+            "faults_per_sec": len(faults) / warm_time,
+            "cache_hit_rate": warm.stats.cache_hit_rate,
+            "cone_cache_hits": warm.stats.cone_cache_hits,
+            "cone_cache_misses": warm.stats.cone_cache_misses,
+            "warm_starts": warm.stats.warm_starts,
+            "max_cutwidth": warm.max_cutwidth,
+            "speedup_vs_loop": loop_time / warm_time,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+
+    # ISSUE 4 acceptance: uncapped sweep with workers=2, ≥3× faster
+    # than the historical sequential estimator.
+    assert par_time * MIN_SPEEDUP <= loop_time, (
+        f"parallel pipeline not >={MIN_SPEEDUP}x faster: {par_time:.1f}s "
+        f"vs sequential loop {loop_time:.1f}s"
+    )
+    # Dedup must actually fire on the bench circuit (548 faults share a
+    # few dozen sub-circuits).
+    assert seq.stats.cache_hit_rate > 0.5
+
+    # Regression ratchet against the committed baseline.
+    if baseline_fps is not None:
+        new_fps = len(faults) / par_time
+        assert new_fps >= baseline_fps * RATCHET, (
+            f"parallel width throughput regressed: {new_fps:.2f}/s vs "
+            f"committed {baseline_fps:.2f}/s (ratchet {RATCHET:.0%})"
+        )
+
+    assert time.perf_counter() - smoke_start < BUDGET_S

@@ -73,12 +73,18 @@ class FaultStatus(enum.Enum):
 
 
 #: Machine-readable reasons attached to ABORTED records
-#: (``AtpgRecord.abort_reason``).  ``BUDGET`` is the per-fault conflict
-#: budget; the others come from the run orchestration layer.
-ABORT_BUDGET = "budget_exhausted"
-ABORT_DEADLINE = "deadline_exceeded"
-ABORT_SHARD_TIMEOUT = "shard_timeout"
-ABORT_SHARD_CRASHED = "shard_crashed"
+#: (``AtpgRecord.abort_reason``) and the shared :class:`RunHealth`
+#: telemetry — both live with the generic shard supervisor now
+#: (:mod:`repro.atpg.supervisor`) and are re-exported here for
+#: compatibility.  ``BUDGET`` is the per-fault conflict budget; the
+#: others come from the run orchestration layer.
+from repro.atpg.supervisor import (  # noqa: E402  (re-export)
+    ABORT_BUDGET,
+    ABORT_DEADLINE,
+    ABORT_SHARD_CRASHED,
+    ABORT_SHARD_TIMEOUT,
+    RunHealth,
+)
 
 
 @dataclass
@@ -101,74 +107,6 @@ class AtpgRecord:
     conflicts: int = 0
     test: Optional[dict[str, int]] = None
     abort_reason: Optional[str] = None
-
-
-@dataclass
-class RunHealth:
-    """Robustness telemetry for one ATPG run.
-
-    Counts the orchestration events that distinguish a clean run from a
-    degraded one: shard retries, timed-out / crashed workers, automatic
-    shard splits, the in-process degraded-mode flag, whether the
-    run-level deadline fired, and a histogram of abort reasons over the
-    final records (``AtpgRecord.abort_reason`` values).
-    """
-
-    retries: int = 0
-    timed_out_shards: int = 0
-    crashed_shards: int = 0
-    shard_splits: int = 0
-    degraded: bool = False
-    deadline_hit: bool = False
-    abort_reasons: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def clean(self) -> bool:
-        """True when no supervision event fired during the run."""
-        return not (
-            self.retries
-            or self.timed_out_shards
-            or self.crashed_shards
-            or self.shard_splits
-            or self.degraded
-            or self.deadline_hit
-            or self.abort_reasons
-        )
-
-    def count_aborts(self, records: Sequence["AtpgRecord"]) -> None:
-        """Recompute the abort-reason histogram from final records."""
-        reasons: dict[str, int] = {}
-        for record in records:
-            if record.status is FaultStatus.ABORTED:
-                reason = record.abort_reason or "unknown"
-                reasons[reason] = reasons.get(reason, 0) + 1
-        self.abort_reasons = reasons
-
-    def merge(self, other: "RunHealth") -> None:
-        """Accumulate another run's supervision counters.
-
-        ``abort_reasons`` is *not* merged: it is recomputed over the
-        final merged records by whoever owns the summary, so shard-level
-        histograms never double-count.
-        """
-        self.retries += other.retries
-        self.timed_out_shards += other.timed_out_shards
-        self.crashed_shards += other.crashed_shards
-        self.shard_splits += other.shard_splits
-        self.degraded = self.degraded or other.degraded
-        self.deadline_hit = self.deadline_hit or other.deadline_hit
-
-    def as_dict(self) -> dict:
-        """JSON-ready view (the ``health`` block of ``--bench-json``)."""
-        return {
-            "retries": self.retries,
-            "timed_out_shards": self.timed_out_shards,
-            "crashed_shards": self.crashed_shards,
-            "shard_splits": self.shard_splits,
-            "degraded": self.degraded,
-            "deadline_hit": self.deadline_hit,
-            "abort_reasons": dict(self.abort_reasons),
-        }
 
 
 @dataclass

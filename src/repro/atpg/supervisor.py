@@ -27,11 +27,15 @@ worker processes and supervises them:
   worker processes down with ``terminate()``/``join()`` before
   re-raising, so Ctrl-C leaves no orphans.
 
-The supervisor is deliberately generic over the job type: it only needs
-``worker_fn(job) -> result``, ``split_job(job) -> [jobs]`` and
-``faults_of(job)`` for failure accounting, so it can be chaos-tested
-with injected crash/hang worker functions (see
-``tests/atpg/test_supervisor.py``).
+The supervisor is deliberately generic over the *unit of work*: it only
+needs ``worker_fn(job) -> result``, ``split_job(job) -> [jobs]`` and
+``faults_of(job)`` for failure accounting, so the same machinery runs
+ATPG shards, cut-width analysis shards
+(:mod:`repro.core.width_pipeline`), and the chaos-test stand-ins of
+``tests/atpg/test_supervisor.py``.  The failure vocabulary
+(:data:`ABORT_SHARD_TIMEOUT` & co.) and the :class:`RunHealth` counters
+live here for the same reason — they describe shard orchestration, not
+any particular workload.
 """
 
 from __future__ import annotations
@@ -44,16 +48,101 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Optional
 
-from repro.atpg.engine import (
-    ABORT_DEADLINE,
-    ABORT_SHARD_CRASHED,
-    ABORT_SHARD_TIMEOUT,
-    RunHealth,
-)
+#: Machine-readable failure reasons for work the supervisor could not
+#: complete (also attached to ABORTED ATPG records as ``abort_reason``).
+#: ``ABORT_BUDGET`` is produced by the solving layer, not the
+#: supervisor, but belongs to the same vocabulary.
+ABORT_BUDGET = "budget_exhausted"
+ABORT_DEADLINE = "deadline_exceeded"
+ABORT_SHARD_TIMEOUT = "shard_timeout"
+ABORT_SHARD_CRASHED = "shard_crashed"
 
 #: Supervisor poll granularity (seconds): the upper bound on how stale a
 #: timeout/deadline check can be while workers are busy.
 _TICK = 0.05
+
+
+@dataclass
+class RunHealth:
+    """Robustness telemetry for one supervised run.
+
+    Counts the orchestration events that distinguish a clean run from a
+    degraded one: shard retries, timed-out / crashed workers, automatic
+    shard splits, the in-process degraded-mode flag, whether the
+    run-level deadline fired, and a histogram of abort reasons over the
+    run's final records.
+    """
+
+    retries: int = 0
+    timed_out_shards: int = 0
+    crashed_shards: int = 0
+    shard_splits: int = 0
+    degraded: bool = False
+    deadline_hit: bool = False
+    abort_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no supervision event fired during the run."""
+        return not (
+            self.retries
+            or self.timed_out_shards
+            or self.crashed_shards
+            or self.shard_splits
+            or self.degraded
+            or self.deadline_hit
+            or self.abort_reasons
+        )
+
+    def count_aborts(self, records: Sequence[Any]) -> None:
+        """Recompute the abort-reason histogram from final records.
+
+        Any record collection works: a record counts as aborted when its
+        ``status`` (if it has one) stringifies to ``"aborted"``, or —
+        for status-less workloads like the width pipeline — when it
+        carries a truthy ``abort_reason``.
+        """
+        reasons: dict[str, int] = {}
+        for record in records:
+            status = getattr(record, "status", None)
+            if status is not None:
+                if getattr(status, "value", status) != "aborted":
+                    continue
+                reason = getattr(record, "abort_reason", None) or "unknown"
+            else:
+                reason = getattr(record, "abort_reason", None)
+                if not reason:
+                    continue
+            reasons[reason] = reasons.get(reason, 0) + 1
+        self.abort_reasons = reasons
+
+    def merge(self, other: "RunHealth") -> None:
+        """Accumulate another run's supervision counters.
+
+        ``abort_reasons`` is *not* merged: it is recomputed over the
+        final merged records by whoever owns the summary, so shard-level
+        histograms never double-count.
+        """
+        self.retries += other.retries
+        self.timed_out_shards += other.timed_out_shards
+        self.crashed_shards += other.crashed_shards
+        self.shard_splits += other.shard_splits
+        self.degraded = self.degraded or other.degraded
+        self.deadline_hit = self.deadline_hit or other.deadline_hit
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (the ``health`` block of ``--bench-json``)."""
+        return {
+            "retries": self.retries,
+            "timed_out_shards": self.timed_out_shards,
+            "crashed_shards": self.crashed_shards,
+            "shard_splits": self.shard_splits,
+            "degraded": self.degraded,
+            "deadline_hit": self.deadline_hit,
+            "abort_reasons": dict(self.abort_reasons),
+        }
+
+
 
 
 @dataclass

@@ -35,14 +35,24 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     from repro.experiments.fig8_cutwidth_study import run_fig8
 
+    status = 0
     for suite in args.suite:
         report = run_fig8(
-            suite, max_faults_per_circuit=args.max_faults, seed=args.seed
+            suite,
+            max_faults_per_circuit=args.max_faults,
+            seed=args.seed,
+            workers=args.workers,
         )
         print(report.render())
+        if not report.fits():
+            print(
+                f"warning: fig8 ({suite}) has only {report.n_usable} usable "
+                "points (need >= 4); curve fits skipped",
+                file=sys.stderr,
+            )
         if args.plot:
             print(report.render_plot())
-    return 0
+    return status
 
 
 def _cmd_gen_study(args: argparse.Namespace) -> int:
@@ -258,6 +268,107 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _width_bench_payload(report) -> dict:
+    """The ``--bench-json`` document for a width study.
+
+    Schema (documented in README.md § Performance): run identity
+    (``circuit``/``mode``/``seed``), outcome counts, ``max_cutwidth``,
+    throughput, and ``stats`` with per-stage times, the two cache hit
+    counters, and supervision health (``WidthStudyStats.as_dict``).
+    """
+    payload = report.as_dict()
+    wall = report.stats.wall_time
+    payload["faults_per_sec"] = len(report.faults) / wall if wall else 0.0
+    return payload
+
+
+def _cmd_width_study(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.circuits.decompose import tech_decompose
+    from repro.core.width_pipeline import WidthAnalysisPipeline
+
+    if args.netlist is not None:
+        networks = [_load_netlist(args.netlist)]
+        if args.decompose:
+            networks = [tech_decompose(networks[0])]
+    else:
+        from repro.gen.benchmarks import load_circuit
+
+        networks = [
+            load_circuit(args.suite_name, name) for name in args.circuit
+        ]
+
+    max_faults = None if args.no_cap else args.max_faults
+    payloads = []
+    for network in networks:
+        pipeline = WidthAnalysisPipeline(
+            network,
+            seed=args.seed,
+            mode=args.mla,
+            workers=args.workers,
+            bounds=args.bounds,
+            shard_timeout=args.shard_timeout,
+            deadline=args.deadline,
+        )
+        report = pipeline.run(max_faults=max_faults)
+        stats = report.stats
+        print(
+            f"circuit {report.circuit}: {len(report.faults)} faults -> "
+            f"{len(report.samples)} samples, "
+            f"{len(report.unobservable)} unobservable, "
+            f"{len(report.skipped)} skipped"
+        )
+        print(
+            f"  max cut-width: {report.max_cutwidth} "
+            f"(mode={report.mode}, seed={report.seed})"
+        )
+        stages = " ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in stats.stage_times().items()
+        )
+        print(f"  stages: {stages} (wall {stats.wall_time:.3f}s)")
+        print(
+            f"  sub-circuit memo: {stats.sub_cache_hits} hits / "
+            f"{stats.sub_cache_misses} misses ({stats.cache_hit_rate:.1%})"
+        )
+        if args.mla == "warm":
+            print(
+                f"  cone cache: {stats.cone_cache_hits} hits / "
+                f"{stats.cone_cache_misses} misses; "
+                f"{stats.warm_starts} warm starts, "
+                f"{stats.cold_runs} cold runs"
+            )
+        if stats.workers > 1:
+            print(f"  parallel: {stats.workers} workers, {stats.shards} shards")
+        if args.bounds and report.samples:
+            worst = max(report.samples, key=lambda s: s.theorem_bound or 0)
+            bound = worst.theorem_bound or 0
+            # Bounds are exact (huge) ints; 10^300+ overflows float repr.
+            text = f"{bound:.3e}" if bound < 10**300 else f"~10^{len(str(bound)) - 1}"
+            print(
+                f"  largest Theorem 4.1 bound: {text} "
+                f"({worst.fault}, n={worst.sub_circuit_size}, "
+                f"k_fo={worst.k_fo}, W={worst.cutwidth})"
+            )
+        health = stats.health
+        if not health.clean:
+            print(
+                f"  health: retries={health.retries} "
+                f"timeouts={health.timed_out_shards} "
+                f"crashes={health.crashed_shards} "
+                f"splits={health.shard_splits} "
+                f"degraded={health.degraded} "
+                f"deadline_hit={health.deadline_hit}"
+            )
+        payloads.append(_width_bench_payload(report))
+    if args.bench_json:
+        document = payloads[0] if len(payloads) == 1 else payloads
+        Path(args.bench_json).write_text(json.dumps(document, indent=2))
+        print(f"  bench json -> {args.bench_json}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.circuits.decompose import tech_decompose
     from repro.circuits.stats import profile
@@ -304,8 +415,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", action="append", default=None)
     p.add_argument("--max-faults", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per circuit width sweep",
+    )
     p.add_argument("--plot", action="store_true")
     p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser(
+        "width-study",
+        help="per-fault cut-width sweep (dedup + parallel width pipeline)",
+    )
+    p.add_argument(
+        "netlist", nargs="?", default=None,
+        help=".bench/.blif/.v netlist; omit to use --suite-name/--circuit",
+    )
+    p.add_argument("--suite-name", default="mcnc")
+    p.add_argument("--circuit", action="append", default=None)
+    p.add_argument("--decompose", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-faults", type=int, default=60,
+        help="deterministic even subsample cap (see --no-cap)",
+    )
+    p.add_argument(
+        "--no-cap", action="store_true",
+        help="sweep the full collapsed fault universe (overrides "
+        "--max-faults)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (>1 fans shards out under supervision)",
+    )
+    p.add_argument(
+        "--mla", choices=("cold", "warm"), default="cold",
+        help="cold = historical-estimator parity per distinct "
+        "sub-circuit (default); warm = seed arrangements from cached "
+        "enclosing-cone orders, skipping the recursive bisection",
+    )
+    p.add_argument(
+        "--bounds", action="store_true",
+        help="evaluate each sample's Theorem 4.1 bound n*2^(2*k_fo*W)",
+    )
+    p.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget (terminated, retried, split)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="run-level wall-clock budget; unanalysed faults are "
+        "reported as skipped (deadline_exceeded)",
+    )
+    p.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="write stage-time/cache/health JSON to PATH",
+    )
+    p.set_defaults(func=_cmd_width_study)
 
     p = sub.add_parser("gen-study", help="Section 5.2.3 generated circuits")
     p.add_argument("--sizes", type=int, nargs="*", default=None)

@@ -11,12 +11,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.atpg.faults import Fault, collapse_faults
-from repro.atpg.miter import UnobservableFault, sub_circuit
+from repro.atpg.faults import Fault
 from repro.circuits.network import Network
 from repro.core.cutwidth import multi_output_cutwidth
-from repro.core.hypergraph import circuit_hypergraph
-from repro.core.mla import estimate_cutwidth
 
 
 def theorem_4_1_bound(num_variables: int, k_fo: int, cutwidth: int) -> int:
@@ -38,11 +35,39 @@ def lemma_4_2_bound(base_cutwidth: int) -> int:
 
 @dataclass
 class FaultWidthSample:
-    """One Figure-8 data point: a fault's sub-circuit size and cut-width."""
+    """One Figure-8 data point: a fault's sub-circuit size and cut-width.
+
+    ``k_fo`` and ``theorem_bound`` are filled only when the width
+    pipeline is asked to evaluate Theorem 4.1 per point
+    (``n · 2^(2·k_fo·W)`` with the sub-circuit's own max fanout).
+    """
 
     fault: Fault
     sub_circuit_size: int
     cutwidth: int
+    k_fo: int | None = None
+    theorem_bound: int | None = None
+
+
+def subsample_faults(
+    faults: list[Fault] | None, max_faults: int | None
+) -> list[Fault]:
+    """Deterministic, order-insensitive even subsample of a fault list.
+
+    The list is first canonicalised to (net, value) order — the order
+    :func:`repro.atpg.faults.collapse_faults` already produces — so the
+    selection depends only on the fault *set*, never on caller ordering.
+    With a cap, every ``len/max``-th fault of the canonical order is
+    taken (``faults[int(i * step)]``), spreading picks evenly across the
+    circuit; without one the canonical list is returned whole.
+    """
+    if faults is None:
+        return []
+    ordered = sorted(faults)
+    if max_faults is not None and len(ordered) > max_faults:
+        step = len(ordered) / max_faults
+        ordered = [ordered[int(i * step)] for i in range(max_faults)]
+    return ordered
 
 
 def fault_width_samples(
@@ -54,9 +79,17 @@ def fault_width_samples(
 ) -> list[FaultWidthSample]:
     """Cut-width of C_ψ^sub versus its size, per fault (Section 5.2.2).
 
+    Delegates to the :class:`~repro.core.width_pipeline.
+    WidthAnalysisPipeline` in cold (parity) mode, so faults sharing a
+    sub-circuit hit the signature memo instead of re-running the MLA;
+    per-fault results are bit-identical to the historical from-scratch
+    loop.
+
     Args:
         network: the (decomposed) circuit.
-        faults: fault list; collapsed list by default.
+        faults: fault list; collapsed list by default.  Canonicalised to
+            (net, value) order before subsampling, so the selection is
+            caller-order-insensitive (see :func:`subsample_faults`).
         seed: RNG seed for the MLA estimator.
         max_faults: optional cap (evenly subsampled) to bound runtime on
             large circuits.
@@ -64,31 +97,12 @@ def fault_width_samples(
     Returns:
         One sample per observable fault.
     """
-    if faults is None:
-        faults = collapse_faults(network)
-    if max_faults is not None and len(faults) > max_faults:
-        step = len(faults) / max_faults
-        faults = [faults[int(i * step)] for i in range(max_faults)]
-    from repro.core.ordering import dfs_cone_ordering
+    from repro.core.width_pipeline import WidthAnalysisPipeline
 
-    samples: list[FaultWidthSample] = []
-    for fault in faults:
-        try:
-            sub = sub_circuit(network, fault)
-        except UnobservableFault:
-            continue
-        graph = circuit_hypergraph(sub)
-        width = estimate_cutwidth(
-            graph, seed=seed, candidate_orders=[dfs_cone_ordering(sub)]
-        )
-        samples.append(
-            FaultWidthSample(
-                fault=fault,
-                sub_circuit_size=graph.num_vertices,
-                cutwidth=width,
-            )
-        )
-    return samples
+    report = WidthAnalysisPipeline(network, seed=seed).run(
+        faults=faults, max_faults=max_faults
+    )
+    return report.samples
 
 
 @dataclass

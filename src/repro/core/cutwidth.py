@@ -79,15 +79,30 @@ class MultiOutputCutwidth:
         return list(self.per_output[output].order)
 
 
-def multi_output_cutwidth(
+def output_cone_arrangements(
     network: Network, *, seed: int = 0
-) -> MultiOutputCutwidth:
-    """Compute W(C, H) by arranging each output cone independently."""
+) -> dict[str, MlaResult]:
+    """One MLA arrangement per primary-output cone.
+
+    The arrangement cache primitive of the width pipeline: every fault
+    sub-circuit is covered by the cones of its observing outputs, so the
+    per-cone orders computed here serve as warm-start seeds
+    (restricted to the sub-circuit's nets) for every fault in that cone.
+    """
     per_output: dict[str, MlaResult] = {}
     for output in network.outputs:
         cone = network.output_cone(output)
         per_output[output] = mla_ordering(cone, seed=seed)
-    return MultiOutputCutwidth(per_output=per_output)
+    return per_output
+
+
+def multi_output_cutwidth(
+    network: Network, *, seed: int = 0
+) -> MultiOutputCutwidth:
+    """Compute W(C, H) by arranging each output cone independently."""
+    return MultiOutputCutwidth(
+        per_output=output_cone_arrangements(network, seed=seed)
+    )
 
 
 def cutwidth_of_hypergraph(graph: Hypergraph, *, seed: int = 0) -> int:

@@ -27,6 +27,9 @@ class Hypergraph:
 
     vertices: tuple[str, ...]
     edges: tuple[tuple[str, tuple[str, ...]], ...] = field(default=())
+    _incidence: dict[str, list[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         vertex_set = set(self.vertices)
@@ -48,16 +51,23 @@ class Hypergraph:
         return len(self.edges)
 
     def incident_edges(self) -> dict[str, list[int]]:
-        """Map from vertex to indices of edges containing it."""
-        incidence: dict[str, list[int]] = {v: [] for v in self.vertices}
-        for index, (_, members) in enumerate(self.edges):
-            for member in members:
-                incidence[member].append(index)
-        return incidence
+        """Map from vertex to indices of edges containing it.
+
+        Memoised: the graph is immutable by convention, and arrangement
+        search (FM passes, degree-1 packing, window refinement) asks for
+        the incidence map many times over.
+        """
+        if self._incidence is None:
+            incidence: dict[str, list[int]] = {v: [] for v in self.vertices}
+            for index, (_, members) in enumerate(self.edges):
+                for member in members:
+                    incidence[member].append(index)
+            object.__setattr__(self, "_incidence", incidence)
+        return self._incidence
 
     def degree(self, vertex: str) -> int:
         """Number of hyperedges containing ``vertex``."""
-        return sum(1 for _, members in self.edges if vertex in members)
+        return len(self.incident_edges()[vertex])
 
     def restricted_to(self, keep: Iterable[str]) -> "Hypergraph":
         """Sub-hypergraph induced on ``keep``; edges shrink, singletons drop."""

@@ -13,29 +13,48 @@ import math
 from dataclasses import dataclass, field
 
 from repro.analysis.fitting import FitResult, all_fits
-from repro.core.bounds import fault_width_samples
+from repro.core.width_pipeline import WidthAnalysisPipeline
 from repro.gen.benchmarks import iter_suite
 
 
 @dataclass
 class Fig8Point:
-    """One scatter point: a fault's sub-circuit size and cut-width."""
+    """One scatter point: a fault's sub-circuit size and cut-width.
+
+    ``theorem_bound`` carries the point's Theorem 4.1 node-visit bound
+    ``n · 2^(2·k_fo·W)`` when the study was run with ``bounds=True``.
+    """
 
     circuit: str
     fault: str
     size: int
     cutwidth: int
+    theorem_bound: int | None = None
 
 
 @dataclass
 class Fig8Report:
-    """Aggregate reproduction of one Figure 8 panel."""
+    """Aggregate reproduction of one Figure 8 panel.
+
+    ``faults_per_circuit`` records exactly which (subsampled) faults each
+    circuit contributed, so a run is auditable and reproducible.
+    """
 
     suite: str
     points: list[Fig8Point] = field(default_factory=list)
+    faults_per_circuit: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def n_usable(self) -> int:
+        """Points with ``size >= 2`` — the fit's minimum admission."""
+        return sum(1 for p in self.points if p.size >= 2)
 
     def fits(self) -> dict[str, FitResult]:
-        """Linear/log/power fits over the scatter."""
+        """Linear/log/power fits over the scatter.
+
+        Returns ``{}`` when fewer than 4 usable points exist (check
+        :attr:`n_usable`; the CLI warns explicitly in that case).
+        """
         usable = [p for p in self.points if p.size >= 2]
         x = [float(p.size) for p in usable]
         y = [float(p.cutwidth) for p in usable]
@@ -63,8 +82,13 @@ class Fig8Report:
         fits = self.fits()
         lines = [
             f"Figure 8 ({self.suite}) reproduction: cut-width vs |C_psi^sub|",
-            f"  datapoints: {len(self.points)}",
+            f"  datapoints: {len(self.points)} ({self.n_usable} usable)",
         ]
+        if not fits:
+            lines.append(
+                f"  warning: only {self.n_usable} usable points "
+                "(need >= 4); no curve fits computed"
+            )
         for name in ("linear", "log", "power"):
             if name in fits:
                 fit = fits[name]
@@ -117,6 +141,9 @@ def run_fig8(
     max_faults_per_circuit: int | None = 60,
     skip_circuits: tuple[str, ...] | None = None,
     seed: int = 0,
+    workers: int = 1,
+    mode: str = "cold",
+    bounds: bool = False,
 ) -> Fig8Report:
     """Run the cut-width study over one suite.
 
@@ -124,11 +151,15 @@ def run_fig8(
         suite: ``"mcnc"`` (Figure 8a) or ``"iscas"`` (Figure 8b).
         max_faults_per_circuit: subsample cap (the MLA estimate is the
             expensive step; the paper's figures plot every fault, which
-            remains available with ``None``).
+            remains available with ``None`` — practical now that the
+            width pipeline dedups shared sub-circuits and fans out).
         skip_circuits: circuits to exclude; defaults to the suite's
             multipliers, analogous to the paper's exclusion of
             C3540/C6288.  Pass ``()`` to include everything.
         seed: RNG seed for the partitioner.
+        workers: worker processes per circuit sweep (1 = in-process).
+        mode: width pipeline mode (``"cold"`` parity / ``"warm"``).
+        bounds: attach each point's Theorem 4.1 bound.
     """
     if skip_circuits is None:
         skip_circuits = DEFAULT_SKIPS.get(suite, ())
@@ -136,16 +167,19 @@ def run_fig8(
     for name, network in iter_suite(suite):
         if name in skip_circuits:
             continue
-        samples = fault_width_samples(
-            network, seed=seed, max_faults=max_faults_per_circuit
+        pipeline = WidthAnalysisPipeline(
+            network, seed=seed, workers=workers, mode=mode, bounds=bounds
         )
-        for sample in samples:
+        study = pipeline.run(max_faults=max_faults_per_circuit)
+        report.faults_per_circuit[name] = [str(f) for f in study.faults]
+        for sample in study.samples:
             report.points.append(
                 Fig8Point(
                     circuit=name,
                     fault=str(sample.fault),
                     size=sample.sub_circuit_size,
                     cutwidth=sample.cutwidth,
+                    theorem_bound=sample.theorem_bound,
                 )
             )
     return report

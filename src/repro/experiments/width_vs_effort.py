@@ -25,7 +25,7 @@ from scipy import stats as scipy_stats
 from repro.atpg.faults import collapse_faults
 from repro.atpg.miter import UnobservableFault, build_atpg_circuit
 from repro.circuits.network import Network
-from repro.core.bounds import theorem_4_1_bound
+from repro.core.bounds import subsample_faults, theorem_4_1_bound
 from repro.core.hypergraph import circuit_hypergraph, cut_width_under_order
 from repro.core.mla import min_cut_linear_arrangement
 from repro.core.ordering import dfs_cone_ordering, fault_ordering
@@ -105,10 +105,7 @@ def run_width_vs_effort(
         candidate_orders=[dfs_cone_ordering(network)],
     ).order
 
-    faults = collapse_faults(network)
-    if len(faults) > max_faults:
-        step = len(faults) / max_faults
-        faults = [faults[int(i * step)] for i in range(max_faults)]
+    faults = subsample_faults(collapse_faults(network), max_faults)
 
     for fault in faults:
         try:

@@ -38,11 +38,20 @@ def edge_cut(graph: Hypergraph, side_of: dict[str, int]) -> int:
 
 
 class _GainBuckets:
-    """Bucket array keyed by gain with O(1) insert/remove/update."""
+    """Bucket array keyed by gain with O(1) insert/remove/update.
+
+    Buckets are insertion-ordered dicts, not sets: within one gain value
+    the tie-break is arrival order, which does not depend on string
+    hashing.  With set buckets the chosen move varied with
+    ``PYTHONHASHSEED``, making arrangements differ across processes even
+    for a fixed partitioner seed.
+    """
 
     def __init__(self, max_gain: int) -> None:
         self.max_gain = max(max_gain, 1)
-        self.buckets: list[set[str]] = [set() for _ in range(2 * self.max_gain + 1)]
+        self.buckets: list[dict[str, None]] = [
+            {} for _ in range(2 * self.max_gain + 1)
+        ]
         self.gain_of: dict[str, int] = {}
         self.best = -1
 
@@ -51,7 +60,7 @@ class _GainBuckets:
 
     def insert(self, vertex: str, gain: int) -> None:
         index = self._clamp(gain) + self.max_gain
-        self.buckets[index].add(vertex)
+        self.buckets[index][vertex] = None
         self.gain_of[vertex] = gain
         if index > self.best:
             self.best = index
@@ -59,7 +68,7 @@ class _GainBuckets:
     def discard(self, vertex: str) -> None:
         if vertex in self.gain_of:
             index = self._clamp(self.gain_of.pop(vertex)) + self.max_gain
-            self.buckets[index].discard(vertex)
+            self.buckets[index].pop(vertex, None)
 
     def set_gain(self, vertex: str, gain: int) -> None:
         if vertex not in self.gain_of:
@@ -74,7 +83,7 @@ class _GainBuckets:
             bucket = self.buckets[index]
             for vertex in bucket:
                 if allowed(vertex):
-                    bucket.discard(vertex)
+                    del bucket[vertex]
                     del self.gain_of[vertex]
                     self.best = index
                     return vertex
@@ -212,11 +221,15 @@ def _fm_pass(
         src = side_of[vertex]
         dst = 1 - src
 
-        affected: set[str] = set()
+        # First-seen order (dict, not set): the re-bucketing below moves
+        # each vertex to the back of its gain bucket, so iteration order
+        # here shapes future tie-breaks and must not depend on hashing.
+        affected: dict[str, None] = {}
         for edge_index in incidence[vertex]:
             edge_counts[edge_index][src] -= 1
             edge_counts[edge_index][dst] += 1
-            affected.update(members_of[edge_index])
+            for member in members_of[edge_index]:
+                affected[member] = None
         side_of[vertex] = dst
         counts[src] -= 1
         counts[dst] += 1
