@@ -26,11 +26,18 @@ Which journaled verdicts are *final* on resume:
 
 * ``TESTED`` / ``UNTESTABLE`` / ``UNOBSERVABLE`` / ``DROPPED`` — kept
   (the replay merge re-validates dropping globally anyway);
-* ``ABORTED`` with reason ``budget_exhausted`` — kept: the conflict
-  budget is deterministic, re-running would abort again;
+* ``ABORTED`` with reason ``budget_exhausted`` / ``mem_budget_exceeded``
+  — kept: the budgets are deterministic, re-running would abort again;
 * ``ABORTED`` with an orchestration reason (deadline, shard timeout,
   worker crash) — **re-dispatched**: those faults never got their full
   budget, which is exactly what resuming is for.
+
+A journal is *data crossing a trust boundary*: it may come from an older
+run, a different solver build, or a corrupted disk.
+:func:`verified_resumable_records` therefore re-simulates every
+journaled TESTED pattern before trusting it — a cheap witness check —
+and hands rejects back to the caller for re-dispatch instead of letting
+a stale wrong verdict survive into the merged summary.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from typing import Optional, TextIO
 
 from repro.atpg.engine import (
     ABORT_BUDGET,
+    ABORT_MEM,
     AtpgRecord,
     AtpgSummary,
     FaultStatus,
@@ -66,6 +74,7 @@ def record_to_dict(record: AtpgRecord) -> dict:
         "conflicts": record.conflicts,
         "test": record.test,
         "abort_reason": record.abort_reason,
+        "certified": record.certified,
     }
 
 
@@ -83,15 +92,18 @@ def record_from_dict(payload: dict) -> AtpgRecord:
         conflicts=payload.get("conflicts", 0),
         test=payload.get("test"),
         abort_reason=payload.get("abort_reason"),
+        certified=payload.get("certified"),
     )
 
 
 def is_final(record: AtpgRecord) -> bool:
     """True when a journaled verdict need not be re-dispatched on
-    resume (see the module docstring for the rule)."""
+    resume (see the module docstring for the rule).  Budget reasons
+    (conflict or memory) are deterministic — re-running would abort
+    again — so they are final; orchestration reasons are not."""
     if record.status is not FaultStatus.ABORTED:
         return True
-    return record.abort_reason == ABORT_BUDGET
+    return record.abort_reason in (ABORT_BUDGET, ABORT_MEM)
 
 
 class CheckpointError(ValueError):
@@ -230,3 +242,57 @@ def resumable_records(
         for fault, record in records.items()
         if is_final(record)
     }
+
+
+class ResumeParityWarning(UserWarning):
+    """Resuming in incremental solver mode: coverage and verdicts match
+    an uninterrupted run, but test *vectors* may differ (persistent
+    per-cone solver state depends on the fault subsequence actually
+    solved).  ``fresh`` mode resumes bit-identically."""
+
+
+class ResumeRejectedRecordsWarning(UserWarning):
+    """Journaled TESTED records whose patterns failed witness replay
+    were rejected at the resume trust boundary and re-dispatched."""
+
+
+def verified_resumable_records(
+    path: str | Path,
+    network,
+    circuit: Optional[str] = None,
+) -> tuple[dict[Fault, AtpgRecord], list[AtpgRecord]]:
+    """Settled journal records, with TESTED patterns witness-checked.
+
+    Every journaled TESTED record's pattern is replayed through fault
+    simulation against ``network`` — the journal crosses a trust
+    boundary, so a stale or corrupt wrong verdict must not survive into
+    a resumed run's summary.  Verified TESTED records come back with
+    ``certified=True``.
+
+    Args:
+        network: the :class:`~repro.circuits.network.Network` being
+            resumed (ground truth for the witness replay).
+        circuit: forwarded to :func:`load_checkpoint` header validation.
+
+    Returns:
+        ``(verified, rejected)`` — the records safe to treat as settled,
+        and the TESTED records that failed replay (their faults must be
+        re-dispatched; each is also an implicit cross-run disagreement).
+    """
+    from repro.atpg.fault_sim import fault_simulate
+
+    settled = resumable_records(path, circuit=circuit)
+    verified: dict[Fault, AtpgRecord] = {}
+    rejected: list[AtpgRecord] = []
+    for fault, record in settled.items():
+        if record.status is not FaultStatus.TESTED:
+            verified[fault] = record
+            continue
+        if record.test is not None and fault in fault_simulate(
+            network, [fault], [record.test]
+        ).detected:
+            record.certified = True
+            verified[fault] = record
+        else:
+            rejected.append(record)
+    return verified, rejected

@@ -43,6 +43,11 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.atpg.certify import (
+    CERTIFY_MODES,
+    CertificationError,
+    EscalationLadder,
+)
 from repro.atpg.fault_sim import PatternBlockStore, fault_simulate
 from repro.atpg.faults import Fault, collapse_faults
 from repro.atpg.miter import (
@@ -80,9 +85,12 @@ class FaultStatus(enum.Enum):
 #: others come from the run orchestration layer.
 from repro.atpg.supervisor import (  # noqa: E402  (re-export)
     ABORT_BUDGET,
+    ABORT_CERTIFICATION,
     ABORT_DEADLINE,
+    ABORT_MEM,
     ABORT_SHARD_CRASHED,
     ABORT_SHARD_TIMEOUT,
+    ABORT_SOLVER,
     RunHealth,
 )
 
@@ -107,6 +115,11 @@ class AtpgRecord:
     conflicts: int = 0
     test: Optional[dict[str, int]] = None
     abort_reason: Optional[str] = None
+    #: Certification outcome (:mod:`repro.atpg.certify`): ``True`` the
+    #: verdict passed its witness replay / DRUP or agreement check,
+    #: ``False`` certification was attempted and failed on every ladder
+    #: rung, ``None`` certification was off or inapplicable.
+    certified: Optional[bool] = None
 
 
 @dataclass
@@ -264,6 +277,7 @@ def make_solver(
     name: str,
     max_conflicts: Optional[int] = None,
     deadline_at: Optional[float] = None,
+    mem_budget_mb: Optional[float] = None,
 ):
     """The single SAT-backend factory shared by every ATPG engine.
 
@@ -275,12 +289,17 @@ def make_solver(
         deadline_at: absolute ``time.monotonic()`` wall-clock cutoff for
             the search (CDCL only; the other backends rely on their
             node/decision budgets).
+        mem_budget_mb: clause-database memory budget (CDCL only).
 
     Raises:
         ValueError: for unknown backend names.
     """
     if name == "cdcl":
-        return CdclSolver(max_conflicts=max_conflicts, deadline_at=deadline_at)
+        return CdclSolver(
+            max_conflicts=max_conflicts,
+            deadline_at=deadline_at,
+            mem_budget_mb=mem_budget_mb,
+        )
     if name in ("dpll", "dpll-static"):
         return DpllSolver(
             dynamic=(name == "dpll"),
@@ -347,6 +366,18 @@ class AtpgEngine:
             too) and the run returns cleanly with partial coverage.
         validate_network: override just the structural network check
             (defaults to ``validate``).
+        certify: ``off`` (default), ``witness``, or ``full`` — route
+            every verdict through the certification / self-healing
+            escalation ladder (:mod:`repro.atpg.certify`): ``witness``
+            certifies TESTABLE verdicts by fault-simulation replay,
+            ``full`` additionally certifies REDUNDANT verdicts by a
+            checked DRUP refutation (or cross-solver agreement).
+            Certification failures, solver exceptions, and budget
+            exhaustion re-solve on independent paths instead of
+            crashing; disagreements land in ``stats.health``.
+        mem_budget_mb: clause-database memory budget per SAT call
+            (CDCL); an over-budget search aborts the fault with reason
+            ``mem_budget_exceeded`` (and, under ``certify``, escalates).
     """
 
     def __init__(
@@ -361,6 +392,8 @@ class AtpgEngine:
         encoding_cache: Optional[CnfEncodingCache] = None,
         deadline: Optional[float] = None,
         validate_network: Optional[bool] = None,
+        certify: str = "off",
+        mem_budget_mb: Optional[float] = None,
     ) -> None:
         if order not in ("auto", "scoap", "given"):
             raise ValueError(f"unknown fault order {order!r}")
@@ -368,6 +401,10 @@ class AtpgEngine:
             raise ValueError(f"unknown solver mode {solver_mode!r}")
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be >= 0 seconds")
+        if certify not in CERTIFY_MODES:
+            raise ValueError(f"unknown certify mode {certify!r}")
+        if mem_budget_mb is not None and mem_budget_mb <= 0:
+            raise ValueError("mem_budget_mb must be > 0")
         structural = validate if validate_network is None else validate_network
         if structural:
             check_network(network)
@@ -379,6 +416,11 @@ class AtpgEngine:
         self.order = order
         self.solver_mode = solver_mode
         self.deadline = deadline
+        self.certify = certify
+        self.mem_budget_mb = mem_budget_mb
+        self._ladder = (
+            EscalationLadder(self, certify) if certify != "off" else None
+        )
         self._deadline_at: Optional[float] = None
         self._encoding_cache = (
             encoding_cache if encoding_cache is not None else CnfEncodingCache()
@@ -405,8 +447,19 @@ class AtpgEngine:
     def generate_test(
         self, fault: Fault, stats: Optional[EngineStats] = None
     ) -> AtpgRecord:
-        """Run ATPG-SAT for a single fault."""
+        """Run ATPG-SAT for a single fault.
+
+        With certification on, the verdict is produced (and on failure
+        healed) by the escalation ladder; otherwise by the configured
+        primary path directly.
+        """
         stats = stats if stats is not None else EngineStats()
+        if self._ladder is not None:
+            return self._ladder.process(fault, stats)
+        return self._primary_record(fault, stats)
+
+    def _primary_record(self, fault: Fault, stats: EngineStats) -> AtpgRecord:
+        """The engine's configured solve path (ladder rung 0)."""
         if self.incremental:
             return self._generate_test_incremental(fault, stats)
         return self._generate_test_fresh(fault, stats)
@@ -486,6 +539,7 @@ class AtpgEngine:
             group,
             max_conflicts=self.max_conflicts,
             deadline_at=self._deadline_at,
+            mem_budget_mb=self.mem_budget_mb,
         )
         entry.solver.retire(group)
         solved = time.perf_counter()
@@ -521,20 +575,27 @@ class AtpgEngine:
     def _finish_record(self, record: AtpgRecord, result: SatResult) -> None:
         """Map the SAT outcome onto the record (shared by both paths)."""
         if result.status is SatStatus.UNKNOWN:
-            record.abort_reason = (
-                ABORT_DEADLINE if self._past_deadline() else ABORT_BUDGET
-            )
+            if result.stats.mem_limit_hit:
+                record.abort_reason = ABORT_MEM
+            elif self._past_deadline():
+                record.abort_reason = ABORT_DEADLINE
+            else:
+                record.abort_reason = ABORT_BUDGET
         if result.status is SatStatus.UNSAT:
             record.status = FaultStatus.UNTESTABLE
         elif result.status is SatStatus.SAT:
             assert result.assignment is not None
             test = self._extract_test(result.assignment)
-            if self.validate:
+            if self.validate and self._ladder is None:
+                # With certification on the ladder replays the witness
+                # itself (and heals failures instead of raising).
                 outcome = fault_simulate(self.network, [record.fault], [test])
                 if record.fault not in outcome.detected:
-                    raise RuntimeError(
-                        f"SAT model for {record.fault} failed fault "
-                        "simulation — encoder or solver bug"
+                    raise CertificationError(
+                        record.fault,
+                        "witness",
+                        "SAT model failed fault simulation — encoder or "
+                        "solver bug",
                     )
             record.status = FaultStatus.TESTED
             record.test = test
@@ -578,7 +639,10 @@ class AtpgEngine:
 
     def _solve(self, formula: CnfFormula) -> SatResult:
         return make_solver(
-            self.solver_name, self.max_conflicts, deadline_at=self._deadline_at
+            self.solver_name,
+            self.max_conflicts,
+            deadline_at=self._deadline_at,
+            mem_budget_mb=self.mem_budget_mb,
         ).solve(formula)
 
     def _extract_test(self, assignment: dict[str, int]) -> dict[str, int]:
@@ -667,6 +731,11 @@ class AtpgEngine:
                             fault=fault,
                             status=FaultStatus.DROPPED,
                             test=store.pattern(detected),
+                            # The drop *is* a fault-simulation detection
+                            # of this fault by this pattern.
+                            certified=(
+                                True if self.certify != "off" else None
+                            ),
                         )
                         summary.records.append(record)
                         if on_record is not None:
@@ -686,5 +755,6 @@ class AtpgEngine:
         stats.good_sims = store.good_sims
         stats.cone_sims = store.cone_sims
         stats.health.count_aborts(summary.records)
+        stats.health.count_certification(summary.records)
         stats.wall_time = time.perf_counter() - wall_start
         return summary

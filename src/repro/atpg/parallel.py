@@ -54,12 +54,18 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional
 
-from repro.atpg.checkpoint import CheckpointWriter, resumable_records
+from repro.atpg.checkpoint import (
+    CheckpointWriter,
+    ResumeParityWarning,
+    ResumeRejectedRecordsWarning,
+    verified_resumable_records,
+)
 from repro.atpg.engine import (
     ABORT_DEADLINE,
     AtpgEngine,
@@ -89,6 +95,8 @@ class _ShardJob:
     solver_mode: str
     encoding_cache: Optional[CnfEncodingCache]
     deadline_at: Optional[float] = None
+    certify: str = "off"
+    mem_budget_mb: Optional[float] = None
 
 
 def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
@@ -104,6 +112,8 @@ def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
         encoding_cache=job.encoding_cache,
         # The coordinator validated the network once already.
         validate_network=False,
+        certify=job.certify,
+        mem_budget_mb=job.mem_budget_mb,
     )
     return engine.run(
         faults=job.faults,
@@ -197,6 +207,8 @@ class ParallelAtpgEngine:
         max_shard_attempts: dispatch attempts per shard before the
             supervisor splits it (and, for single-fault shards, gives
             up and records the fault ABORTED).
+        certify / mem_budget_mb: forwarded to every per-worker (and the
+            coordinator) :class:`AtpgEngine` — see its docstring.
     """
 
     def __init__(
@@ -214,6 +226,8 @@ class ParallelAtpgEngine:
         deadline: Optional[float] = None,
         shard_timeout: Optional[float] = None,
         max_shard_attempts: int = 2,
+        certify: str = "off",
+        mem_budget_mb: Optional[float] = None,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -240,6 +254,8 @@ class ParallelAtpgEngine:
         self.deadline = deadline
         self.shard_timeout = shard_timeout
         self.max_shard_attempts = max_shard_attempts
+        self.certify = certify
+        self.mem_budget_mb = mem_budget_mb
         #: Worker entry point; tests monkeypatch this with chaos
         #: variants (crashing / hanging shards) to exercise supervision.
         self._shard_runner = _run_shard
@@ -252,6 +268,8 @@ class ParallelAtpgEngine:
             validate=validate,
             drop_block_size=drop_block_size,
             solver_mode=solver_mode,
+            certify=certify,
+            mem_budget_mb=mem_budget_mb,
         )
 
     # ------------------------------------------------------------------
@@ -285,6 +303,8 @@ class ParallelAtpgEngine:
                 solver_mode=self.solver_mode,
                 encoding_cache=cache,
                 deadline_at=deadline_at,
+                certify=self.certify,
+                mem_budget_mb=self.mem_budget_mb,
             )
             for shard in shards
         ]
@@ -327,15 +347,34 @@ class ParallelAtpgEngine:
         ordered = self._coordinator.ordered_faults(faults)
 
         settled: dict[Fault, AtpgRecord] = {}
+        resume_rejects: list[AtpgRecord] = []
         if resume_from is not None:
             wanted = set(ordered)
+            verified, resume_rejects = verified_resumable_records(
+                resume_from, self.network, circuit=self.network.name
+            )
             settled = {
                 fault: record
-                for fault, record in resumable_records(
-                    resume_from, circuit=self.network.name
-                ).items()
+                for fault, record in verified.items()
                 if fault in wanted
             }
+            if resume_rejects:
+                warnings.warn(
+                    f"{len(resume_rejects)} journaled TESTED record(s) "
+                    "failed witness replay at the resume trust boundary "
+                    "and will be re-solved",
+                    ResumeRejectedRecordsWarning,
+                    stacklevel=2,
+                )
+            if settled and self.solver_mode == "incremental":
+                warnings.warn(
+                    "resuming in incremental solver mode: coverage and "
+                    "SAT/UNSAT verdicts match an uninterrupted run, but "
+                    "test vectors may differ (use solver_mode='fresh' "
+                    "for bit-identical resume)",
+                    ResumeParityWarning,
+                    stacklevel=2,
+                )
         remaining = [fault for fault in ordered if fault not in settled]
 
         num_shards = max(
@@ -365,6 +404,8 @@ class ParallelAtpgEngine:
                         "solver_mode": self.solver_mode,
                         "max_conflicts": self.max_conflicts,
                         "fault_dropping": fault_dropping,
+                        "certify": self.certify,
+                        "mem_budget_mb": self.mem_budget_mb,
                     },
                 )
             report = self._supervise(jobs, use_pool, deadline_at, writer)
@@ -381,7 +422,11 @@ class ParallelAtpgEngine:
             deadline_at=deadline_at,
         )
         summary.stats.health.merge(report.health)
+        # A journaled TESTED verdict the simulator refutes is a
+        # cross-run solver disagreement, caught at the trust boundary.
+        summary.stats.health.disagreements += len(resume_rejects)
         summary.stats.health.count_aborts(summary.records)
+        summary.stats.health.count_certification(summary.records)
         summary.stats.workers = self.workers if use_pool else 1
         summary.stats.shards = len(shards)
         summary.stats.wall_time = time.perf_counter() - wall_start
@@ -481,6 +526,9 @@ class ParallelAtpgEngine:
                                 fault=fault,
                                 status=FaultStatus.DROPPED,
                                 test=store.pattern(detected),
+                                certified=(
+                                    True if self.certify != "off" else None
+                                ),
                             )
                         )
                         continue

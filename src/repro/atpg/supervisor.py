@@ -56,6 +56,9 @@ ABORT_BUDGET = "budget_exhausted"
 ABORT_DEADLINE = "deadline_exceeded"
 ABORT_SHARD_TIMEOUT = "shard_timeout"
 ABORT_SHARD_CRASHED = "shard_crashed"
+ABORT_MEM = "mem_budget_exceeded"
+ABORT_SOLVER = "solver_error"
+ABORT_CERTIFICATION = "certification_failed"
 
 #: Supervisor poll granularity (seconds): the upper bound on how stale a
 #: timeout/deadline check can be while workers are busy.
@@ -80,6 +83,17 @@ class RunHealth:
     degraded: bool = False
     deadline_hit: bool = False
     abort_reasons: dict[str, int] = field(default_factory=dict)
+    #: Result-certification telemetry (:mod:`repro.atpg.certify`).
+    #: ``certified``/``uncertified`` tally final records whose
+    #: certification passed/failed (recomputed over final records, like
+    #: ``abort_reasons``); ``escalations`` counts failure-triggered
+    #: climbs of the solver escalation ladder; ``disagreements`` counts
+    #: faults where independent solve paths returned contradicting
+    #: verdicts (any one is a solver bug caught and healed).
+    certified: int = 0
+    uncertified: int = 0
+    disagreements: int = 0
+    escalations: int = 0
 
     @property
     def clean(self) -> bool:
@@ -92,6 +106,9 @@ class RunHealth:
             or self.degraded
             or self.deadline_hit
             or self.abort_reasons
+            or self.uncertified
+            or self.disagreements
+            or self.escalations
         )
 
     def count_aborts(self, records: Sequence[Any]) -> None:
@@ -116,12 +133,30 @@ class RunHealth:
             reasons[reason] = reasons.get(reason, 0) + 1
         self.abort_reasons = reasons
 
+    def count_certification(self, records: Sequence[Any]) -> None:
+        """Recompute certified/uncertified tallies from final records.
+
+        A record with ``certified is True`` passed its witness replay or
+        DRUP/agreement check; ``certified is False`` means certification
+        was attempted and failed on every ladder rung; ``certified is
+        None`` (certification off, or statuses with nothing to certify)
+        counts as neither.
+        """
+        self.certified = sum(
+            1 for r in records if getattr(r, "certified", None) is True
+        )
+        self.uncertified = sum(
+            1 for r in records if getattr(r, "certified", None) is False
+        )
+
     def merge(self, other: "RunHealth") -> None:
         """Accumulate another run's supervision counters.
 
-        ``abort_reasons`` is *not* merged: it is recomputed over the
-        final merged records by whoever owns the summary, so shard-level
-        histograms never double-count.
+        ``abort_reasons`` and the ``certified``/``uncertified`` tallies
+        are *not* merged: they are recomputed over the final merged
+        records by whoever owns the summary, so shard-level counts never
+        double-count.  ``escalations``/``disagreements`` are events and
+        add up.
         """
         self.retries += other.retries
         self.timed_out_shards += other.timed_out_shards
@@ -129,6 +164,8 @@ class RunHealth:
         self.shard_splits += other.shard_splits
         self.degraded = self.degraded or other.degraded
         self.deadline_hit = self.deadline_hit or other.deadline_hit
+        self.disagreements += other.disagreements
+        self.escalations += other.escalations
 
     def as_dict(self) -> dict:
         """JSON-ready view (the ``health`` block of ``--bench-json``)."""
@@ -140,6 +177,10 @@ class RunHealth:
             "degraded": self.degraded,
             "deadline_hit": self.deadline_hit,
             "abort_reasons": dict(self.abort_reasons),
+            "certified": self.certified,
+            "uncertified": self.uncertified,
+            "disagreements": self.disagreements,
+            "escalations": self.escalations,
         }
 
 

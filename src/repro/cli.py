@@ -10,6 +10,23 @@ import argparse
 import sys
 from pathlib import Path
 
+#: Unified abort/exit semantics shared by the ``atpg``, ``width-study``,
+#: and ``fig8`` subcommands: a netlist that fails structural validation
+#: exits 2, a run stopped by ``--deadline`` exits 3, and both print a
+#: machine-greppable ``abort: <reason>`` line to stderr.  The reason
+#: strings are the same constants the engines record in
+#: ``RunHealth.abort_reasons`` (see :mod:`repro.atpg.supervisor`).
+EXIT_OK = 0
+EXIT_VALIDATION = 2
+EXIT_DEADLINE = 3
+ABORT_VALIDATION = "validation_failed"
+ABORT_DEADLINE = "deadline_exceeded"
+
+
+def _abort(reason: str) -> None:
+    """Print the unified abort line (``abort: <reason>``) to stderr."""
+    print(f"abort: {reason}", file=sys.stderr)
+
 
 def _cmd_example(args: argparse.Namespace) -> int:
     from repro.experiments.example_circuit import run_example
@@ -33,15 +50,24 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
+    import time
+
     from repro.experiments.fig8_cutwidth_study import run_fig8
 
-    status = 0
+    deadline_at = (
+        time.monotonic() + args.deadline if args.deadline is not None else None
+    )
+    deadline_hit = False
     for suite in args.suite:
+        remaining = None
+        if deadline_at is not None:
+            remaining = max(0.0, deadline_at - time.monotonic())
         report = run_fig8(
             suite,
             max_faults_per_circuit=args.max_faults,
             seed=args.seed,
             workers=args.workers,
+            deadline=remaining,
         )
         print(report.render())
         if not report.fits():
@@ -52,7 +78,11 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
             )
         if args.plot:
             print(report.render_plot())
-    return status
+        deadline_hit = deadline_hit or report.deadline_hit
+    if deadline_hit:
+        _abort(ABORT_DEADLINE)
+        return EXIT_DEADLINE
+    return EXIT_OK
 
 
 def _cmd_gen_study(args: argparse.Namespace) -> int:
@@ -182,25 +212,32 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 network,
                 workers=args.workers,
                 solver=args.solver,
+                max_conflicts=args.max_conflicts_per_fault,
                 drop_block_size=args.block_size,
                 solver_mode=args.solver_mode,
                 validate=validate,
                 deadline=args.deadline,
                 shard_timeout=args.shard_timeout,
+                certify=args.certify,
+                mem_budget_mb=args.mem_budget_mb,
             )
         else:
             engine = AtpgEngine(
                 network,
                 solver=args.solver,
+                max_conflicts=args.max_conflicts_per_fault,
                 drop_block_size=args.block_size,
                 order=args.order,
                 solver_mode=args.solver_mode,
                 validate=validate,
                 deadline=args.deadline,
+                certify=args.certify,
+                mem_budget_mb=args.mem_budget_mb,
             )
     except ValidationError as exc:
         print(f"error: invalid netlist {args.netlist}: {exc}", file=sys.stderr)
-        return 2
+        _abort(ABORT_VALIDATION)
+        return EXIT_VALIDATION
     if supervised:
         checkpoint = args.checkpoint if args.checkpoint else args.resume
         summary = engine.run(
@@ -237,6 +274,13 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             f"{stats.replay_solves} replay solves"
         )
     health = stats.health
+    if args.certify != "off":
+        print(
+            f"  certification ({args.certify}): {health.certified} certified, "
+            f"{health.uncertified} uncertified; "
+            f"disagreements={health.disagreements} "
+            f"escalations={health.escalations}"
+        )
     if not health.clean:
         reasons = " ".join(
             f"{reason}={count}"
@@ -265,7 +309,10 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         )
         print(f"  patterns: {len(patterns)} -> {len(compacted)} after "
               "reverse-order compaction")
-    return 0
+    if health.deadline_hit:
+        _abort(ABORT_DEADLINE)
+        return EXIT_DEADLINE
+    return EXIT_OK
 
 
 def _width_bench_payload(report) -> dict:
@@ -286,6 +333,7 @@ def _cmd_width_study(args: argparse.Namespace) -> int:
     import json
 
     from repro.circuits.decompose import tech_decompose
+    from repro.circuits.validate import ValidationError, check_network
     from repro.core.width_pipeline import WidthAnalysisPipeline
 
     if args.netlist is not None:
@@ -299,7 +347,23 @@ def _cmd_width_study(args: argparse.Namespace) -> int:
             load_circuit(args.suite_name, name) for name in args.circuit
         ]
 
+    # The width pipeline itself does no structural validation, so the
+    # CLI enforces the same trust boundary as ``atpg``: a cyclic or
+    # undriven netlist fails fast with the unified validation exit code.
+    if not args.no_validate:
+        for network in networks:
+            try:
+                check_network(network)
+            except ValidationError as exc:
+                print(
+                    f"error: invalid netlist {network.name}: {exc}",
+                    file=sys.stderr,
+                )
+                _abort(ABORT_VALIDATION)
+                return EXIT_VALIDATION
+
     max_faults = None if args.no_cap else args.max_faults
+    deadline_hit = False
     payloads = []
     for network in networks:
         pipeline = WidthAnalysisPipeline(
@@ -361,12 +425,16 @@ def _cmd_width_study(args: argparse.Namespace) -> int:
                 f"degraded={health.degraded} "
                 f"deadline_hit={health.deadline_hit}"
             )
+        deadline_hit = deadline_hit or health.deadline_hit
         payloads.append(_width_bench_payload(report))
     if args.bench_json:
         document = payloads[0] if len(payloads) == 1 else payloads
         Path(args.bench_json).write_text(json.dumps(document, indent=2))
         print(f"  bench json -> {args.bench_json}")
-    return 0
+    if deadline_hit:
+        _abort(ABORT_DEADLINE)
+        return EXIT_DEADLINE
+    return EXIT_OK
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -419,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes per circuit width sweep",
     )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="run-level wall-clock budget across all suites; past it "
+        "remaining circuits are skipped and the command exits 3 "
+        "(abort: deadline_exceeded)",
+    )
     p.add_argument("--plot", action="store_true")
     p.set_defaults(func=_cmd_fig8)
 
@@ -469,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bench-json", default=None, metavar="PATH",
         help="write stage-time/cache/health JSON to PATH",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip structural netlist validation (cyclic/undriven-net "
+        "checks) before the width sweep",
     )
     p.set_defaults(func=_cmd_width_study)
 
@@ -568,6 +647,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-validate", action="store_true",
         help="skip structural netlist validation (cyclic/undriven-net "
         "checks) before ATPG",
+    )
+    p.add_argument(
+        "--certify", choices=("off", "witness", "full"), default="off",
+        help="certify verdicts before trusting them: witness = replay "
+        "every TESTABLE pattern through fault simulation; full = also "
+        "check a DRUP proof (or cross-solver agreement) for every "
+        "UNTESTABLE verdict; failures escalate through independent "
+        "solvers (incremental -> fresh CDCL -> DPLL reference)",
+    )
+    p.add_argument(
+        "--max-conflicts-per-fault", type=int, default=100_000,
+        metavar="N",
+        help="per-fault solver conflict budget; exhausted faults abort "
+        "with budget_exhausted (deterministic, final on resume)",
+    )
+    p.add_argument(
+        "--mem-budget-mb", type=float, default=None, metavar="MB",
+        help="clause-database memory budget per SAT call; past it the "
+        "fault aborts with mem_budget_exceeded (and, under --certify, "
+        "escalates to the next solver rung)",
     )
     p.set_defaults(func=_cmd_atpg)
 

@@ -10,6 +10,7 @@ curve best for both suites, supporting the log-bounded-width conjecture.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.fitting import FitResult, all_fits
@@ -43,6 +44,10 @@ class Fig8Report:
     suite: str
     points: list[Fig8Point] = field(default_factory=list)
     faults_per_circuit: dict[str, list[str]] = field(default_factory=dict)
+    #: True when a run-level ``deadline`` stopped the study early: some
+    #: circuits were skipped entirely or swept partially, so the scatter
+    #: (and any fits over it) is incomplete.
+    deadline_hit: bool = False
 
     @property
     def n_usable(self) -> int:
@@ -102,6 +107,11 @@ class Fig8Report:
         lines.append(
             f"  max W/log2(size) ratio: {self.max_log_ratio():.2f}"
         )
+        if self.deadline_hit:
+            lines.append(
+                "  warning: deadline exceeded — study incomplete "
+                "(circuits skipped or partially swept)"
+            )
         return "\n".join(lines)
 
     def render_plot(self) -> str:
@@ -144,6 +154,7 @@ def run_fig8(
     workers: int = 1,
     mode: str = "cold",
     bounds: bool = False,
+    deadline: float | None = None,
 ) -> Fig8Report:
     """Run the cut-width study over one suite.
 
@@ -160,17 +171,35 @@ def run_fig8(
         workers: worker processes per circuit sweep (1 = in-process).
         mode: width pipeline mode (``"cold"`` parity / ``"warm"``).
         bounds: attach each point's Theorem 4.1 bound.
+        deadline: run-level wall-clock budget in seconds.  The remaining
+            budget is threaded into each circuit's width pipeline, and
+            circuits the budget never reaches are skipped; either way
+            the report comes back with ``deadline_hit=True``.
     """
     if skip_circuits is None:
         skip_circuits = DEFAULT_SKIPS.get(suite, ())
+    deadline_at = None if deadline is None else time.monotonic() + deadline
     report = Fig8Report(suite=suite)
     for name, network in iter_suite(suite):
         if name in skip_circuits:
             continue
+        remaining = None
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                report.deadline_hit = True
+                break
         pipeline = WidthAnalysisPipeline(
-            network, seed=seed, workers=workers, mode=mode, bounds=bounds
+            network,
+            seed=seed,
+            workers=workers,
+            mode=mode,
+            bounds=bounds,
+            deadline=remaining,
         )
         study = pipeline.run(max_faults=max_faults_per_circuit)
+        if study.stats.health.deadline_hit:
+            report.deadline_hit = True
         report.faults_per_circuit[name] = [str(f) for f in study.faults]
         for sample in study.samples:
             report.points.append(

@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.sat.cnf import CnfFormula
 from repro.sat.compile import compile_formula, negate, var_of
+from repro.sat.drup import DrupLog
 from repro.sat.result import SatResult, SatStatus, SolverStats
 
 _UNASSIGNED = -1
@@ -52,13 +53,38 @@ class CdclCore:
     Clauses are plain ``list[int]`` objects referenced by identity from
     the watch lists and the implication graph, so the learned database
     can be reduced without invalidating indices.
+
+    Args:
+        restart_interval: conflicts before the first restart (grows 1.5x).
+        decay: VSIDS activity decay factor per conflict.
+        proof: optional :class:`~repro.sat.drup.DrupLog` to record a
+            DRUP proof into — every learned clause, every root-level
+            simplification, every clause discarded by
+            :meth:`reduce_learned` / :meth:`collect`, and the final
+            empty clause on a root refutation.  Proof logging is sound
+            for the one-shot lifecycle (build formula, then solve);
+            variable recycling re-binds indices, so incremental UNSATs
+            certify via assumption-core replay on a fresh proof-logged
+            core instead (see :mod:`repro.atpg.certify`).
+        learned_db_min: learned-clause count floor before DB reduction
+            triggers (lower it in tests to force reduction traffic).
+        learned_db_factor: reduction also waits for the learned DB to
+            outgrow ``factor * len(base)``.
     """
 
     def __init__(
-        self, restart_interval: int = 128, decay: float = 0.95
+        self,
+        restart_interval: int = 128,
+        decay: float = 0.95,
+        proof: Optional["DrupLog"] = None,
+        learned_db_min: int = 1000,
+        learned_db_factor: float = 2.0,
     ) -> None:
         self.restart_interval = restart_interval
         self.decay = decay
+        self.proof = proof
+        self.learned_db_min = learned_db_min
+        self.learned_db_factor = learned_db_factor
 
         self.values: list[int] = []
         self.level: list[int] = []
@@ -155,11 +181,22 @@ class CdclCore:
             if kept is not None:
                 kept.append(lit)
         clause = lits if kept is None else kept
+        if self.proof is not None and kept is not None:
+            # A root-simplified clause differs from the caller's input
+            # (which the checker sees as part of the formula), so it is
+            # a derived clause the proof must justify: it is RUP because
+            # the dropped literals are root-false by unit propagation.
+            if clause:
+                self.proof.add(clause)
+            else:
+                self.proof.add_empty()
         if not clause:
             self.root_failed = True
             return False
         if len(clause) == 1:
             if not self._enqueue(clause[0], None):
+                if self.proof is not None:
+                    self.proof.add_empty()
                 self.root_failed = True
                 return False
             return True
@@ -246,6 +283,8 @@ class CdclCore:
         if self.root_failed:
             return False
         if self._propagate(stats or SolverStats()) is not None:
+            if self.proof is not None:
+                self.proof.add_empty()
             self.root_failed = True
             return False
         return True
@@ -362,6 +401,9 @@ class CdclCore:
     ) -> None:
         """Attach a learned clause and assert its first literal."""
         stats.learned_clauses += 1
+        if self.proof is not None:
+            # Copy now: watch maintenance permutes the list in place.
+            self.proof.add(learned)
         if len(learned) >= 2:
             # Watch invariant: position 1 must hold a literal from the
             # backjump level, else future backtracks can leave the
@@ -405,6 +447,8 @@ class CdclCore:
             if id(cl) in victims:
                 self._detach(cl)
                 lbd.pop(id(cl), None)
+                if self.proof is not None:
+                    self.proof.delete(cl)
         self.learned = [cl for cl in self.learned if id(cl) not in victims]
         return len(victims)
 
@@ -442,6 +486,8 @@ class CdclCore:
                 if root_satisfied(cl):
                     removed += 1
                     self._lbd.pop(id(cl), None)
+                    if self.proof is not None:
+                        self.proof.delete(cl)
                 else:
                     kept.append(cl)
             setattr(self, name, kept)
@@ -482,11 +528,24 @@ class CdclCore:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    def clause_bytes_estimate(self) -> int:
+        """Rough heap footprint of the clause database, in bytes.
+
+        Counts list + int-object overhead per stored literal plus a
+        per-clause constant — deliberately an estimate, used only to
+        trigger reduction / budget aborts, not for accounting.
+        """
+        lits = sum(len(cl) for cl in self.base)
+        lits += sum(len(cl) for cl in self.learned)
+        n_clauses = len(self.base) + len(self.learned)
+        return lits * 36 + n_clauses * 72
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
         deadline_at: Optional[float] = None,
+        mem_budget_mb: Optional[float] = None,
     ) -> tuple[SatStatus, SolverStats]:
         """CDCL search under ``assumptions``.
 
@@ -502,14 +561,25 @@ class CdclCore:
                 periodically alongside the conflict budget (every 64
                 conflicts and every 512 decisions) so an over-deadline
                 search stops within a bounded slice of work.
+            mem_budget_mb: clause-database memory budget.  Checked every
+                64 conflicts; an over-budget database is first squeezed
+                via :meth:`reduce_learned`, and if still over budget the
+                call returns ``UNKNOWN`` with ``stats.mem_limit_hit``
+                set so callers can distinguish the abort cause.
 
         Returns:
             (status, per-call statistics).  ``UNKNOWN`` when the
-            conflict budget or the deadline was exceeded.
+            conflict budget, the deadline, or the memory budget was
+            exceeded.
         """
         stats = SolverStats()
+        mem_budget_bytes = (
+            None if mem_budget_mb is None else mem_budget_mb * 1024 * 1024
+        )
         self.backjump(0)
         if self.root_failed or self._propagate(stats) is not None:
+            if not self.root_failed and self.proof is not None:
+                self.proof.add_empty()
             self.root_failed = True
             return SatStatus.UNSAT, stats
         if deadline_at is not None and time.monotonic() >= deadline_at:
@@ -536,7 +606,19 @@ class CdclCore:
                 ):
                     self.backjump(0)
                     return SatStatus.UNKNOWN, stats
+                if (
+                    mem_budget_bytes is not None
+                    and stats.conflicts & 63 == 0
+                    and self.clause_bytes_estimate() > mem_budget_bytes
+                ):
+                    self.reduce_learned()
+                    if self.clause_bytes_estimate() > mem_budget_bytes:
+                        stats.mem_limit_hit = True
+                        self.backjump(0)
+                        return SatStatus.UNKNOWN, stats
                 if self.current_level() == 0:
+                    if self.proof is not None:
+                        self.proof.add_empty()
                     self.root_failed = True
                     return SatStatus.UNSAT, stats
                 learned, back_level, lbd = self._analyze(conflict, stats)
@@ -545,7 +627,10 @@ class CdclCore:
                 self._var_inc /= self.decay
                 if self._var_inc > _ACTIVITY_CAP:
                     self._rescale()
-                if len(self.learned) > max(1000, 2 * len(self.base)):
+                if len(self.learned) > max(
+                    self.learned_db_min,
+                    int(self.learned_db_factor * len(self.base)),
+                ):
                     self.reduce_learned()
                 continue
 
@@ -615,9 +700,11 @@ class CdclSolver:
         phase_hint: Optional[dict[str, int]] = None,
         order: Optional[Sequence[str]] = None,
         deadline_at: Optional[float] = None,
+        mem_budget_mb: Optional[float] = None,
     ) -> None:
         self.max_conflicts = max_conflicts
         self.deadline_at = deadline_at
+        self.mem_budget_mb = mem_budget_mb
         self.restart_interval = restart_interval
         self.decay = decay
         self.phase_hint = phase_hint or {}
@@ -665,7 +752,9 @@ class CdclSolver:
             return SatResult(SatStatus.SAT, assignment={}, stats=stats)
 
         status, stats = core.solve(
-            max_conflicts=self.max_conflicts, deadline_at=self.deadline_at
+            max_conflicts=self.max_conflicts,
+            deadline_at=self.deadline_at,
+            mem_budget_mb=self.mem_budget_mb,
         )
         stats.time_seconds = time.perf_counter() - start
         if status is SatStatus.SAT:

@@ -82,6 +82,12 @@ def compile_formula(formula: CnfFormula) -> CompiledCnf:
             seen.add(lit)
         if not tautology:
             clauses.append(sorted(seen))
+    # The formula stores clauses in a frozenset, so iteration order above
+    # follows per-process hash randomisation.  Sorting the compiled
+    # clause list pins the solver's trajectory (watch order, learned
+    # clauses, work counters) to the formula alone — reproducible across
+    # processes, which certification replays and benchmarks rely on.
+    clauses.sort()
     return CompiledCnf(
         num_vars=len(names),
         clauses=clauses,
@@ -124,9 +130,13 @@ class IncrementalCompiler:
         """Integer form of a named clause, or ``None`` for a tautology.
 
         Duplicate literals are merged, mirroring :func:`compile_formula`.
+        Literals are interned in name order: clauses are frozensets, so
+        raw iteration order follows per-process hash randomisation, and
+        allocation order decides variable indices — sorting keeps the
+        solver's trajectory reproducible across processes.
         """
         seen: set[int] = set()
-        for literal in clause:
+        for literal in sorted(clause, key=lambda l: (l.variable, l.positive)):
             lit = lit_of(self.var(literal.variable), literal.positive)
             if negate(lit) in seen:
                 return None

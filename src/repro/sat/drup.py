@@ -1,0 +1,353 @@
+"""DRUP proof logging and reverse-unit-propagation proof checking.
+
+An UNSAT answer from a CDCL solver is only as trustworthy as the solver
+is bug-free — and :class:`~repro.sat.cdcl.CdclCore` carries exactly the
+machinery (learned-clause deletion, in-place watch permutation, variable
+recycling) where silent wrong answers hide.  DRUP (*Delete Reverse Unit
+Propagation*, Heule et al.) makes the answer checkable: the solver logs
+every learned clause as an *addition* and every clause it discards as a
+*deletion*; an independent checker replays the log, verifying that each
+added clause is RUP — assuming its negation and unit-propagating over
+the current clause database yields a conflict — and that the log ends in
+a derived contradiction.
+
+Two classes live here:
+
+* :class:`DrupLog` — the proof recorder the solver writes into.  It
+  stores integer literals in the solver's internal encoding
+  (``2*var + polarity`` with LSB 1 = negated) and can render the
+  standard DIMACS DRUP text form for external tools.
+* :func:`check_drup` — a standalone forward checker with two-watched
+  literal propagation and trail rollback, independent of the solver's
+  own propagation code (sharing it would let one bug forge both the
+  proof and its check).
+
+Checker semantics follow ``drat-trim`` conventions where DRUP is
+deliberately permissive:
+
+* deleting a clause that is not in the database (e.g. the solver stored
+  a root-simplified copy of a formula clause) is *ignored*, not an
+  error — keeping extra clauses only makes RUP checks easier to pass,
+  never lets a wrong refutation through;
+* deletions of unit clauses never un-assign the root trail (the
+  standard forward-checking simplification).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sat.compile import negate
+
+_UNASSIGNED = -1
+
+#: Step tags in a :class:`DrupLog`.
+ADD = "a"
+DELETE = "d"
+
+
+class DrupLog:
+    """An append-only DRUP proof: addition and deletion steps.
+
+    Literals use the solver's internal integer encoding.  The log copies
+    every clause it is handed (the solver permutes its clause lists in
+    place during watch maintenance, so sharing storage would corrupt the
+    proof retroactively).
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self) -> None:
+        self.steps: list[tuple[str, tuple[int, ...]]] = []
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Record a clause addition (a learned / derived clause)."""
+        self.steps.append((ADD, tuple(lits)))
+
+    def add_empty(self) -> None:
+        """Record derivation of the empty clause (the refutation)."""
+        self.steps.append((ADD, ()))
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Record a clause deletion."""
+        self.steps.append((DELETE, tuple(lits)))
+
+    @property
+    def num_additions(self) -> int:
+        return sum(1 for tag, _ in self.steps if tag == ADD)
+
+    @property
+    def num_deletions(self) -> int:
+        return sum(1 for tag, _ in self.steps if tag == DELETE)
+
+    @property
+    def has_empty_clause(self) -> bool:
+        """True when the log claims a full refutation."""
+        return any(tag == ADD and not lits for tag, lits in self.steps)
+
+    def to_dimacs(self) -> str:
+        """Standard DRUP text form (1-based signed literals, ``d`` lines)."""
+        lines = []
+        for tag, lits in self.steps:
+            signed = " ".join(
+                str(-(lit >> 1) - 1 if lit & 1 else (lit >> 1) + 1)
+                for lit in lits
+            )
+            prefix = "d " if tag == DELETE else ""
+            lines.append(f"{prefix}{signed} 0".strip())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclass
+class DrupCheckResult:
+    """Outcome of a proof check, with enough detail to debug a failure."""
+
+    ok: bool
+    reason: str = ""
+    failed_step: int = -1  # index into the proof's steps, -1 if n/a
+    additions_checked: int = 0
+    deletions_applied: int = 0
+    deletions_ignored: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class _Checker:
+    """Two-watched-literal RUP checker over integer clauses.
+
+    The clause database starts as the formula; proof additions are RUP-
+    checked against the current database then attached, deletions detach.
+    Root-level assignments (from unit clauses and their propagation) are
+    permanent; RUP-check assumptions are rolled back via the trail.
+    """
+
+    def __init__(self, track_deletions: bool = True) -> None:
+        self.values: list[int] = []
+        self.watches: list[list[list[int]]] = []
+        self.trail: list[int] = []
+        self.qhead = 0
+        self.contradiction = False
+        #: Whether attach maintains the deletion-lookup index.  A proof
+        #: with no deletion steps never calls detach, and building the
+        #: sorted-tuple keys is a large share of attach time on big
+        #: formulas — so the caller disables tracking for such proofs.
+        self.track_deletions = track_deletions
+        #: sorted-literal key -> attached clause objects (deletion lookup)
+        self.index: dict[tuple[int, ...], list[list[int]]] = {}
+
+    # -- assignment machinery -----------------------------------------
+    def _ensure(self, var: int) -> None:
+        while var >= len(self.values):
+            self.values.append(_UNASSIGNED)
+            self.watches.append([])
+            self.watches.append([])
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.values[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _assign(self, lit: int) -> bool:
+        """Make ``lit`` true; False if it is already false."""
+        var = lit >> 1
+        value = 1 ^ (lit & 1)
+        if self.values[var] != _UNASSIGNED:
+            return self.values[var] == value
+        self.values[var] = value
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> bool:
+        """Unit propagation from ``qhead``; False on conflict."""
+        values = self.values
+        watches = self.watches
+        trail = self.trail
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
+            self.qhead += 1
+            false_lit = lit ^ 1
+            watching = watches[false_lit]
+            i = 0
+            while i < len(watching):
+                cl = watching[i]
+                if cl[0] == false_lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                fv = values[first >> 1]
+                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+                    i += 1
+                    continue
+                found = False
+                for k in range(2, len(cl)):
+                    other = cl[k]
+                    ov = values[other >> 1]
+                    if ov == _UNASSIGNED or ov ^ (other & 1) != 0:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        watches[cl[1]].append(cl)
+                        watching[i] = watching[-1]
+                        watching.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                if fv != _UNASSIGNED:
+                    return False  # conflict
+                self._assign(first)
+                i += 1
+        return True
+
+    def _rollback(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            lit = self.trail.pop()
+            self.values[lit >> 1] = _UNASSIGNED
+        self.qhead = mark
+
+    # -- clause database ----------------------------------------------
+    def attach(self, lits: Sequence[int]) -> None:
+        """Add a clause to the live database under the root assignment.
+
+        Falsified clauses and conflicting units set ``contradiction``;
+        unit (or effectively-unit) clauses extend the permanent root
+        trail and are propagated to fixpoint.
+        """
+        clause = list(lits)
+        for lit in clause:
+            self._ensure(lit >> 1)
+        if not clause:
+            self.contradiction = True
+            return
+        if len(clause) >= 2 and self.track_deletions:
+            self.index.setdefault(tuple(sorted(clause)), []).append(clause)
+        if self.contradiction:
+            return
+        # Move up to two non-false literals to the watch positions.
+        free = 0
+        for k in range(len(clause)):
+            if self._lit_value(clause[k]) != 0:
+                clause[free], clause[k] = clause[k], clause[free]
+                free += 1
+                if free == 2:
+                    break
+        if free == 0:
+            self.contradiction = True  # falsified under root units
+            return
+        if len(clause) >= 2:
+            self.watches[clause[0]].append(clause)
+            self.watches[clause[1]].append(clause)
+        if free == 1 and self._lit_value(clause[0]) == _UNASSIGNED:
+            # Effectively unit at root: extend the permanent trail.
+            if not self._assign(clause[0]) or not self._propagate():
+                self.contradiction = True
+
+    def detach(self, lits: Sequence[int]) -> bool:
+        """Remove one instance of the clause; False when not present."""
+        clause = list(lits)
+        if len(clause) < 2:
+            return False  # unit deletions are ignored (see module doc)
+        stored = self.index.get(tuple(sorted(clause)))
+        if not stored:
+            return False
+        target = stored.pop()
+        for lit in (target[0], target[1]):
+            watching = self.watches[lit]
+            for i, other in enumerate(watching):
+                if other is target:
+                    watching[i] = watching[-1]
+                    watching.pop()
+                    break
+        return True
+
+    def rup(self, lits: Sequence[int]) -> bool:
+        """True when the clause is RUP w.r.t. the current database."""
+        if self.contradiction:
+            return True
+        for lit in lits:
+            self._ensure(lit >> 1)
+        mark = len(self.trail)
+        ok = False
+        for lit in lits:
+            value = self._lit_value(lit)
+            if value == 1:
+                ok = True  # a root-true literal: negation conflicts at once
+                break
+            if value == 0:
+                continue
+            self._assign(negate(lit))
+        if not ok:
+            ok = not self._propagate()
+        self._rollback(mark)
+        return ok
+
+
+def check_drup(
+    clauses: Iterable[Sequence[int]],
+    proof: "DrupLog | Iterable[tuple[str, Sequence[int]]]",
+    require_refutation: bool = True,
+) -> DrupCheckResult:
+    """Check a DRUP ``proof`` against the formula ``clauses``.
+
+    Args:
+        clauses: the original formula, integer-literal clause lists
+            (the compiled form the solver saw — e.g.
+            ``compile_formula(f).clauses``).
+        proof: a :class:`DrupLog` or an iterable of ``(tag, lits)``
+            steps.
+        require_refutation: when True (the default) the check fails
+            unless a contradiction is actually derived — i.e. the proof
+            certifies UNSAT.  Pass False to validate a partial log (every
+            addition RUP, deletions consistent) without demanding the
+            empty clause.
+
+    Returns:
+        A :class:`DrupCheckResult`; truthy iff the proof is valid.
+    """
+    steps = proof.steps if isinstance(proof, DrupLog) else list(proof)
+    has_deletions = any(tag == DELETE for tag, _ in steps)
+    checker = _Checker(track_deletions=has_deletions)
+    result = DrupCheckResult(ok=True)
+
+    for clause in clauses:
+        checker.attach(clause)
+        if checker.contradiction:
+            # The formula refutes itself by unit propagation; any proof
+            # (even empty) certifies it.
+            return result
+
+    for step_index, (tag, lits) in enumerate(steps):
+        if tag == DELETE:
+            if checker.detach(lits):
+                result.deletions_applied += 1
+            else:
+                result.deletions_ignored += 1
+            continue
+        if tag != ADD:
+            return DrupCheckResult(
+                ok=False,
+                reason=f"unknown proof step tag {tag!r}",
+                failed_step=step_index,
+            )
+        if not checker.rup(lits):
+            return DrupCheckResult(
+                ok=False,
+                reason="clause is not RUP at this point in the proof",
+                failed_step=step_index,
+                additions_checked=result.additions_checked,
+                deletions_applied=result.deletions_applied,
+                deletions_ignored=result.deletions_ignored,
+            )
+        result.additions_checked += 1
+        checker.attach(lits)
+        if checker.contradiction:
+            return result  # refutation derived: remaining steps moot
+
+    if require_refutation and not checker.contradiction:
+        result.ok = False
+        result.reason = "proof ends without deriving a contradiction"
+    return result

@@ -142,18 +142,21 @@ class IncrementalSatSolver:
         group: Optional[ClauseGroup] = None,
         max_conflicts: Optional[int] = None,
         deadline_at: Optional[float] = None,
+        mem_budget_mb: Optional[float] = None,
     ) -> SatResult:
         """Solve base ∧ (group's clauses, if given) under the group's
         activation assumption.  Learned clauses, activities, and saved
         phases persist into the next call.  ``deadline_at`` is an
-        absolute ``time.monotonic()`` cutoff forwarded to the core's
-        periodic wall-clock check."""
+        absolute ``time.monotonic()`` cutoff and ``mem_budget_mb`` a
+        clause-database budget, both forwarded to the core's periodic
+        in-search checks."""
         start = time.perf_counter()
         assumptions = () if group is None else (group.assumption,)
         status, stats = self.core.solve(
             assumptions=assumptions,
             max_conflicts=max_conflicts,
             deadline_at=deadline_at,
+            mem_budget_mb=mem_budget_mb,
         )
         stats.time_seconds = time.perf_counter() - start
         if status is SatStatus.SAT:

@@ -31,6 +31,9 @@ class SolverStats:
     learned_clauses: int = 0
     restarts: int = 0
     time_seconds: float = 0.0
+    #: True when an UNKNOWN answer was caused by the clause-database
+    #: memory budget (vs. a conflict budget or deadline).
+    mem_limit_hit: bool = False
 
     @property
     def propagations_per_sec(self) -> float:

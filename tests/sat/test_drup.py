@@ -1,0 +1,202 @@
+"""DRUP proof logging and checking.
+
+The proof pipeline has two independent halves — ``CdclCore`` emits a
+DRUP log while it solves, and :func:`repro.sat.drup.check_drup` verifies
+the log with its own two-watched-literal propagation engine (no solver
+code shared).  These tests validate both halves and, crucially, that a
+*checked* proof rejects the things it must reject: non-RUP additions,
+proofs for a different formula, and logs that never derive the empty
+clause.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cdcl import CdclCore
+from repro.sat.drup import ADD, DELETE, DrupLog, check_drup
+
+
+def to_core_lits(ints):
+    """DIMACS-style signed ints -> the solver's 2i/2i+1 encoding."""
+    return [2 * (abs(v) - 1) + (1 if v < 0 else 0) for v in ints]
+
+
+def brute_force_sat(int_clauses) -> bool:
+    variables = sorted({abs(v) for cl in int_clauses for v in cl})
+    for values in itertools.product((False, True), repeat=len(variables)):
+        model = dict(zip(variables, values))
+        if all(
+            any(model[abs(v)] == (v > 0) for v in cl) for cl in int_clauses
+        ):
+            return True
+    return False
+
+
+def solve_with_proof(int_clauses, **core_kwargs):
+    """One-shot proof-logging solve; returns (status, clauses, proof)."""
+    proof = DrupLog()
+    core = CdclCore(proof=proof, **core_kwargs)
+    num_vars = max(
+        (abs(v) for cl in int_clauses for v in cl), default=0
+    )
+    for _ in range(num_vars):
+        core.new_var()
+    clauses = [to_core_lits(cl) for cl in int_clauses]
+    ok = True
+    for cl in clauses:
+        ok = core.add_clause(list(cl)) and ok
+    if not ok:
+        return "UNSAT", clauses, proof
+    status, _ = core.solve()
+    return status.name, clauses, proof
+
+
+def random_int_clauses(seed, num_vars=6, num_clauses=26):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(num_clauses):
+        width = rng.choice((1, 2, 2, 3, 3))
+        chosen = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        out.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return out
+
+
+class TestDrupLog:
+    def test_add_copies_literals(self):
+        log = DrupLog()
+        lits = [0, 3]
+        log.add(lits)
+        lits.append(5)  # mutating the caller's list must not leak in
+        assert log.steps == [(ADD, (0, 3))]
+
+    def test_counts_and_empty_clause(self):
+        log = DrupLog()
+        log.add([0])
+        log.delete([0, 2])
+        assert (log.num_additions, log.num_deletions) == (1, 1)
+        assert not log.has_empty_clause
+        log.add_empty()
+        assert log.has_empty_clause
+        assert log.num_additions == 2
+
+    def test_to_dimacs_round_trips_encoding(self):
+        log = DrupLog()
+        log.add([0, 3])  # var0 positive, var1 negative -> "1 -2 0"
+        log.delete([2])
+        log.add_empty()
+        assert log.to_dimacs().splitlines() == ["1 -2 0", "d 2 0", "0"]
+
+
+class TestCheckDrup:
+    def test_trivial_contradiction(self):
+        status, clauses, proof = solve_with_proof([[1], [-1]])
+        assert status == "UNSAT"
+        assert check_drup(clauses, proof).ok
+
+    def test_pigeonhole_style_unsat(self):
+        # 3 pigeons, 2 holes: p_ij = pigeon i in hole j.
+        ints = []
+        var = lambda i, j: 1 + i * 2 + j  # noqa: E731
+        for i in range(3):
+            ints.append([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for a in range(3):
+                for b in range(a + 1, 3):
+                    ints.append([-var(a, j), -var(b, j)])
+        status, clauses, proof = solve_with_proof(ints)
+        assert status == "UNSAT"
+        result = check_drup(clauses, proof)
+        assert result.ok, result.reason
+
+    def test_random_unsat_with_forced_reduction(self):
+        """Aggressive DB reduction exercises deletion logging: every
+        reduce_learned victim must be logged, or the checker would
+        later accept RUP steps the solver could no longer make."""
+        checked = 0
+        for seed in range(120):
+            ints = random_int_clauses(seed)
+            if brute_force_sat(ints):
+                continue
+            status, clauses, proof = solve_with_proof(
+                ints, learned_db_min=2, learned_db_factor=0.1
+            )
+            assert status == "UNSAT"
+            result = check_drup(clauses, proof)
+            assert result.ok, f"seed {seed}: {result.reason}"
+            checked += 1
+        assert checked >= 20  # the sweep actually hit UNSAT instances
+
+    def test_rejects_non_rup_addition(self):
+        clauses = [to_core_lits(cl) for cl in ([1, 2], [-1, 2])]
+        proof = DrupLog()
+        proof.add(to_core_lits([3]))  # does not follow by RUP
+        proof.add_empty()
+        result = check_drup(clauses, proof)
+        assert not result.ok
+        assert result.failed_step == 0
+
+    def test_rejects_proof_for_other_formula(self):
+        status, _, proof = solve_with_proof([[1], [-1, 2], [-2]])
+        assert status == "UNSAT"
+        other = [to_core_lits(cl) for cl in ([1, 2], [-1, 2])]
+        assert not check_drup(other, proof).ok
+
+    def test_rejects_unrefuted_log(self):
+        clauses = [to_core_lits([1, 2])]
+        proof = DrupLog()
+        result = check_drup(clauses, proof)
+        assert not result.ok
+        assert "without deriving a contradiction" in result.reason
+
+    def test_require_refutation_false_accepts_partial_log(self):
+        clauses = [to_core_lits(cl) for cl in ([1, 2], [-1, 2])]
+        proof = DrupLog()
+        proof.add(to_core_lits([2]))  # RUP: both clauses force 2
+        assert check_drup(clauses, proof, require_refutation=False).ok
+
+    def test_deletion_of_unknown_clause_ignored(self):
+        """drat-trim convention: deletions of unknown or unit clauses
+        are skipped, not errors."""
+        clauses = [
+            to_core_lits(cl)
+            for cl in ([1, 2], [-1, 2], [1, -2], [-1, -2])
+        ]
+        proof = DrupLog()
+        proof.delete(to_core_lits([7, 8]))  # unknown clause
+        proof.delete(to_core_lits([2]))  # unit, never attached
+        proof.add(to_core_lits([2]))  # RUP lemma; refutes via UP
+        proof.add_empty()
+        result = check_drup(clauses, proof)
+        assert result.ok, result.reason
+        assert result.deletions_ignored == 2
+
+    def test_result_is_falsy_on_failure_truthy_on_success(self):
+        clauses = [
+            to_core_lits(cl)
+            for cl in ([1, 2], [-1, 2], [1, -2], [-1, -2])
+        ]
+        good = DrupLog()
+        good.add(to_core_lits([2]))
+        good.add_empty()
+        assert bool(check_drup(clauses, good))
+        bad = DrupLog()
+        assert not bool(check_drup(clauses, bad))
+
+
+class TestProofLoggingInvariants:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_sat_instances_log_no_empty_clause(self, seed):
+        ints = random_int_clauses(seed, num_clauses=10)
+        status, _, proof = solve_with_proof(ints)
+        if status == "SAT":
+            assert not proof.has_empty_clause
+
+    def test_unsat_core_marks_root_failed_and_logs_empty(self):
+        status, clauses, proof = solve_with_proof(
+            [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+        )
+        assert status == "UNSAT"
+        assert proof.has_empty_clause
+        assert check_drup(clauses, proof).ok

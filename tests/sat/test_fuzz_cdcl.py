@@ -1,0 +1,237 @@
+"""Differential fuzzing with delta-debug shrinking.
+
+Random circuits become ATPG miters; each miter CNF is solved by the
+production CDCL solver and by the independent DPLL reference.  Any
+verdict mismatch is a solver bug, and a raw mismatching miter is far too
+large to debug by hand — so the harness shrinks it with ddmin to a
+*minimal* disagreeing clause subset and writes that as a DIMACS artifact
+before failing.  The shrinker itself is exercised with a deliberately
+broken solver, since the whole point of the suite is that real
+mismatches never happen.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.atpg.faults import collapse_faults
+from repro.atpg.miter import UnobservableFault, atpg_sat_formula
+from repro.sat.cdcl import solve_cdcl
+from repro.sat.cnf import CnfFormula
+from repro.sat.dpll import solve_dpll
+from tests.conftest import make_random_network
+
+FUZZ_SEEDS = range(16)
+
+
+# ----------------------------------------------------------------------
+# Harness pieces (importable by the CI fuzz job via this module).
+# ----------------------------------------------------------------------
+def clauses_to_dimacs(clauses) -> str:
+    """Render clauses (frozensets of named Literals) as DIMACS CNF."""
+    names = sorted({lit.variable for cl in clauses for lit in cl})
+    index = {name: i + 1 for i, name in enumerate(names)}
+    lines = [f"p cnf {len(names)} {len(clauses)}"]
+    lines += [f"c {i} = {name}" for name, i in index.items()]
+    for cl in clauses:
+        ints = sorted(
+            (index[l.variable] if l.positive else -index[l.variable])
+            for l in cl
+        )
+        lines.append(" ".join(map(str, ints)) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def ddmin(clauses, disagrees):
+    """Classic delta debugging over a clause list.
+
+    Shrinks ``clauses`` to a 1-minimal subset for which ``disagrees``
+    still returns True: removing any single remaining clause makes the
+    disagreement vanish.
+    """
+    assert disagrees(clauses), "ddmin needs a failing input to shrink"
+    n = 2
+    while len(clauses) >= 2:
+        chunk = max(1, len(clauses) // n)
+        subsets = [
+            clauses[i : i + chunk] for i in range(0, len(clauses), chunk)
+        ]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            complement = [
+                cl
+                for j, other in enumerate(subsets)
+                if j != i
+                for cl in other
+            ]
+            if complement and disagrees(complement):
+                clauses = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(clauses):
+                break
+            n = min(len(clauses), n * 2)
+    return clauses
+
+
+def verdicts_disagree(clauses, solve_a=solve_cdcl, solve_b=solve_dpll):
+    formula = CnfFormula(list(clauses))
+    return solve_a(formula).status is not solve_b(formula).status
+
+
+def shrink_and_dump(clauses, artifact_dir, name, disagrees=None):
+    """Shrink a mismatching clause set and write the DIMACS artifact.
+
+    Returns the artifact path (the CI job uploads the directory)."""
+    disagrees = disagrees or verdicts_disagree
+    minimal = ddmin(list(clauses), disagrees)
+    artifact_dir = Path(artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    path = artifact_dir / f"{name}.cnf"
+    path.write_text(clauses_to_dimacs(minimal))
+    return path
+
+
+def iter_miter_formulas(seed, max_faults=6):
+    """(fault, formula) pairs for a few faults of one random circuit."""
+    network = make_random_network(
+        seed, num_inputs=4, num_gates=10, allow_xor=True
+    )
+    produced = 0
+    for fault in collapse_faults(network):
+        if produced >= max_faults:
+            break
+        try:
+            yield fault, atpg_sat_formula(network, fault)
+        except UnobservableFault:
+            continue
+        produced += 1
+
+
+def fuzz_round(seed, artifact_dir):
+    """One fuzz round; returns artifact paths for any mismatches."""
+    artifacts = []
+    for fault, formula in iter_miter_formulas(seed):
+        if verdicts_disagree(formula.clauses):
+            artifacts.append(
+                shrink_and_dump(
+                    formula.clauses,
+                    artifact_dir,
+                    f"mismatch-seed{seed}-{fault.net}-sa{fault.value}",
+                )
+            )
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# The fuzz suite proper.
+# ----------------------------------------------------------------------
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_cdcl_agrees_with_dpll_on_random_miters(self, seed, tmp_path):
+        artifacts = fuzz_round(seed, tmp_path / "fuzz-artifacts")
+        assert not artifacts, (
+            f"solver verdict mismatch; minimized artifacts: "
+            f"{[str(p) for p in artifacts]}"
+        )
+
+
+class TestCiDriver:
+    """The bounded CI sweep (tools/fuzz_ci.py) must stay importable,
+    clean on the production solver, and actually respect its budget."""
+
+    @staticmethod
+    def _load_fuzz_ci():
+        import importlib.util
+
+        path = Path(__file__).resolve().parents[2] / "tools" / "fuzz_ci.py"
+        spec = importlib.util.spec_from_file_location("fuzz_ci", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_bounded_sweep_is_clean(self, tmp_path):
+        import time
+
+        fuzz_ci = self._load_fuzz_ci()
+        start = time.monotonic()
+        findings = fuzz_ci.run_sweep(
+            budget_s=1.0, artifact_dir=tmp_path / "art", seed_base=3
+        )
+        assert findings == 0
+        assert not list((tmp_path / "art").iterdir())
+        # The budget bounds the sweep (one round of slack allowed).
+        assert time.monotonic() - start < 30
+
+    def test_main_exit_codes(self, tmp_path):
+        fuzz_ci = self._load_fuzz_ci()
+        assert (
+            fuzz_ci.main(
+                [
+                    "--budget-s",
+                    "0.2",
+                    "--artifact-dir",
+                    str(tmp_path / "a"),
+                    "--seed-base",
+                    "7",
+                ]
+            )
+            == 0
+        )
+
+
+class TestShrinker:
+    """ddmin validated against a synthetically broken solver."""
+
+    @staticmethod
+    def _lying_solver(formula):
+        """Claims SAT always — disagrees with DPLL exactly on UNSAT."""
+
+        class _R:
+            status = solve_dpll(CnfFormula([])).status  # SAT
+
+        return _R()
+
+    def test_ddmin_shrinks_to_minimal_core(self, tmp_path):
+        from repro.sat.cnf import clause, neg, pos
+
+        # UNSAT core {x, ¬x} buried in satisfiable padding clauses.
+        padding = [
+            clause(pos(f"p{i}"), neg(f"q{i}")) for i in range(12)
+        ]
+        clauses = padding[:6] + [clause(pos("x"))] + padding[6:] + [
+            clause(neg("x"))
+        ]
+
+        def disagrees(subset):
+            return verdicts_disagree(
+                subset, solve_a=lambda f: self._lying_solver(f)
+            )
+
+        path = shrink_and_dump(
+            clauses, tmp_path, "synthetic", disagrees=disagrees
+        )
+        text = path.read_text()
+        lines = [
+            l for l in text.splitlines() if l and not l.startswith(("p", "c"))
+        ]
+        # 1-minimal: exactly the two-clause contradiction survives.
+        assert len(lines) == 2
+        assert sorted(lines) == ["-1 0", "1 0"]
+
+    def test_ddmin_requires_failing_input(self):
+        with pytest.raises(AssertionError):
+            ddmin([frozenset()], lambda _: False)
+
+    def test_dimacs_rendering(self):
+        from repro.sat.cnf import clause, neg, pos
+
+        text = clauses_to_dimacs(
+            [clause(pos("a"), neg("b")), clause(pos("b"))]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "p cnf 2 2"
+        assert "1 -2 0" in lines or "-2 1 0" in lines
+        assert "2 0" in lines

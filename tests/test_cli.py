@@ -71,14 +71,14 @@ class TestAtpgRobustnessFlags:
         path.write_text(C17_BENCH)
         return path
 
-    def test_deadline_zero_exits_cleanly(self, tmp_path, capsys):
+    def test_deadline_zero_exits_with_deadline_code(self, tmp_path, capsys):
         assert (
-            main(["atpg", str(self._c17(tmp_path)), "--deadline", "0"]) == 0
+            main(["atpg", str(self._c17(tmp_path)), "--deadline", "0"]) == 3
         )
-        out = capsys.readouterr().out
-        assert "fault coverage: 0.0%" in out
-        assert "deadline_hit=True" in out
-        assert "deadline_exceeded" in out
+        captured = capsys.readouterr()
+        assert "fault coverage: 0.0%" in captured.out
+        assert "deadline_hit=True" in captured.out
+        assert "abort: deadline_exceeded" in captured.err
 
     def test_checkpoint_then_resume(self, tmp_path, capsys):
         path = self._c17(tmp_path)
@@ -94,7 +94,38 @@ class TestAtpgRobustnessFlags:
         path = tmp_path / "cyclic.bench"
         path.write_text(CYCLIC_BENCH)
         assert main(["atpg", str(path)]) == 2
-        assert "invalid netlist" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "invalid netlist" in err
+        assert "abort: validation_failed" in err
+
+    def test_certify_full_run(self, tmp_path, capsys):
+        assert (
+            main(["atpg", str(self._c17(tmp_path)), "--certify", "full"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault coverage: 100.0%" in out
+        assert "certification (full):" in out
+        assert "0 uncertified" in out
+
+    def test_certify_witness_with_budget_flags(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "atpg",
+                    str(self._c17(tmp_path)),
+                    "--certify",
+                    "witness",
+                    "--max-conflicts-per-fault",
+                    "50000",
+                    "--mem-budget-mb",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault coverage: 100.0%" in out
+        assert "certification (witness):" in out
 
     def test_shard_timeout_flag_accepted(self, tmp_path, capsys):
         assert (
@@ -111,6 +142,38 @@ class TestAtpgRobustnessFlags:
             == 0
         )
         assert "fault coverage: 100.0%" in capsys.readouterr().out
+
+
+class TestUnifiedAbortSemantics:
+    """Satellite: ``atpg``, ``width-study``, and ``fig8`` share exit
+    codes (validation=2, deadline=3) and ``abort: <reason>`` stderr
+    strings."""
+
+    def test_width_study_cyclic_netlist_exits_validation(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "cyclic.bench"
+        path.write_text(CYCLIC_BENCH)
+        assert main(["width-study", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid netlist" in err
+        assert "abort: validation_failed" in err
+
+    def test_width_study_deadline_zero_exits_deadline(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert main(["width-study", str(path), "--deadline", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "deadline_hit=True" in captured.out
+        assert "abort: deadline_exceeded" in captured.err
+
+    def test_fig8_deadline_zero_exits_deadline(self, capsys):
+        assert main(["fig8", "--suite", "mcnc", "--deadline", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "deadline exceeded" in captured.out
+        assert "abort: deadline_exceeded" in captured.err
 
 
 class TestAtpgPerfFlags:

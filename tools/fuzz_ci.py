@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Bounded CI fuzz sweep: differential solver fuzzing + DRUP checks.
+
+Runs randomized rounds until the time budget expires.  Each round draws
+a fresh random circuit, builds ATPG miters for a handful of its faults,
+and subjects every miter CNF to two oracles:
+
+* **differential** — the production CDCL solver and the independent
+  DPLL reference must agree on the verdict; a mismatch is ddmin-shrunk
+  to a 1-minimal clause set (the harness in
+  ``tests/sat/test_fuzz_cdcl.py``) and written as a DIMACS artifact;
+* **proof** — every CDCL UNSAT is re-solved with DRUP logging and the
+  log is verified by the standalone checker in :mod:`repro.sat.drup`;
+  a rejected proof dumps both the formula and the proof text.
+
+Exit status is 1 when any artifact was produced — the CI job uploads
+the artifact directory so a failure is debuggable from the run page.
+
+Usage::
+
+    PYTHONPATH=src:. python tools/fuzz_ci.py \
+        [--budget-s 90] [--artifact-dir fuzz-artifacts] [--seed-base N]
+
+``--seed-base`` varies the explored seed window (CI passes the run id)
+while keeping any failure reproducible from the logged seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.sat.cdcl import CdclCore
+from repro.sat.compile import compile_formula
+from repro.sat.drup import DrupLog, check_drup
+from repro.sat.result import SatStatus
+from tests.sat.test_fuzz_cdcl import (
+    clauses_to_dimacs,
+    iter_miter_formulas,
+    shrink_and_dump,
+    verdicts_disagree,
+)
+
+#: Conflict cap per proof-logged re-solve; the miters are tiny, so any
+#: budget exhaustion here would itself be a finding worth uploading.
+MAX_CONFLICTS = 200_000
+
+
+def proof_check_failure(formula):
+    """DRUP-check one formula's UNSAT (if it is one).
+
+    Returns ``None`` when the formula is SAT/unsolved or its proof
+    checks out; otherwise ``(compiled, proof, outcome)`` for dumping.
+    """
+    compiled = compile_formula(formula)
+    proof = DrupLog()
+    core = CdclCore(proof=proof)
+    for _ in range(compiled.num_vars):
+        core.new_var()
+    for cl in compiled.clauses:
+        if not core.add_clause(list(cl)):
+            break
+    if core.root_failed:
+        status = SatStatus.UNSAT
+    else:
+        status, _ = core.solve(max_conflicts=MAX_CONFLICTS)
+    if status is not SatStatus.UNSAT:
+        return None
+    outcome = check_drup(compiled.clauses, proof)
+    if outcome.ok:
+        return None
+    return compiled, proof, outcome
+
+
+def run_sweep(budget_s: float, artifact_dir: Path, seed_base: int) -> int:
+    """Fuzz until the budget expires; returns the number of findings."""
+    deadline = time.monotonic() + budget_s
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    findings = 0
+    rounds = 0
+    seed = seed_base
+    while time.monotonic() < deadline:
+        for fault, formula in iter_miter_formulas(seed):
+            name = f"seed{seed}-{fault.net}-sa{fault.value}"
+            if verdicts_disagree(formula.clauses):
+                path = shrink_and_dump(
+                    formula.clauses, artifact_dir, f"mismatch-{name}"
+                )
+                print(f"FINDING verdict mismatch: {path}")
+                findings += 1
+            bad = proof_check_failure(formula)
+            if bad is not None:
+                compiled, proof, outcome = bad
+                base = artifact_dir / f"badproof-{name}"
+                base.with_suffix(".cnf").write_text(
+                    clauses_to_dimacs(formula.clauses)
+                )
+                base.with_suffix(".drup").write_text(proof.to_dimacs())
+                print(
+                    f"FINDING rejected DRUP proof: {base}.cnf "
+                    f"(step {outcome.failed_step}: {outcome.reason})"
+                )
+                findings += 1
+            if time.monotonic() >= deadline:
+                break
+        rounds += 1
+        seed += 1
+    print(
+        f"fuzz sweep: {rounds} circuit rounds "
+        f"(seeds {seed_base}..{seed - 1}), {findings} findings"
+    )
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget-s", type=float, default=90.0)
+    parser.add_argument(
+        "--artifact-dir", type=Path, default=Path("fuzz-artifacts")
+    )
+    parser.add_argument("--seed-base", type=int, default=0)
+    args = parser.parse_args(argv)
+    findings = run_sweep(args.budget_s, args.artifact_dir, args.seed_base)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
