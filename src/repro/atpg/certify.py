@@ -332,6 +332,7 @@ class EscalationLadder:
             max_conflicts=engine.max_conflicts,
             deadline_at=engine._deadline_at,
             mem_budget_mb=engine.mem_budget_mb,
+            model_names=engine.network.inputs,
         )
         solver.retire(group)
         solved = time.perf_counter()

@@ -11,9 +11,11 @@ The engine amortises the embarrassing per-fault redundancy of that loop:
   tests are generated early and drop as much of the hard tail as
   possible;
 * fault dropping is *batched* — generated tests accumulate in packed
-  64-wide blocks (:class:`~repro.atpg.fault_sim.PatternBlockStore`) and
-  each candidate fault is checked against whole blocks right before its
-  SAT call, which is drop-for-drop equivalent to the classic
+  bit-parallel blocks of configurable width
+  (:class:`~repro.atpg.fault_sim.PatternBlockStore`; Python's arbitrary
+  -precision ints make the word width a free parameter) and each
+  candidate fault is checked against whole blocks right before its SAT
+  call, which is drop-for-drop equivalent to the classic
   re-simulate-everything-per-test pass at a fraction of the cost;
 * CNF encoding is incremental — per-gate clause blocks are memoised
   across miters (:class:`~repro.sat.tseitin.CnfEncodingCache`), so
@@ -26,6 +28,11 @@ The engine amortises the embarrassing per-fault redundancy of that loop:
   as an activation-guarded clause group, and learned clauses, VSIDS
   activities, and saved phases survive across the fault batch
   (``solver_mode="fresh"`` restores per-fault cold starts);
+* learned clauses are shared *across* cones — low-LBD clauses over a
+  cone's good-circuit variables alone are base-entailed structural
+  facts, promoted to a :class:`~repro.atpg.sharing.StructuralClauseStore`
+  and injected into every sibling solver whose cone subsumes the
+  origin's fanin (``share_learned="off"`` disables it);
 * fanout cones are cached per net (both polarities of a stem share one
   traversal) and reused by miter construction and fault simulation.
 
@@ -56,6 +63,7 @@ from repro.atpg.miter import (
     build_fault_delta,
 )
 from repro.atpg.scoap import order_faults
+from repro.atpg.sharing import StructuralClauseStore
 from repro.circuits.network import Network
 from repro.circuits.validate import check_network
 from repro.sat.caching import CachingBacktrackingSolver
@@ -150,6 +158,13 @@ class EngineStats:
     propagations: int = 0
     decisions: int = 0
     conflicts: int = 0
+    #: Cross-fault structural clause sharing (:mod:`repro.atpg.sharing`):
+    #: clauses promoted into the store, clause deliveries into sibling
+    #: cone solvers, and SAT calls that ran with at least one shared
+    #: clause active.
+    shared_promoted: int = 0
+    shared_injected: int = 0
+    shared_active_solves: int = 0
     health: RunHealth = field(default_factory=RunHealth)
 
     @property
@@ -157,6 +172,16 @@ class EngineStats:
         """Fraction of gate encodings served from the CNF cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of SAT calls that ran with shared structural
+        clauses active in their solver."""
+        return (
+            self.shared_active_solves / self.sat_calls
+            if self.sat_calls
+            else 0.0
+        )
 
     def stage_times(self) -> dict[str, float]:
         """Per-stage wall times, keyed by stage name."""
@@ -187,6 +212,9 @@ class EngineStats:
         self.propagations += other.propagations
         self.decisions += other.decisions
         self.conflicts += other.conflicts
+        self.shared_promoted += other.shared_promoted
+        self.shared_injected += other.shared_injected
+        self.shared_active_solves += other.shared_active_solves
         self.health.merge(other.health)
 
     def solver_rates(self) -> dict[str, float]:
@@ -216,6 +244,10 @@ class EngineStats:
             "propagations": self.propagations,
             "decisions": self.decisions,
             "conflicts": self.conflicts,
+            "shared_promoted": self.shared_promoted,
+            "shared_injected": self.shared_injected,
+            "shared_active_solves": self.shared_active_solves,
+            "shared_hit_rate": self.shared_hit_rate,
             "health": self.health.as_dict(),
             **self.solver_rates(),
         }
@@ -312,6 +344,12 @@ def make_solver(
     raise ValueError(f"unknown solver {name!r}")
 
 
+#: LBD ceiling for promoting learned clauses into the shared structural
+#: store.  Low-LBD ("glue") clauses are the ones worth transferring:
+#: they encode tight cone facts, stay short, and survive DB reduction.
+_STRUCTURAL_LBD_MAX = 4
+
+
 @dataclass
 class _ConeSolverEntry:
     """One persistent incremental solver per observing-output set.
@@ -378,6 +416,15 @@ class AtpgEngine:
         mem_budget_mb: clause-database memory budget per SAT call
             (CDCL); an over-budget search aborts the fault with reason
             ``mem_budget_exceeded`` (and, under ``certify``, escalates).
+        share_learned: ``cone`` (default) promotes guard-free low-LBD
+            learned clauses — facts about the good circuit, valid for
+            every fault — into a run-wide
+            :class:`~repro.atpg.sharing.StructuralClauseStore` and
+            pre-seeds sibling cones' solvers with the applicable ones
+            (origin fanin ⊆ target fanin, see :mod:`repro.atpg.sharing`
+            for the soundness argument).  ``off`` disables the exchange.
+            Only the incremental CDCL path shares; verdicts are
+            unaffected either way.
     """
 
     def __init__(
@@ -394,11 +441,14 @@ class AtpgEngine:
         validate_network: Optional[bool] = None,
         certify: str = "off",
         mem_budget_mb: Optional[float] = None,
+        share_learned: str = "cone",
     ) -> None:
         if order not in ("auto", "scoap", "given"):
             raise ValueError(f"unknown fault order {order!r}")
         if solver_mode not in ("incremental", "fresh"):
             raise ValueError(f"unknown solver mode {solver_mode!r}")
+        if share_learned not in ("off", "cone"):
+            raise ValueError(f"unknown share_learned mode {share_learned!r}")
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be >= 0 seconds")
         if certify not in CERTIFY_MODES:
@@ -418,6 +468,10 @@ class AtpgEngine:
         self.deadline = deadline
         self.certify = certify
         self.mem_budget_mb = mem_budget_mb
+        self.share_learned = share_learned
+        self._structural_store = (
+            StructuralClauseStore() if share_learned == "cone" else None
+        )
         self._ladder = (
             EscalationLadder(self, certify) if certify != "off" else None
         )
@@ -535,13 +589,31 @@ class AtpgEngine:
         num_variables = entry.solver.num_vars
         encoded = time.perf_counter()
 
+        # Sharing work is billed to the solve stage on purpose: the
+        # injection/drain cost is part of what the sharing trade buys.
+        store = self._structural_store
+        if store is not None:
+            fresh = store.fresh_for(observing)
+            if fresh:
+                entry.solver.push_shared(fresh)
+            if entry.solver.num_shared_clauses:
+                stats.shared_active_solves += 1
         result = entry.solver.solve(
             group,
             max_conflicts=self.max_conflicts,
             deadline_at=self._deadline_at,
             mem_budget_mb=self.mem_budget_mb,
+            model_names=self.network.inputs,
         )
         entry.solver.retire(group)
+        if store is not None:
+            # Drain *after* retire: the delta's variable names are
+            # released by then, so clauses mentioning fault-specific
+            # miter variables fail name translation and are filtered —
+            # only clauses over the cone's good-circuit nets promote.
+            drained = entry.solver.drain_structural()
+            if drained:
+                store.promote(observing, drained)
         solved = time.perf_counter()
 
         stats.build_time += built - start
@@ -623,6 +695,10 @@ class AtpgEngine:
                     clauses.extend(encode(gate(net)))
             solver = IncrementalSatSolver()
             solver.add_base(clauses)
+            store = self._structural_store
+            if store is not None:
+                solver.enable_structural(_STRUCTURAL_LBD_MAX)
+                store.register_cone(observing, frozenset(relevant))
             entry = _ConeSolverEntry(
                 solver=solver, relevant=relevant, base_clauses=len(clauses)
             )
@@ -706,6 +782,9 @@ class AtpgEngine:
         )
         cache = self._encoding_cache
         hits0, misses0 = cache.hits, cache.misses
+        share = self._structural_store
+        promoted0 = share.stats.promoted if share is not None else 0
+        injected0 = share.stats.injected if share is not None else 0
 
         try:
             for fault in ordered:
@@ -754,6 +833,11 @@ class AtpgEngine:
         stats.cache_misses = cache.misses - misses0
         stats.good_sims = store.good_sims
         stats.cone_sims = store.cone_sims
+        if share is not None:
+            stats.shared_promoted = share.stats.promoted - promoted0
+            stats.shared_injected = share.stats.injected - injected0
+            stats.health.shared_promoted = stats.shared_promoted
+            stats.health.shared_injected = stats.shared_injected
         stats.health.count_aborts(summary.records)
         stats.health.count_certification(summary.records)
         stats.wall_time = time.perf_counter() - wall_start

@@ -2,9 +2,18 @@
 
 Used to validate SAT-generated test patterns, to implement fault dropping
 in the ATPG engine, and to measure fault coverage of pattern sets.  The
-simulator packs up to 64 patterns per Python integer word and, for each
-fault, re-evaluates only the fault's fanout cone against cached good
-values (the standard single-fault propagation optimisation).
+simulator packs an arbitrary number of patterns per Python integer word
+(Python ints are unbounded, so the block width is a tuning knob, not a
+machine-word limit) and, for each fault, re-evaluates only the fault's
+fanout cone against cached good values (the standard single-fault
+propagation optimisation).
+
+The hot paths run through :class:`FaultSimulator`, which caches a
+levelized evaluation schedule per fault site: the cone's gates in
+topological order with their opcodes and fanins resolved once, so
+simulating the same fault against another pattern block is a flat loop
+with no membership tests against the full topological order and no
+per-gate function-call dispatch.
 """
 
 from __future__ import annotations
@@ -14,9 +23,26 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.atpg.faults import Fault
-from repro.circuits.gates import evaluate_gate
+from repro.circuits.gates import GateType, evaluate_gate
 from repro.circuits.network import Network
 from repro.circuits.simulate import pack_patterns, simulate
+
+#: Opcodes for the schedule's inline evaluator.  AND/OR/XOR of masked
+#: words stay masked; the inverting variants complement via ``^ mask``.
+_OP_AND, _OP_OR, _OP_XOR, _OP_NAND, _OP_NOR, _OP_XNOR, _OP_BUF, _OP_NOT = (
+    range(8)
+)
+
+_OPCODES = {
+    GateType.AND: _OP_AND,
+    GateType.OR: _OP_OR,
+    GateType.XOR: _OP_XOR,
+    GateType.NAND: _OP_NAND,
+    GateType.NOR: _OP_NOR,
+    GateType.XNOR: _OP_XNOR,
+    GateType.BUF: _OP_BUF,
+    GateType.NOT: _OP_NOT,
+}
 
 
 @dataclass
@@ -35,6 +61,117 @@ class FaultSimResult:
         return len(self.detected) / total if total else 1.0
 
 
+class FaultSimulator:
+    """Cone simulator with per-fault-site levelized schedules.
+
+    The schedule for a fault site is the site's transitive fanout in
+    topological order, each gate pre-resolved to an (output net, opcode,
+    fanin nets) triple.  Schedules are cached per site and reused for
+    every pattern block, so repeated simulation of the same fault (the
+    pattern-store dropping pass) costs one flat loop over the cone —
+    width-agnostic: the good/faulty values are plain Python ints of any
+    bit width, bounded by the caller's valid-pattern ``mask``.
+
+    The cache keys off the network's topological-order cache identity,
+    so mutating the network invalidates all schedules automatically.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._topo_ref: object = None
+        self._positions: dict[str, int] = {}
+        #: site -> (schedule triples, cone output nets, cone set)
+        self._schedules: dict[
+            str,
+            tuple[
+                list[tuple[str, int, tuple[str, ...]]],
+                list[str],
+                set[str],
+            ],
+        ] = {}
+
+    def _refresh(self) -> None:
+        """Drop cached schedules if the network mutated since last use."""
+        topo = self.network._cache_topo
+        if topo is None:
+            self.network.topological_order()
+            topo = self.network._cache_topo
+        if topo is not self._topo_ref:
+            self._topo_ref = topo
+            self._positions = {net: i for i, net in enumerate(topo)}
+            self._schedules.clear()
+
+    def schedule(
+        self, site: str
+    ) -> tuple[
+        list[tuple[str, int, tuple[str, ...]]], list[str], set[str]
+    ]:
+        """The levelized evaluation schedule for a fault on ``site``."""
+        self._refresh()
+        entry = self._schedules.get(site)
+        if entry is None:
+            network = self.network
+            cone = network.transitive_fanout([site])
+            positions = self._positions
+            order = sorted(
+                (net for net in cone if net != site),
+                key=positions.__getitem__,
+            )
+            triples: list[tuple[str, int, tuple[str, ...]]] = []
+            for net in order:
+                gate = network.gate(net)
+                triples.append(
+                    (net, _OPCODES[gate.gate_type], tuple(gate.inputs))
+                )
+            outputs = [out for out in network.outputs if out in cone]
+            entry = (triples, outputs, cone)
+            self._schedules[site] = entry
+        return entry
+
+    def detect_mask(
+        self, fault: Fault, good_values: Mapping[str, int], mask: int
+    ) -> int:
+        """Bitmask of patterns for which ``fault`` reaches an output.
+
+        ``good_values`` holds the fault-free packed words per net for a
+        block of patterns; ``mask`` is the block's valid-pattern mask.
+        """
+        stuck_word = mask if fault.value else 0
+        if good_values[fault.net] == stuck_word:
+            return 0  # fault never excited by these patterns
+        triples, outputs, _cone = self.schedule(fault.net)
+        faulty: dict[str, int] = {fault.net: stuck_word}
+        fget = faulty.get
+        good = good_values
+        for net, op, srcs in triples:
+            if op == _OP_AND or op == _OP_NAND:
+                acc = mask
+                for src in srcs:
+                    word = fget(src)
+                    acc &= good[src] if word is None else word
+            elif op == _OP_OR or op == _OP_NOR:
+                acc = 0
+                for src in srcs:
+                    word = fget(src)
+                    acc |= good[src] if word is None else word
+            elif op == _OP_XOR or op == _OP_XNOR:
+                acc = 0
+                for src in srcs:
+                    word = fget(src)
+                    acc ^= good[src] if word is None else word
+            else:  # BUF / NOT
+                src = srcs[0]
+                word = fget(src)
+                acc = good[src] if word is None else word
+            if op >= _OP_NAND and op != _OP_BUF:  # NAND/NOR/XNOR/NOT
+                acc ^= mask
+            faulty[net] = acc
+        detected = 0
+        for out in outputs:
+            detected |= faulty[out] ^ good[out]
+        return detected & mask
+
+
 def simulate_fault(
     network: Network,
     fault: Fault,
@@ -43,6 +180,11 @@ def simulate_fault(
     cone: set[str] | None = None,
 ) -> int:
     """Bitmask of patterns for which ``fault`` is observable at an output.
+
+    One-shot readable reference path (walks the full topological order);
+    callers simulating many blocks or many faults should go through
+    :class:`FaultSimulator` / :func:`fault_simulate`, which cache the
+    cone schedules.
 
     Args:
         network: the good circuit.
@@ -80,11 +222,23 @@ def fault_simulate(
     network: Network,
     faults: Sequence[Fault],
     patterns: Sequence[Mapping[str, int]],
+    block_size: int = 64,
 ) -> FaultSimResult:
-    """Simulate single-bit ``patterns`` against ``faults`` in 64-wide blocks."""
+    """Simulate single-bit ``patterns`` against ``faults``.
+
+    Patterns are packed ``block_size`` per word; detected faults are
+    dropped from later blocks.  Any positive width is valid — Python
+    ints carry the block, so wider blocks trade per-block overhead for
+    bigger bit-parallel words.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
     result = FaultSimResult()
+    for fault in faults:
+        if not network.has_net(fault.net):
+            raise ValueError(f"fault on unknown net {fault.net!r}")
+    simulator = FaultSimulator(network)
     remaining = list(faults)
-    block_size = 64
     for start in range(0, len(patterns), block_size):
         block = patterns[start : start + block_size]
         words = pack_patterns(block, network.inputs)
@@ -92,19 +246,9 @@ def fault_simulate(
         good_values = simulate(network, words, len(block))
         still: list[Fault] = []
         for fault in remaining:
-            if not network.has_net(fault.net):
-                raise ValueError(f"fault on unknown net {fault.net!r}")
-            hits = simulate_fault(network, fault, good_values, mask)
+            hits = simulator.detect_mask(fault, good_values, mask)
             if hits:
-                shifted = 0
-                bit = hits
-                index = 0
-                while bit:
-                    if bit & 1:
-                        shifted |= 1 << (start + index)
-                    bit >>= 1
-                    index += 1
-                result.detected[fault] = shifted
+                result.detected[fault] = hits << start
             else:
                 still.append(fault)
         remaining = still
@@ -138,6 +282,7 @@ class PatternBlockStore:
             raise ValueError("block_size must be >= 1")
         self.network = network
         self.block_size = block_size
+        self.simulator = FaultSimulator(network)
         self._patterns: list[dict[str, int]] = []
         #: Closed blocks: (good value word per net, valid-pattern mask).
         self._closed: list[tuple[dict[str, int], int]] = []
@@ -179,15 +324,15 @@ class PatternBlockStore:
         """Index of the earliest stored pattern detecting ``fault``.
 
         Returns ``None`` if no stored pattern detects it.  ``cone`` is
-        the (optionally precomputed) transitive fanout of the fault site.
+        accepted for API compatibility; the store's simulator caches
+        cone schedules itself.
         """
         if not self._patterns:
             return None
-        if cone is None:
-            cone = self.network.transitive_fanout([fault.net])
+        detect = self.simulator.detect_mask
         for index, (good_values, mask) in enumerate(self._closed):
             self.cone_sims += 1
-            hits = simulate_fault(self.network, fault, good_values, mask, cone)
+            hits = detect(fault, good_values, mask)
             if hits:
                 return index * self.block_size + _lowest_bit(hits)
         pending = self._patterns[len(self._closed) * self.block_size :]
@@ -196,7 +341,7 @@ class PatternBlockStore:
                 self._pending_good = self._simulate_block(pending)
             good_values, mask = self._pending_good
             self.cone_sims += 1
-            hits = simulate_fault(self.network, fault, good_values, mask, cone)
+            hits = detect(fault, good_values, mask)
             if hits:
                 return len(self._closed) * self.block_size + _lowest_bit(hits)
         return None
@@ -220,6 +365,7 @@ def random_pattern_coverage(
     faults: Sequence[Fault],
     n_patterns: int,
     seed: int = 0,
+    block_size: int = 64,
 ) -> FaultSimResult:
     """Coverage of ``n_patterns`` uniform random patterns."""
     rng = random.Random(seed)
@@ -227,4 +373,4 @@ def random_pattern_coverage(
         {net: rng.getrandbits(1) for net in network.inputs}
         for _ in range(n_patterns)
     ]
-    return fault_simulate(network, faults, patterns)
+    return fault_simulate(network, faults, patterns, block_size=block_size)

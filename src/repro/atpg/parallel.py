@@ -76,6 +76,7 @@ from repro.atpg.engine import (
 )
 from repro.atpg.fault_sim import PatternBlockStore
 from repro.atpg.faults import Fault
+from repro.atpg.scoap import INFINITY, compute_scoap
 from repro.atpg.supervisor import ShardSupervisor
 from repro.circuits.network import Network
 from repro.sat.tseitin import CnfEncodingCache
@@ -97,6 +98,7 @@ class _ShardJob:
     deadline_at: Optional[float] = None
     certify: str = "off"
     mem_budget_mb: Optional[float] = None
+    share_learned: str = "cone"
 
 
 def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
@@ -114,6 +116,7 @@ def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
         validate_network=False,
         certify=job.certify,
         mem_budget_mb=job.mem_budget_mb,
+        share_learned=job.share_learned,
     )
     return engine.run(
         faults=job.faults,
@@ -142,17 +145,33 @@ def shard_faults_by_cone(
 
     Faults are grouped by the set of primary outputs observing them (a
     cheap proxy for "miters share gates"); groups are then packed onto
-    shards greedily, heaviest first, by estimated work (total fanout-cone
-    size).  Within each shard the original fault order is preserved, so
-    workers process their slice in canonical order.
+    shards greedily, heaviest first, by estimated work.  A fault's work
+    estimate multiplies its SCOAP detection cost (how hard exciting and
+    propagating it is — the per-fault *search* effort predictor) with
+    the TFI size of its fanout cone (the per-fault *instance* size), so
+    a group of few-but-hard faults weighs as much as one of
+    many-but-trivial faults; weighting by fault count alone left a
+    visible solve-time imbalance between workers.  Within each shard the
+    original fault order is preserved, so workers process their slice
+    in canonical order, keeping the replay merge deterministic.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
     rank = {fault: index for index, fault in enumerate(faults)}
     outputs = set(network.outputs)
+    scoap = compute_scoap(network)
+    # Finite stand-in for SCOAP's infinities (provably unexcitable /
+    # unobservable under its approximation): costlier than any finite
+    # fault, but not so large one such fault swamps the LPT packing.
+    finite = [
+        cost
+        for fault in faults
+        if (cost := scoap.detection_cost(fault.net, fault.value)) < INFINITY
+    ]
+    inf_cost = 2.0 * max(finite, default=1.0)
 
     groups: dict[tuple[str, ...], list[Fault]] = {}
-    weights: dict[tuple[str, ...], int] = {}
+    weights: dict[tuple[str, ...], float] = {}
     net_keys: dict[str, tuple[str, ...]] = {}
     net_sizes: dict[str, int] = {}
     for fault in faults:
@@ -161,11 +180,12 @@ def shard_faults_by_cone(
             cone = network.transitive_fanout([fault.net])
             key = tuple(sorted(out for out in cone if out in outputs))
             net_keys[fault.net] = key
-            # Estimated instance size: the miter is built from the TFI
-            # of the fanout cone, so that is the work proxy for LPT.
             net_sizes[fault.net] = len(network.transitive_fanin(cone))
+        cost = scoap.detection_cost(fault.net, fault.value)
+        if cost >= INFINITY:
+            cost = inf_cost
         groups.setdefault(key, []).append(fault)
-        weights[key] = weights.get(key, 0) + net_sizes[fault.net]
+        weights[key] = weights.get(key, 0.0) + cost * net_sizes[fault.net]
 
     shards: list[list[Fault]] = [[] for _ in range(num_shards)]
     loads = [0] * num_shards
@@ -207,8 +227,12 @@ class ParallelAtpgEngine:
         max_shard_attempts: dispatch attempts per shard before the
             supervisor splits it (and, for single-fault shards, gives
             up and records the fault ABORTED).
-        certify / mem_budget_mb: forwarded to every per-worker (and the
-            coordinator) :class:`AtpgEngine` — see its docstring.
+        certify / mem_budget_mb / share_learned: forwarded to every
+            per-worker (and the coordinator) :class:`AtpgEngine` — see
+            its docstring.  Structural clause sharing is per-process:
+            workers share across the cones of their own shard (cone
+            grouping keeps sibling cones together, so locality is
+            mostly preserved); nothing crosses process boundaries.
     """
 
     def __init__(
@@ -228,6 +252,7 @@ class ParallelAtpgEngine:
         max_shard_attempts: int = 2,
         certify: str = "off",
         mem_budget_mb: Optional[float] = None,
+        share_learned: str = "cone",
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -256,6 +281,7 @@ class ParallelAtpgEngine:
         self.max_shard_attempts = max_shard_attempts
         self.certify = certify
         self.mem_budget_mb = mem_budget_mb
+        self.share_learned = share_learned
         #: Worker entry point; tests monkeypatch this with chaos
         #: variants (crashing / hanging shards) to exercise supervision.
         self._shard_runner = _run_shard
@@ -270,6 +296,7 @@ class ParallelAtpgEngine:
             solver_mode=solver_mode,
             certify=certify,
             mem_budget_mb=mem_budget_mb,
+            share_learned=share_learned,
         )
 
     # ------------------------------------------------------------------
@@ -305,6 +332,7 @@ class ParallelAtpgEngine:
                 deadline_at=deadline_at,
                 certify=self.certify,
                 mem_budget_mb=self.mem_budget_mb,
+                share_learned=self.share_learned,
             )
             for shard in shards
         ]

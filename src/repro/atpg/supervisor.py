@@ -94,6 +94,13 @@ class RunHealth:
     uncertified: int = 0
     disagreements: int = 0
     escalations: int = 0
+    #: Cross-fault structural clause sharing telemetry
+    #: (:mod:`repro.atpg.sharing`): clauses promoted into the run's
+    #: shared store and clause deliveries into sibling cone solvers.
+    #: Informational — sharing is normal operation, so these do not
+    #: affect :attr:`clean`.
+    shared_promoted: int = 0
+    shared_injected: int = 0
 
     @property
     def clean(self) -> bool:
@@ -166,6 +173,8 @@ class RunHealth:
         self.deadline_hit = self.deadline_hit or other.deadline_hit
         self.disagreements += other.disagreements
         self.escalations += other.escalations
+        self.shared_promoted += other.shared_promoted
+        self.shared_injected += other.shared_injected
 
     def as_dict(self) -> dict:
         """JSON-ready view (the ``health`` block of ``--bench-json``)."""
@@ -181,6 +190,8 @@ class RunHealth:
             "uncertified": self.uncertified,
             "disagreements": self.disagreements,
             "escalations": self.escalations,
+            "shared_promoted": self.shared_promoted,
+            "shared_injected": self.shared_injected,
         }
 
 

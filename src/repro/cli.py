@@ -23,6 +23,17 @@ ABORT_VALIDATION = "validation_failed"
 ABORT_DEADLINE = "deadline_exceeded"
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for strictly positive integer options."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _abort(reason: str) -> None:
     """Print the unified abort line (``abort: <reason>``) to stderr."""
     print(f"abort: {reason}", file=sys.stderr)
@@ -220,6 +231,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 shard_timeout=args.shard_timeout,
                 certify=args.certify,
                 mem_budget_mb=args.mem_budget_mb,
+                share_learned=args.share_learned,
             )
         else:
             engine = AtpgEngine(
@@ -233,6 +245,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 deadline=args.deadline,
                 certify=args.certify,
                 mem_budget_mb=args.mem_budget_mb,
+                share_learned=args.share_learned,
             )
     except ValidationError as exc:
         print(f"error: invalid netlist {args.netlist}: {exc}", file=sys.stderr)
@@ -272,6 +285,12 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         print(
             f"  parallel: {stats.workers} workers, {stats.shards} shards, "
             f"{stats.replay_solves} replay solves"
+        )
+    if stats.shared_promoted or stats.shared_injected:
+        print(
+            f"  clause sharing: {stats.shared_promoted} promoted, "
+            f"{stats.shared_injected} injected, "
+            f"hit rate {stats.shared_hit_rate:.1%}"
         )
     health = stats.health
     if args.certify != "off":
@@ -615,8 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault processing order (auto = SCOAP easiest-first)",
     )
     p.add_argument(
-        "--block-size", type=int, default=64,
-        help="patterns per packed fault-dropping block",
+        "--block-size", type=_positive_int, default=64,
+        help="patterns per packed fault-simulation block (any width "
+        ">= 1: blocks ride arbitrary-precision integer words)",
     )
     p.add_argument(
         "--bench-json", default=None, metavar="PATH",
@@ -667,6 +687,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="clause-database memory budget per SAT call; past it the "
         "fault aborts with mem_budget_exceeded (and, under --certify, "
         "escalates to the next solver rung)",
+    )
+    p.add_argument(
+        "--share-learned", choices=("off", "cone"), default="cone",
+        help="cross-fault structural clause sharing (incremental mode): "
+        "cone = promote low-LBD base-only learned clauses into a "
+        "run-wide store and pre-seed sibling output cones' solvers "
+        "(default); off = no sharing.  Verdicts are identical either "
+        "way; stats land in --bench-json (shared_promoted / "
+        "shared_injected / shared_hit_rate)",
     )
     p.set_defaults(func=_cmd_atpg)
 

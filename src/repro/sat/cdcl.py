@@ -18,8 +18,47 @@ The solver is split in two layers:
   one incremental sequence instead of thousands of cold starts.
 * :class:`CdclSolver` — the formula-level wrapper with the classic
   one-shot ``solve(formula)`` API.  It compiles the formula (cached,
-  so repeated solves on the same formula skip recompilation and the
-  per-call clause copy) and runs a fresh core per call.
+  so repeated solves on the same formula skip recompilation) and runs
+  a fresh core per call.
+
+Storage layout (the flat-array kernel)
+--------------------------------------
+
+Clauses live in a single packed integer arena instead of one Python
+list object per clause: a clause reference ``ref`` is an index into
+``arena`` where the clause's literals start, with the clause length at
+``arena[ref - 1]``.  Watch lists are flat lists of refs, the
+implication graph (``reason``) is a parallel int array (-1 = decision),
+and literal truth values are kept per *literal* (``lit_truth[lit]``) so
+the hot propagation loop needs no shift/xor per probe.  The kernel is
+required to stay **bit-identical** to the object-graph reference
+implementation (:mod:`repro.sat.cdcl_ref`) — same verdicts, same
+propagation/decision/conflict/restart counters, same DRUP proofs —
+because both perform the same in-place literal permutations in the same
+order; ``tests/sat/test_kernel_parity.py`` enforces this over the fuzz
+corpus.
+
+Dead arena space (detached learned clauses, swept groups) is reclaimed
+by :meth:`CdclCore.collect`, which compacts the arena while preserving
+watch-list order so the search trajectory is unaffected.
+
+Cross-fault structural learning hooks
+-------------------------------------
+
+When ``structural_lbd_max`` is set, the core tags each learned clause
+whose variables all lie below ``structural_var_ceiling`` (the variable
+count frozen when the base formula was complete) and whose LBD is at or
+below the threshold.  Base variables are allocated first and never
+released, so they occupy exactly the index prefix ``[0, ceiling)``;
+everything at or above the ceiling — activation guards, per-fault delta
+variables, recycled indices — is transient.  A tagged clause mentions
+only base variables, and since every guarded clause contains a negative
+activation literal (a variable above the ceiling), assigning all
+transient variables so the guards are false satisfies every non-base
+clause: the tagged clause is a consequence of the base formula alone,
+sound to share with any solver whose base is a superset
+(:mod:`repro.atpg.sharing`).  The incremental layer drains
+``structural_fresh`` / ``structural_fresh_units`` after each solve.
 """
 
 from __future__ import annotations
@@ -30,7 +69,7 @@ from heapq import heapify, heappop, heappush
 from typing import Optional
 
 from repro.sat.cnf import CnfFormula
-from repro.sat.compile import compile_formula, negate, var_of
+from repro.sat.compile import compile_formula, negate
 from repro.sat.drup import DrupLog
 from repro.sat.result import SatResult, SatStatus, SolverStats
 
@@ -41,7 +80,7 @@ _ACTIVITY_CAP = 1e100
 
 
 class CdclCore:
-    """Persistent CDCL engine over integer literals.
+    """Persistent CDCL engine over integer literals (flat-array kernel).
 
     State (assignment trail, watches, learned-clause database, VSIDS
     activities, saved phases) lives across :meth:`solve` calls.  New
@@ -50,9 +89,10 @@ class CdclCore:
     group's variables back for recycling once the group is retired and
     trigger :meth:`collect` to sweep root-satisfied clauses.
 
-    Clauses are plain ``list[int]`` objects referenced by identity from
-    the watch lists and the implication graph, so the learned database
-    can be reduced without invalidating indices.
+    Clauses are stored in a packed integer arena (see the module
+    docstring); ``base`` and ``learned`` hold arena refs, and the
+    solver may permute a clause's literal order in place during watch
+    maintenance (the literal *set* is never changed).
 
     Args:
         restart_interval: conflicts before the first restart (grows 1.5x).
@@ -88,15 +128,21 @@ class CdclCore:
 
         self.values: list[int] = []
         self.level: list[int] = []
-        self.reason: list[Optional[list[int]]] = []
+        self.reason: list[int] = []  # arena ref, -1 = decision/none
         self.activity: list[float] = []
         self.saved_phase: list[int] = []
         self.released: list[bool] = []
-        self.watches: list[list[list[int]]] = []
+        #: Per-literal truth: lit_truth[lit] is -1 unassigned, else the
+        #: truth value (0/1) of the *literal* under the assignment.
+        self.lit_truth: list[int] = []
+        self.watches: list[list[int]] = []
 
-        self.base: list[list[int]] = []
-        self.learned: list[list[int]] = []
-        self._lbd: dict[int, int] = {}  # id(clause) -> literal block distance
+        #: Packed clause storage: a clause ref points at its first
+        #: literal; arena[ref - 1] holds the clause length.
+        self.arena: list[int] = []
+        self.base: list[int] = []
+        self.learned: list[int] = []
+        self._lbd: dict[int, int] = {}  # ref -> literal block distance
 
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
@@ -105,10 +151,30 @@ class CdclCore:
 
         self._var_inc = 1.0
         self._heap: list[tuple[float, int]] = []
+        #: cur_in_heap[var] == 1 while the heap holds an entry whose key
+        #: matches the var's *current* activity.  ``_pick_branch`` only
+        #: accepts current-key entries, so the pick is a pure function
+        #: of (values, released, activity) — suppressing duplicate
+        #: pushes here cannot change the search trajectory, it only
+        #: keeps the lazy-deletion heap free of redundant entries.
+        self._cur_in_heap = bytearray()
         self._free: list[int] = []
         #: Vars released while still root-assigned (activation literals);
         #: recycled by :meth:`collect` once their clauses are swept.
         self._zombie: list[int] = []
+        self._seen = bytearray()  # reusable conflict-analysis scratch
+
+        #: Structural-learning hooks (cross-fault clause sharing).
+        #: Learned clauses whose variables all lie below
+        #: ``structural_var_ceiling`` (the base-variable prefix — see the
+        #: module docstring) with LBD <= ``structural_lbd_max`` queue
+        #: their refs in ``structural_fresh`` (root units in
+        #: ``structural_fresh_units`` as bare literals).  Tracking is
+        #: off (zero cost) while ``structural_lbd_max`` is None.
+        self.structural_lbd_max: Optional[int] = None
+        self.structural_var_ceiling = 0
+        self.structural_fresh: list[int] = []
+        self.structural_fresh_units: list[int] = []
 
     # ------------------------------------------------------------------
     # Variables
@@ -126,16 +192,21 @@ class CdclCore:
             self.activity[var] = 0.0
             self.saved_phase[var] = 0
             heappush(self._heap, (0.0, var))
+            self._cur_in_heap[var] = 1
             return var
         var = len(self.values)
         self.values.append(_UNASSIGNED)
         self.level.append(0)
-        self.reason.append(None)
+        self.reason.append(-1)
         self.activity.append(0.0)
         self.saved_phase.append(0)
         self.released.append(False)
+        self.lit_truth.append(_UNASSIGNED)
+        self.lit_truth.append(_UNASSIGNED)
         self.watches.append([])
         self.watches.append([])
+        self._seen.append(0)
+        self._cur_in_heap.append(1)
         heappush(self._heap, (0.0, var))
         return var
 
@@ -152,26 +223,40 @@ class CdclCore:
     def set_activity(self, var: int, value: float) -> None:
         """Seed a variable's activity (static-order tie-breaking)."""
         self.activity[var] = value
+        self._cur_in_heap[var] = 0  # any in-heap entry is now stale
         if self.values[var] == _UNASSIGNED and not self.released[var]:
             heappush(self._heap, (-value, var))
+            self._cur_in_heap[var] = 1
 
     # ------------------------------------------------------------------
     # Clauses
     # ------------------------------------------------------------------
+    def read_clause(self, ref: int) -> list[int]:
+        """The literals of the clause at ``ref`` (a copy)."""
+        return self.arena[ref : ref + self.arena[ref - 1]]
+
+    def _alloc(self, lits: list[int]) -> int:
+        """Store ``lits`` in the arena and return the clause ref."""
+        arena = self.arena
+        arena.append(len(lits))
+        ref = len(arena)
+        arena.extend(lits)
+        return ref
+
     def add_clause(self, lits: list[int]) -> bool:
         """Append a problem clause (root simplified).
 
-        Must be called at decision level 0.  The given list is stored
-        as-is when no simplification applies, and the solver may permute
-        its literal order in place during watch maintenance (the literal
-        *set* is never changed).  Returns ``False`` when the database
-        became root-inconsistent.
+        Must be called at decision level 0.  The literals are copied
+        into the arena (the caller's list is never retained or
+        mutated).  Returns ``False`` when the database became
+        root-inconsistent.
         """
         if self.root_failed:
             return False
+        lit_truth = self.lit_truth
         kept: Optional[list[int]] = None  # lazily copied on simplification
         for index, lit in enumerate(lits):
-            value = self._lit_value(lit)
+            value = lit_truth[lit]
             if value == 1:
                 return True  # satisfied at root: never attach
             if value == 0:
@@ -194,23 +279,25 @@ class CdclCore:
             self.root_failed = True
             return False
         if len(clause) == 1:
-            if not self._enqueue(clause[0], None):
+            if not self._enqueue(clause[0], -1):
                 if self.proof is not None:
                     self.proof.add_empty()
                 self.root_failed = True
                 return False
             return True
-        self.base.append(clause)
-        self.watches[clause[0]].append(clause)
-        self.watches[clause[1]].append(clause)
+        ref = self._alloc(clause)
+        self.base.append(ref)
+        self.watches[clause[0]].append(ref)
+        self.watches[clause[1]].append(ref)
         return True
 
-    def _detach(self, clause: list[int]) -> None:
-        """Remove ``clause`` from its two watch lists (by identity)."""
-        for lit in (clause[0], clause[1]):
+    def _detach(self, ref: int) -> None:
+        """Remove the clause at ``ref`` from its two watch lists."""
+        arena = self.arena
+        for lit in (arena[ref], arena[ref + 1]):
             watching = self.watches[lit]
             for i, other in enumerate(watching):
-                if other is clause:
+                if other == ref:
                     watching[i] = watching[-1]
                     watching.pop()
                     break
@@ -222,67 +309,92 @@ class CdclCore:
         return len(self.trail_lim)
 
     def _lit_value(self, lit: int) -> int:
-        value = self.values[lit >> 1]
-        if value == _UNASSIGNED:
-            return _UNASSIGNED
-        return value ^ (lit & 1)
+        return self.lit_truth[lit]
 
-    def _enqueue(self, lit: int, reason_clause: Optional[list[int]]) -> bool:
+    def _enqueue(self, lit: int, reason_ref: int = -1) -> bool:
         var = lit >> 1
         value = 1 ^ (lit & 1)
-        if self.values[var] != _UNASSIGNED:
-            return self.values[var] == value
-        self.values[var] = value
+        values = self.values
+        if values[var] != _UNASSIGNED:
+            return values[var] == value
+        values[var] = value
+        lit_truth = self.lit_truth
+        lit_truth[lit] = 1
+        lit_truth[lit ^ 1] = 0
         self.level[var] = len(self.trail_lim)
-        self.reason[var] = reason_clause
+        self.reason[var] = reason_ref
         self.trail.append(lit)
         return True
 
-    def _propagate(self, stats: SolverStats) -> Optional[list[int]]:
-        """Unit propagation.  Returns a conflicting clause, or None."""
-        values = self.values
+    def _propagate(self, stats: SolverStats) -> int:
+        """Unit propagation.  Returns a conflicting clause ref, or -1."""
+        arena = self.arena
+        lit_truth = self.lit_truth
         watches = self.watches
         trail = self.trail
-        while self.qhead < len(trail):
-            lit = trail[self.qhead]
-            self.qhead += 1
+        values = self.values
+        level = self.level
+        reason = self.reason
+        current = len(self.trail_lim)
+        qhead = self.qhead
+        props = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             false_lit = lit ^ 1
             watching = watches[false_lit]
             i = 0
-            while i < len(watching):
-                cl = watching[i]
-                if cl[0] == false_lit:
-                    cl[0], cl[1] = cl[1], cl[0]
-                first = cl[0]
-                fv = values[first >> 1]
-                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+            end_w = len(watching)
+            while i < end_w:
+                ref = watching[i]
+                first = arena[ref]
+                if first == false_lit:
+                    first = arena[ref + 1]
+                    arena[ref] = first
+                    arena[ref + 1] = false_lit
+                fv = lit_truth[first]
+                if fv == 1:
                     i += 1
                     continue
-                found = False
-                for k in range(2, len(cl)):
-                    other = cl[k]
-                    ov = values[other >> 1]
-                    if ov == _UNASSIGNED or ov ^ (other & 1) != 0:
-                        cl[1], cl[k] = cl[k], cl[1]
-                        watches[cl[1]].append(cl)
-                        watching[i] = watching[-1]
-                        watching.pop()
-                        found = True
-                        break
-                if found:
-                    continue
-                if fv != _UNASSIGNED:  # first is false: conflict
-                    return cl
-                stats.propagations += 1
-                self._enqueue(first, cl)
+                size = arena[ref - 1]
+                if size > 2:  # binary clauses have no replacement slots
+                    found = False
+                    for k in range(ref + 2, ref + size):
+                        other = arena[k]
+                        if lit_truth[other] != 0:
+                            arena[ref + 1] = other
+                            arena[k] = false_lit
+                            watches[other].append(ref)
+                            end_w -= 1
+                            watching[i] = watching[end_w]
+                            watching.pop()
+                            found = True
+                            break
+                    if found:
+                        continue
+                if fv == 0:  # first is false: conflict
+                    self.qhead = qhead
+                    stats.propagations += props
+                    return ref
+                # first is the implied literal: inlined _enqueue.
+                props += 1
+                var = first >> 1
+                values[var] = 1 ^ (first & 1)
+                lit_truth[first] = 1
+                lit_truth[first ^ 1] = 0
+                level[var] = current
+                reason[var] = ref
+                trail.append(first)
                 i += 1
-        return None
+        self.qhead = qhead
+        stats.propagations += props
+        return -1
 
     def propagate_root(self, stats: Optional[SolverStats] = None) -> bool:
         """Settle root-level units (after appends).  False on conflict."""
         if self.root_failed:
             return False
-        if self._propagate(stats or SolverStats()) is not None:
+        if self._propagate(stats or SolverStats()) >= 0:
             if self.proof is not None:
                 self.proof.add_empty()
             self.root_failed = True
@@ -290,19 +402,48 @@ class CdclCore:
         return True
 
     def backjump(self, target_level: int) -> None:
-        """Undo assignments above ``target_level``, saving phases."""
-        if self.current_level() <= target_level:
+        """Undo assignments above ``target_level``, saving phases.
+
+        Re-inserted branching candidates are heapified in bulk when the
+        batch is large: ``heappop`` always returns the smallest entry of
+        the heap's multiset and entries are totally ordered tuples, so
+        bulk heapify yields the exact pop sequence per-entry ``heappush``
+        would — the trajectory is unchanged, at O(n) instead of
+        O(n log n) for deep unwinds.
+        """
+        if len(self.trail_lim) <= target_level:
             return
         limit = self.trail_lim[target_level]
         trail = self.trail
+        values = self.values
+        lit_truth = self.lit_truth
+        saved_phase = self.saved_phase
+        reason = self.reason
+        released = self.released
+        activity = self.activity
+        heap = self._heap
+        cur_in_heap = self._cur_in_heap
+        requeue: list[tuple[float, int]] = []
         while len(trail) > limit:
             lit = trail.pop()
             var = lit >> 1
-            self.saved_phase[var] = self.values[var]
-            self.values[var] = _UNASSIGNED
-            self.reason[var] = None
-            if not self.released[var]:
-                heappush(self._heap, (-self.activity[var], var))
+            saved_phase[var] = values[var]
+            values[var] = _UNASSIGNED
+            lit_truth[lit] = _UNASSIGNED
+            lit_truth[lit ^ 1] = _UNASSIGNED
+            reason[var] = -1
+            if not released[var] and not cur_in_heap[var]:
+                requeue.append((-activity[var], var))
+                cur_in_heap[var] = 1
+        # heapify is O(heap + batch) vs O(batch * log heap) for pushes;
+        # only worth it when the batch rivals the heap (lazy deletion
+        # leaves stale entries, so the heap can be much larger).
+        if len(requeue) > 32 and len(self._heap) < 3 * len(requeue):
+            heap.extend(requeue)
+            heapify(heap)
+        else:
+            for entry in requeue:
+                heappush(heap, entry)
         del self.trail_lim[target_level:]
         self.qhead = len(trail)
 
@@ -314,6 +455,9 @@ class CdclCore:
         self.activity[var] = value
         if self.values[var] == _UNASSIGNED and not self.released[var]:
             heappush(self._heap, (-value, var))
+            self._cur_in_heap[var] = 1
+        else:
+            self._cur_in_heap[var] = 0  # in-heap entry (if any) is stale
         if value > _ACTIVITY_CAP:
             self._rescale()
 
@@ -328,27 +472,29 @@ class CdclCore:
             if self.values[var] == _UNASSIGNED and not self.released[var]
         ]
         heapify(self._heap)
+        self._cur_in_heap = bytearray(len(self.values))
+        for _, var in self._heap:
+            self._cur_in_heap[var] = 1
 
     def _pick_branch(self) -> int:
         heap = self._heap
         values = self.values
         activity = self.activity
         released = self.released
+        cur_in_heap = self._cur_in_heap
         while heap:
             negact, var = heappop(heap)
-            if (
-                values[var] == _UNASSIGNED
-                and not released[var]
-                and -negact == activity[var]
-            ):
-                return var
+            if -negact == activity[var]:
+                cur_in_heap[var] = 0  # the current-key entry just left
+                if values[var] == _UNASSIGNED and not released[var]:
+                    return var
         return -1
 
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
     def _analyze(
-        self, conflict: list[int], stats: SolverStats
+        self, conflict: int, stats: SolverStats
     ) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis (MiniSat structure).
 
@@ -359,36 +505,47 @@ class CdclCore:
             (learned clause with asserting literal first, backjump
             level, literal block distance of the learned clause).
         """
+        arena = self.arena
         learned: list[int] = []
-        seen = [False] * len(self.values)
+        seen = self._seen  # zeroed on every exit path below
+        touched: list[int] = []
         level = self.level
+        trail = self.trail
+        reason = self.reason
+        bump = self._bump
         path_count = 0
-        p: Optional[int] = None
-        cl: Optional[list[int]] = conflict
-        index = len(self.trail) - 1
-        current = self.current_level()
+        first_pass = True
+        ref = conflict
+        index = len(trail) - 1
+        current = len(self.trail_lim)
         while True:
-            assert cl is not None
+            assert ref >= 0
             # Skip position 0 when it is the literal we resolved on.
-            for q in cl[0 if p is None else 1 :]:
+            start = ref if first_pass else ref + 1
+            first_pass = False
+            for pos in range(start, ref + arena[ref - 1]):
+                q = arena[pos]
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
-                    seen[var] = True
-                    self._bump(var)
+                    seen[var] = 1
+                    touched.append(var)
+                    bump(var)
                     if level[var] >= current:
                         path_count += 1
                     else:
                         learned.append(q)
-            while not seen[self.trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self.trail[index]
+            p = trail[index]
             var = p >> 1
-            seen[var] = False
+            seen[var] = 0
             path_count -= 1
             index -= 1
             if path_count <= 0:
                 break
-            cl = self.reason[var]
+            ref = reason[var]
+        for var in touched:
+            seen[var] = 0
         learned.insert(0, negate(p))
         if len(learned) == 1:
             return learned, 0, 1
@@ -402,54 +559,67 @@ class CdclCore:
         """Attach a learned clause and assert its first literal."""
         stats.learned_clauses += 1
         if self.proof is not None:
-            # Copy now: watch maintenance permutes the list in place.
+            # Copy now: watch maintenance permutes the arena clause.
             self.proof.add(learned)
+        slm = self.structural_lbd_max
         if len(learned) >= 2:
             # Watch invariant: position 1 must hold a literal from the
             # backjump level, else future backtracks can leave the
             # clause incorrectly watched.
+            level = self.level
             best = max(
                 range(1, len(learned)),
-                key=lambda j: self.level[learned[j] >> 1],
+                key=lambda j: level[learned[j] >> 1],
             )
             learned[1], learned[best] = learned[best], learned[1]
-            self.learned.append(learned)
-            self._lbd[id(learned)] = lbd
-            self.watches[learned[0]].append(learned)
-            self.watches[learned[1]].append(learned)
-            self._enqueue(learned[0], learned)
+            ref = self._alloc(learned)
+            self.learned.append(ref)
+            self._lbd[ref] = lbd
+            self.watches[learned[0]].append(ref)
+            self.watches[learned[1]].append(ref)
+            self._enqueue(learned[0], ref)
+            if slm is not None and lbd <= slm:
+                ceiling = self.structural_var_ceiling
+                if all((q >> 1) < ceiling for q in learned):
+                    self.structural_fresh.append(ref)
         else:
-            self._enqueue(learned[0], None)
+            if (
+                slm is not None
+                and (learned[0] >> 1) < self.structural_var_ceiling
+            ):
+                self.structural_fresh_units.append(learned[0])
+            self._enqueue(learned[0], -1)
 
     def reduce_learned(self) -> int:
         """Drop the worst half of the learned database.
 
         Clauses are ranked by (LBD, length); glue clauses (LBD <= 2),
         binaries, and clauses locked as reasons on the current trail are
-        always kept.  Returns the number of clauses removed.
+        always kept.  Returns the number of clauses removed.  Detached
+        clauses leave garbage in the arena until the next
+        :meth:`collect` compaction.
         """
-        locked = {
-            id(reason) for reason in self.reason if reason is not None
-        }
+        arena = self.arena
+        locked = {ref for ref in self.reason if ref >= 0}
         lbd = self._lbd
         candidates = [
-            cl
-            for cl in self.learned
-            if id(cl) not in locked
-            and len(cl) > 2
-            and lbd.get(id(cl), 99) > 2
+            ref
+            for ref in self.learned
+            if ref not in locked
+            and arena[ref - 1] > 2
+            and lbd.get(ref, 99) > 2
         ]
-        candidates.sort(key=lambda cl: (lbd.get(id(cl), 99), len(cl)))
-        victims = {id(cl) for cl in candidates[len(candidates) // 2 :]}
+        candidates.sort(key=lambda ref: (lbd.get(ref, 99), arena[ref - 1]))
+        victims = set(candidates[len(candidates) // 2 :])
         if not victims:
             return 0
-        for cl in self.learned:
-            if id(cl) in victims:
-                self._detach(cl)
-                lbd.pop(id(cl), None)
+        for ref in self.learned:
+            if ref in victims:
+                self._detach(ref)
+                lbd.pop(ref, None)
                 if self.proof is not None:
-                    self.proof.delete(cl)
-        self.learned = [cl for cl in self.learned if id(cl) not in victims]
+                    self.proof.delete(self.read_clause(ref))
+        self.learned = [ref for ref in self.learned if ref not in victims]
         return len(victims)
 
     # ------------------------------------------------------------------
@@ -461,35 +631,34 @@ class CdclCore:
         Retiring an activation literal ``t`` (root unit ``¬t``)
         permanently satisfies every clause tagged with ``¬t`` — the
         group's deltas and any learned clause derived from them.  This
-        sweep removes them, rebuilds the watch lists, and returns
-        deferred-release variables (the ``t``s themselves) to the free
-        list.  Must be called at decision level 0 with propagation
-        settled.
+        sweep removes them, compacts the clause arena, rebuilds the
+        watch lists, and returns deferred-release variables (the ``t``s
+        themselves) to the free list.  Must be called at decision level
+        0 with propagation settled.
 
         Returns the number of clauses removed.
         """
-        assert self.current_level() == 0
+        assert len(self.trail_lim) == 0
+        arena = self.arena
         values = self.values
-        released = self.released
-
-        def root_satisfied(cl: list[int]) -> bool:
-            for lit in cl:
-                value = values[lit >> 1]
-                if value != _UNASSIGNED and value ^ (lit & 1) == 1:
-                    return True
-            return False
+        lit_truth = self.lit_truth
 
         removed = 0
         for name in ("base", "learned"):
-            kept: list[list[int]] = []
-            for cl in getattr(self, name):
-                if root_satisfied(cl):
+            kept: list[int] = []
+            for ref in getattr(self, name):
+                satisfied = False
+                for pos in range(ref, ref + arena[ref - 1]):
+                    if lit_truth[arena[pos]] == 1:
+                        satisfied = True
+                        break
+                if satisfied:
                     removed += 1
-                    self._lbd.pop(id(cl), None)
+                    self._lbd.pop(ref, None)
                     if self.proof is not None:
-                        self.proof.delete(cl)
+                        self.proof.delete(self.read_clause(ref))
                 else:
-                    kept.append(cl)
+                    kept.append(ref)
             setattr(self, name, kept)
         if not removed and not self._zombie:
             return 0
@@ -503,26 +672,57 @@ class CdclCore:
             self.qhead = len(self.trail)
             for var in self._zombie:
                 self.values[var] = _UNASSIGNED
-                self.reason[var] = None
+                lit_truth[2 * var] = _UNASSIGNED
+                lit_truth[2 * var + 1] = _UNASSIGNED
+                self.reason[var] = -1
                 self.activity[var] = 0.0
                 self.saved_phase[var] = 0
                 self._free.append(var)
             self._zombie.clear()
 
-        # Rebuild watches; pick non-root-false watch positions so the
-        # two-watched-literal invariant holds from a clean slate.
+        # Compact the arena and rebuild watches; pick non-root-false
+        # watch positions so the two-watched-literal invariant holds
+        # from a clean slate.  Watch-list order is rebuilt from
+        # base+learned order exactly as the reference core does, so the
+        # search trajectory is unaffected by compaction.
+        new_arena: list[int] = []
+        remap: dict[int, int] = {}
         self.watches = [[] for _ in range(2 * len(values))]
-        for cl in self.base + self.learned:
-            free = 0
-            for k in range(len(cl)):
-                value = values[cl[k] >> 1]
-                if value == _UNASSIGNED or value ^ (cl[k] & 1) == 1:
-                    cl[free], cl[k] = cl[k], cl[free]
-                    free += 1
-                    if free == 2:
-                        break
-            self.watches[cl[0]].append(cl)
-            self.watches[cl[1]].append(cl)
+        watches = self.watches
+        for bucket in (self.base, self.learned):
+            for idx, ref in enumerate(bucket):
+                size = arena[ref - 1]
+                cl = arena[ref : ref + size]
+                free = 0
+                for k in range(size):
+                    value = values[cl[k] >> 1]
+                    if value == _UNASSIGNED or value ^ (cl[k] & 1) == 1:
+                        cl[free], cl[k] = cl[k], cl[free]
+                        free += 1
+                        if free == 2:
+                            break
+                new_arena.append(size)
+                new_ref = len(new_arena)
+                new_arena.extend(cl)
+                remap[ref] = new_ref
+                bucket[idx] = new_ref
+                watches[cl[0]].append(new_ref)
+                watches[cl[1]].append(new_ref)
+        self.arena = new_arena
+        self._lbd = {
+            remap[ref]: value
+            for ref, value in self._lbd.items()
+            if ref in remap
+        }
+        # Root-level reasons may point at swept clauses; they are never
+        # dereferenced (conflict analysis skips level-0 literals), so a
+        # dangling entry simply becomes -1.
+        self.reason = [
+            remap.get(ref, -1) if ref >= 0 else -1 for ref in self.reason
+        ]
+        self.structural_fresh = [
+            remap[ref] for ref in self.structural_fresh if ref in remap
+        ]
         return removed
 
     # ------------------------------------------------------------------
@@ -531,12 +731,14 @@ class CdclCore:
     def clause_bytes_estimate(self) -> int:
         """Rough heap footprint of the clause database, in bytes.
 
-        Counts list + int-object overhead per stored literal plus a
-        per-clause constant — deliberately an estimate, used only to
-        trigger reduction / budget aborts, not for accounting.
+        Counts per-literal plus per-clause overhead of the live clauses
+        (matching the reference core's accounting) — deliberately an
+        estimate, used only to trigger reduction / budget aborts, not
+        for accounting.
         """
-        lits = sum(len(cl) for cl in self.base)
-        lits += sum(len(cl) for cl in self.learned)
+        arena = self.arena
+        lits = sum(arena[ref - 1] for ref in self.base)
+        lits += sum(arena[ref - 1] for ref in self.learned)
         n_clauses = len(self.base) + len(self.learned)
         return lits * 36 + n_clauses * 72
 
@@ -577,7 +779,7 @@ class CdclCore:
             None if mem_budget_mb is None else mem_budget_mb * 1024 * 1024
         )
         self.backjump(0)
-        if self.root_failed or self._propagate(stats) is not None:
+        if self.root_failed or self._propagate(stats) >= 0:
             if not self.root_failed and self.proof is not None:
                 self.proof.add_empty()
             self.root_failed = True
@@ -590,7 +792,7 @@ class CdclCore:
 
         while True:
             conflict = self._propagate(stats)
-            if conflict is not None:
+            if conflict >= 0:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
                 if (
@@ -616,7 +818,7 @@ class CdclCore:
                         stats.mem_limit_hit = True
                         self.backjump(0)
                         return SatStatus.UNKNOWN, stats
-                if self.current_level() == 0:
+                if len(self.trail_lim) == 0:
                     if self.proof is not None:
                         self.proof.add_empty()
                     self.root_failed = True
@@ -642,9 +844,9 @@ class CdclCore:
                 continue
 
             lit = None
-            while self.current_level() < len(assumptions):
-                p = assumptions[self.current_level()]
-                value = self._lit_value(p)
+            while len(self.trail_lim) < len(assumptions):
+                p = assumptions[len(self.trail_lim)]
+                value = self.lit_truth[p]
                 if value == 1:
                     # Already satisfied: open a dummy level and move on.
                     self.trail_lim.append(len(self.trail))
@@ -669,7 +871,7 @@ class CdclCore:
                     return SatStatus.UNKNOWN, stats
                 lit = 2 * var + (0 if self.saved_phase[var] == 1 else 1)
             self.trail_lim.append(len(self.trail))
-            self._enqueue(lit, None)
+            self._enqueue(lit, -1)
 
 
 class CdclSolver:
@@ -685,11 +887,10 @@ class CdclSolver:
         phase_hint: optional map from variable name to preferred phase.
         order: optional static variable order used to break activity ties.
 
-    The compiled form (and its clause storage) is cached per formula:
-    repeated solves on the same formula skip both recompilation and the
-    per-call clause copy.  Each call still searches from a cold state —
-    use :class:`CdclCore` / :mod:`repro.sat.incremental` when learned
-    clauses should persist between solves.
+    The compiled form is cached per formula: repeated solves on the
+    same formula skip recompilation.  Each call still searches from a
+    cold state — use :class:`CdclCore` / :mod:`repro.sat.incremental`
+    when learned clauses should persist between solves.
     """
 
     def __init__(

@@ -1,0 +1,587 @@
+"""Reference object-graph CDCL core (pre-flat-array implementation).
+
+This is the original :class:`~repro.sat.cdcl.CdclCore` implementation,
+kept verbatim as an executable specification: clauses are plain
+``list[int]`` objects referenced by identity from the watch lists and
+the implication graph.  The production core (:mod:`repro.sat.cdcl`) now
+stores clauses in a packed integer arena for speed, but is required to
+be *bit-identical* to this reference — same verdicts, same propagation
+/ decision / conflict / restart counters, same DRUP proofs — because
+the two implementations perform the same literal-order permutations in
+the same order.  The parity suite
+(``tests/sat/test_kernel_parity.py``) drives both cores through
+identical clause streams and compares trajectories.
+
+Do not optimise this module; its only job is to stay simple enough to
+trust.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from heapq import heapify, heappop, heappush
+from typing import Optional
+
+from repro.sat.compile import negate
+from repro.sat.drup import DrupLog
+from repro.sat.result import SatStatus, SolverStats
+
+_UNASSIGNED = -1
+
+#: Rescale threshold for VSIDS activities (MiniSat's 1e100 scheme).
+_ACTIVITY_CAP = 1e100
+
+
+class ReferenceCdclCore:
+    """Persistent CDCL engine over integer literals (object-graph form).
+
+    See :class:`repro.sat.cdcl.CdclCore` for the full API contract; the
+    two classes are drop-in interchangeable except that here ``reason``
+    holds clause *lists* and there it holds arena offsets.
+    """
+
+    def __init__(
+        self,
+        restart_interval: int = 128,
+        decay: float = 0.95,
+        proof: Optional["DrupLog"] = None,
+        learned_db_min: int = 1000,
+        learned_db_factor: float = 2.0,
+    ) -> None:
+        self.restart_interval = restart_interval
+        self.decay = decay
+        self.proof = proof
+        self.learned_db_min = learned_db_min
+        self.learned_db_factor = learned_db_factor
+
+        self.values: list[int] = []
+        self.level: list[int] = []
+        self.reason: list[Optional[list[int]]] = []
+        self.activity: list[float] = []
+        self.saved_phase: list[int] = []
+        self.released: list[bool] = []
+        self.watches: list[list[list[int]]] = []
+
+        self.base: list[list[int]] = []
+        self.learned: list[list[int]] = []
+        self._lbd: dict[int, int] = {}  # id(clause) -> literal block distance
+
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.root_failed = False
+
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []
+        self._free: list[int] = []
+        #: Vars released while still root-assigned (activation literals);
+        #: recycled by :meth:`collect` once their clauses are swept.
+        self._zombie: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Allocated variable count (including recyclable slots)."""
+        return len(self.values)
+
+    def new_var(self) -> int:
+        """Allocate a variable index (recycling released ones)."""
+        if self._free:
+            var = self._free.pop()
+            self.released[var] = False
+            self.activity[var] = 0.0
+            self.saved_phase[var] = 0
+            heappush(self._heap, (0.0, var))
+            return var
+        var = len(self.values)
+        self.values.append(_UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(0)
+        self.released.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        heappush(self._heap, (0.0, var))
+        return var
+
+    def release_var(self, var: int, defer: bool = False) -> None:
+        """Mark ``var`` dead.  Immediately recyclable unless ``defer``
+        (for vars still root-assigned, e.g. activation literals, which
+        :meth:`collect` recycles after sweeping their clauses)."""
+        self.released[var] = True
+        if defer or self.values[var] != _UNASSIGNED:
+            self._zombie.append(var)
+        else:
+            self._free.append(var)
+
+    def set_activity(self, var: int, value: float) -> None:
+        """Seed a variable's activity (static-order tie-breaking)."""
+        self.activity[var] = value
+        if self.values[var] == _UNASSIGNED and not self.released[var]:
+            heappush(self._heap, (-value, var))
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def add_clause(self, lits: list[int]) -> bool:
+        """Append a problem clause (root simplified).
+
+        Must be called at decision level 0.  Returns ``False`` when the
+        database became root-inconsistent.
+        """
+        if self.root_failed:
+            return False
+        kept: Optional[list[int]] = None  # lazily copied on simplification
+        for index, lit in enumerate(lits):
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # satisfied at root: never attach
+            if value == 0:
+                if kept is None:
+                    kept = lits[:index]
+                continue
+            if kept is not None:
+                kept.append(lit)
+        clause = lits if kept is None else kept
+        if self.proof is not None and kept is not None:
+            # A root-simplified clause differs from the caller's input
+            # (which the checker sees as part of the formula), so it is
+            # a derived clause the proof must justify: it is RUP because
+            # the dropped literals are root-false by unit propagation.
+            if clause:
+                self.proof.add(clause)
+            else:
+                self.proof.add_empty()
+        if not clause:
+            self.root_failed = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                if self.proof is not None:
+                    self.proof.add_empty()
+                self.root_failed = True
+                return False
+            return True
+        self.base.append(clause)
+        self.watches[clause[0]].append(clause)
+        self.watches[clause[1]].append(clause)
+        return True
+
+    def _detach(self, clause: list[int]) -> None:
+        """Remove ``clause`` from its two watch lists (by identity)."""
+        for lit in (clause[0], clause[1]):
+            watching = self.watches[lit]
+            for i, other in enumerate(watching):
+                if other is clause:
+                    watching[i] = watching[-1]
+                    watching.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+    def current_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.values[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason_clause: Optional[list[int]]) -> bool:
+        var = lit >> 1
+        value = 1 ^ (lit & 1)
+        if self.values[var] != _UNASSIGNED:
+            return self.values[var] == value
+        self.values[var] = value
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_clause
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self, stats: SolverStats) -> Optional[list[int]]:
+        """Unit propagation.  Returns a conflicting clause, or None."""
+        values = self.values
+        watches = self.watches
+        trail = self.trail
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
+            self.qhead += 1
+            false_lit = lit ^ 1
+            watching = watches[false_lit]
+            i = 0
+            while i < len(watching):
+                cl = watching[i]
+                if cl[0] == false_lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                fv = values[first >> 1]
+                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+                    i += 1
+                    continue
+                found = False
+                for k in range(2, len(cl)):
+                    other = cl[k]
+                    ov = values[other >> 1]
+                    if ov == _UNASSIGNED or ov ^ (other & 1) != 0:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        watches[cl[1]].append(cl)
+                        watching[i] = watching[-1]
+                        watching.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                if fv != _UNASSIGNED:  # first is false: conflict
+                    return cl
+                stats.propagations += 1
+                self._enqueue(first, cl)
+                i += 1
+        return None
+
+    def propagate_root(self, stats: Optional[SolverStats] = None) -> bool:
+        """Settle root-level units (after appends).  False on conflict."""
+        if self.root_failed:
+            return False
+        if self._propagate(stats or SolverStats()) is not None:
+            if self.proof is not None:
+                self.proof.add_empty()
+            self.root_failed = True
+            return False
+        return True
+
+    def backjump(self, target_level: int) -> None:
+        """Undo assignments above ``target_level``, saving phases."""
+        if self.current_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        trail = self.trail
+        while len(trail) > limit:
+            lit = trail.pop()
+            var = lit >> 1
+            self.saved_phase[var] = self.values[var]
+            self.values[var] = _UNASSIGNED
+            self.reason[var] = None
+            if not self.released[var]:
+                heappush(self._heap, (-self.activity[var], var))
+        del self.trail_lim[target_level:]
+        self.qhead = len(trail)
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        value = self.activity[var] + self._var_inc
+        self.activity[var] = value
+        if self.values[var] == _UNASSIGNED and not self.released[var]:
+            heappush(self._heap, (-value, var))
+        if value > _ACTIVITY_CAP:
+            self._rescale()
+
+    def _rescale(self) -> None:
+        scale = 1.0 / _ACTIVITY_CAP
+        for var in range(len(self.activity)):
+            self.activity[var] *= scale
+        self._var_inc *= scale
+        self._heap = [
+            (-self.activity[var], var)
+            for var in range(len(self.values))
+            if self.values[var] == _UNASSIGNED and not self.released[var]
+        ]
+        heapify(self._heap)
+
+    def _pick_branch(self) -> int:
+        heap = self._heap
+        values = self.values
+        activity = self.activity
+        released = self.released
+        while heap:
+            negact, var = heappop(heap)
+            if (
+                values[var] == _UNASSIGNED
+                and not released[var]
+                and -negact == activity[var]
+            ):
+                return var
+        return -1
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(
+        self, conflict: list[int], stats: SolverStats
+    ) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis (MiniSat structure)."""
+        learned: list[int] = []
+        seen = [False] * len(self.values)
+        level = self.level
+        path_count = 0
+        p: Optional[int] = None
+        cl: Optional[list[int]] = conflict
+        index = len(self.trail) - 1
+        current = self.current_level()
+        while True:
+            assert cl is not None
+            # Skip position 0 when it is the literal we resolved on.
+            for q in cl[0 if p is None else 1 :]:
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if level[var] >= current:
+                        path_count += 1
+                    else:
+                        learned.append(q)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            p = self.trail[index]
+            var = p >> 1
+            seen[var] = False
+            path_count -= 1
+            index -= 1
+            if path_count <= 0:
+                break
+            cl = self.reason[var]
+        learned.insert(0, negate(p))
+        if len(learned) == 1:
+            return learned, 0, 1
+        back_level = max(level[q >> 1] for q in learned[1:])
+        lbd = len({level[q >> 1] for q in learned})
+        return learned, back_level, lbd
+
+    def _record_learned(
+        self, learned: list[int], lbd: int, stats: SolverStats
+    ) -> None:
+        """Attach a learned clause and assert its first literal."""
+        stats.learned_clauses += 1
+        if self.proof is not None:
+            # Copy now: watch maintenance permutes the list in place.
+            self.proof.add(learned)
+        if len(learned) >= 2:
+            # Watch invariant: position 1 must hold a literal from the
+            # backjump level, else future backtracks can leave the
+            # clause incorrectly watched.
+            best = max(
+                range(1, len(learned)),
+                key=lambda j: self.level[learned[j] >> 1],
+            )
+            learned[1], learned[best] = learned[best], learned[1]
+            self.learned.append(learned)
+            self._lbd[id(learned)] = lbd
+            self.watches[learned[0]].append(learned)
+            self.watches[learned[1]].append(learned)
+            self._enqueue(learned[0], learned)
+        else:
+            self._enqueue(learned[0], None)
+
+    def reduce_learned(self) -> int:
+        """Drop the worst half of the learned database."""
+        locked = {
+            id(reason) for reason in self.reason if reason is not None
+        }
+        lbd = self._lbd
+        candidates = [
+            cl
+            for cl in self.learned
+            if id(cl) not in locked
+            and len(cl) > 2
+            and lbd.get(id(cl), 99) > 2
+        ]
+        candidates.sort(key=lambda cl: (lbd.get(id(cl), 99), len(cl)))
+        victims = {id(cl) for cl in candidates[len(candidates) // 2 :]}
+        if not victims:
+            return 0
+        for cl in self.learned:
+            if id(cl) in victims:
+                self._detach(cl)
+                lbd.pop(id(cl), None)
+                if self.proof is not None:
+                    self.proof.delete(cl)
+        self.learned = [cl for cl in self.learned if id(cl) not in victims]
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (activation-literal retirement)
+    # ------------------------------------------------------------------
+    def collect(self) -> int:
+        """Sweep clauses satisfied at the root and recycle zombie vars."""
+        assert self.current_level() == 0
+        values = self.values
+
+        def root_satisfied(cl: list[int]) -> bool:
+            for lit in cl:
+                value = values[lit >> 1]
+                if value != _UNASSIGNED and value ^ (lit & 1) == 1:
+                    return True
+            return False
+
+        removed = 0
+        for name in ("base", "learned"):
+            kept: list[list[int]] = []
+            for cl in getattr(self, name):
+                if root_satisfied(cl):
+                    removed += 1
+                    self._lbd.pop(id(cl), None)
+                    if self.proof is not None:
+                        self.proof.delete(cl)
+                else:
+                    kept.append(cl)
+            setattr(self, name, kept)
+        if not removed and not self._zombie:
+            return 0
+
+        # Drop zombie vars from the root trail and recycle them.
+        if self._zombie:
+            zombies = set(self._zombie)
+            self.trail = [
+                lit for lit in self.trail if (lit >> 1) not in zombies
+            ]
+            self.qhead = len(self.trail)
+            for var in self._zombie:
+                self.values[var] = _UNASSIGNED
+                self.reason[var] = None
+                self.activity[var] = 0.0
+                self.saved_phase[var] = 0
+                self._free.append(var)
+            self._zombie.clear()
+
+        # Rebuild watches; pick non-root-false watch positions so the
+        # two-watched-literal invariant holds from a clean slate.
+        self.watches = [[] for _ in range(2 * len(values))]
+        for cl in self.base + self.learned:
+            free = 0
+            for k in range(len(cl)):
+                value = values[cl[k] >> 1]
+                if value == _UNASSIGNED or value ^ (cl[k] & 1) == 1:
+                    cl[free], cl[k] = cl[k], cl[free]
+                    free += 1
+                    if free == 2:
+                        break
+            self.watches[cl[0]].append(cl)
+            self.watches[cl[1]].append(cl)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def clause_bytes_estimate(self) -> int:
+        """Rough heap footprint of the clause database, in bytes."""
+        lits = sum(len(cl) for cl in self.base)
+        lits += sum(len(cl) for cl in self.learned)
+        n_clauses = len(self.base) + len(self.learned)
+        return lits * 36 + n_clauses * 72
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        deadline_at: Optional[float] = None,
+        mem_budget_mb: Optional[float] = None,
+    ) -> tuple[SatStatus, SolverStats]:
+        """CDCL search under ``assumptions``.
+
+        Identical contract to :meth:`repro.sat.cdcl.CdclCore.solve`.
+        """
+        stats = SolverStats()
+        mem_budget_bytes = (
+            None if mem_budget_mb is None else mem_budget_mb * 1024 * 1024
+        )
+        self.backjump(0)
+        if self.root_failed or self._propagate(stats) is not None:
+            if not self.root_failed and self.proof is not None:
+                self.proof.add_empty()
+            self.root_failed = True
+            return SatStatus.UNSAT, stats
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return SatStatus.UNKNOWN, stats
+
+        restart_limit = self.restart_interval
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate(stats)
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if (
+                    max_conflicts is not None
+                    and stats.conflicts > max_conflicts
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
+                if (
+                    deadline_at is not None
+                    and stats.conflicts & 63 == 0
+                    and time.monotonic() >= deadline_at
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
+                if (
+                    mem_budget_bytes is not None
+                    and stats.conflicts & 63 == 0
+                    and self.clause_bytes_estimate() > mem_budget_bytes
+                ):
+                    self.reduce_learned()
+                    if self.clause_bytes_estimate() > mem_budget_bytes:
+                        stats.mem_limit_hit = True
+                        self.backjump(0)
+                        return SatStatus.UNKNOWN, stats
+                if self.current_level() == 0:
+                    if self.proof is not None:
+                        self.proof.add_empty()
+                    self.root_failed = True
+                    return SatStatus.UNSAT, stats
+                learned, back_level, lbd = self._analyze(conflict, stats)
+                self.backjump(back_level)
+                self._record_learned(learned, lbd, stats)
+                self._var_inc /= self.decay
+                if self._var_inc > _ACTIVITY_CAP:
+                    self._rescale()
+                if len(self.learned) > max(
+                    self.learned_db_min,
+                    int(self.learned_db_factor * len(self.base)),
+                ):
+                    self.reduce_learned()
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                restart_limit = int(restart_limit * 1.5)
+                stats.restarts += 1
+                self.backjump(0)
+                continue
+
+            lit = None
+            while self.current_level() < len(assumptions):
+                p = assumptions[self.current_level()]
+                value = self._lit_value(p)
+                if value == 1:
+                    # Already satisfied: open a dummy level and move on.
+                    self.trail_lim.append(len(self.trail))
+                elif value == 0:
+                    self.backjump(0)
+                    return SatStatus.UNSAT, stats
+                else:
+                    lit = p
+                    break
+            if lit is None:
+                var = self._pick_branch()
+                if var == -1:
+                    return SatStatus.SAT, stats
+                stats.decisions += 1
+                stats.nodes += 1
+                if (
+                    deadline_at is not None
+                    and stats.decisions & 511 == 0
+                    and time.monotonic() >= deadline_at
+                ):
+                    self.backjump(0)
+                    return SatStatus.UNKNOWN, stats
+                lit = 2 * var + (0 if self.saved_phase[var] == 1 else 1)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)

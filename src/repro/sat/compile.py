@@ -110,6 +110,7 @@ class IncrementalCompiler:
     def __init__(self, allocate: Callable[[], int]) -> None:
         self._allocate = allocate
         self._index_of: dict[str, int] = {}
+        self._name_of: dict[int, str] = {}
 
     def __len__(self) -> int:
         return len(self._index_of)
@@ -120,11 +121,17 @@ class IncrementalCompiler:
         if index is None:
             index = self._allocate()
             self._index_of[name] = index
+            self._name_of[index] = name
         return index
 
     def lookup(self, name: str) -> int | None:
         """Index of ``name`` if interned, else ``None`` (no allocation)."""
         return self._index_of.get(name)
+
+    def name_of(self, index: int) -> str | None:
+        """Name bound to ``index``, or ``None`` for anonymous variables
+        (activation literals) and released/recycled indices."""
+        return self._name_of.get(index)
 
     def clause_ints(self, clause: Clause) -> list[int] | None:
         """Integer form of a named clause, or ``None`` for a tautology.
@@ -149,6 +156,7 @@ class IncrementalCompiler:
         for name in names:
             index = self._index_of.pop(name, None)
             if index is not None:
+                self._name_of.pop(index, None)
                 freed.append(index)
         return freed
 

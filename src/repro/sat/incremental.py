@@ -34,7 +34,7 @@ from collections.abc import Iterable, Mapping
 from typing import Optional
 
 from repro.sat.cdcl import CdclCore
-from repro.sat.cnf import Clause
+from repro.sat.cnf import Clause, Literal
 from repro.sat.compile import IncrementalCompiler, lit_of, negate
 from repro.sat.result import SatResult, SatStatus
 
@@ -82,6 +82,12 @@ class IncrementalSatSolver:
         self.gc_interval = gc_interval
         self.num_base_clauses = 0
         self._retired_since_gc = 0
+        #: Single long-lived injected-structural-clause group (cross-cone
+        #: shared clauses): every injection batch appends under the same
+        #: activation literal, so each solve pays exactly one extra
+        #: assumption regardless of how many batches arrived.
+        self._shared_group: Optional[ClauseGroup] = None
+        self.num_shared_clauses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -143,15 +149,25 @@ class IncrementalSatSolver:
         max_conflicts: Optional[int] = None,
         deadline_at: Optional[float] = None,
         mem_budget_mb: Optional[float] = None,
+        model_names: Optional[Iterable[str]] = None,
     ) -> SatResult:
         """Solve base ∧ (group's clauses, if given) under the group's
         activation assumption.  Learned clauses, activities, and saved
         phases persist into the next call.  ``deadline_at`` is an
         absolute ``time.monotonic()`` cutoff and ``mem_budget_mb`` a
         clause-database budget, both forwarded to the core's periodic
-        in-search checks."""
+        in-search checks.  ``model_names`` restricts the SAT model to
+        those variables (callers that only read e.g. circuit inputs
+        skip materialising the full named assignment)."""
         start = time.perf_counter()
-        assumptions = () if group is None else (group.assumption,)
+        shared = self._shared_group
+        assumptions: tuple[int, ...] = (
+            (shared.assumption,)
+            if shared is not None and not shared.retired
+            else ()
+        )
+        if group is not None:
+            assumptions += (group.assumption,)
         status, stats = self.core.solve(
             assumptions=assumptions,
             max_conflicts=max_conflicts,
@@ -161,9 +177,18 @@ class IncrementalSatSolver:
         stats.time_seconds = time.perf_counter() - start
         if status is SatStatus.SAT:
             values = self.core.values
+            if model_names is None:
+                pairs = self.compiler.items()
+            else:
+                lookup = self.compiler.lookup
+                pairs = (
+                    (name, index)
+                    for name in model_names
+                    if (index := lookup(name)) is not None
+                )
             model = {
                 name: values[index]
-                for name, index in self.compiler.items()
+                for name, index in pairs
                 if values[index] in (0, 1)
             }
             return SatResult(SatStatus.SAT, assignment=model, stats=stats)
@@ -194,6 +219,104 @@ class IncrementalSatSolver:
         if self._retired_since_gc >= self.gc_interval:
             self._retired_since_gc = 0
             core.collect()
+
+    # ------------------------------------------------------------------
+    # Cross-cone structural clause sharing
+    # ------------------------------------------------------------------
+    def enable_structural(self, lbd_max: int) -> None:
+        """Start tagging base-only learned clauses with LBD <=
+        ``lbd_max`` for promotion (see :meth:`drain_structural`).
+
+        Call once, after the base formula is complete: the current
+        variable count is frozen as the base-variable ceiling that
+        separates base variables (allocated first, never released) from
+        transient ones (activation guards, per-fault deltas, recycled
+        indices).
+        """
+        core = self.core
+        core.structural_lbd_max = lbd_max
+        core.structural_var_ceiling = len(core.values)
+
+    def push_shared(self, clauses: Iterable[Iterable[Literal]]) -> ClauseGroup:
+        """Inject externally learned base-entailed clauses.
+
+        The clauses arrive as named literal tuples (from a sibling
+        cone's :meth:`drain_structural`) and are attached under this
+        solver's single persistent shared activation literal, assumed on
+        every subsequent :meth:`solve` — so they behave like ordinary
+        learned clauses while remaining collectively retirable, at a
+        fixed cost of one extra assumption per solve however many
+        injection batches arrive.  Any clause learned *from* them
+        contains the shared guard (a variable above the structural
+        ceiling) and is never re-promoted, so sharing cannot go
+        circular.  Soundness: an injected clause entailed by a subset
+        of this solver's base cannot flip a verdict; its guard can only
+        fail if the base itself is unsatisfiable.
+        """
+        core = self.core
+        core.backjump(0)
+        group = self._shared_group
+        if group is None:
+            group = ClauseGroup(core.new_var(), [], 0)
+            self._shared_group = group
+        guard = lit_of(group.activation_var, False)
+        count = 0
+        for named in clauses:
+            ints = self._compile_clause(frozenset(named), group.names)
+            if ints is None:
+                continue
+            core.add_clause([guard] + ints)
+            count += 1
+        group.num_clauses += count
+        self.num_shared_clauses += count
+        return group
+
+    def drain_structural(self) -> list[tuple[Literal, ...]]:
+        """Harvest newly learned structural clauses as named clauses.
+
+        A clause is *structural* when it contains no activation
+        variable: assigning every activation literal false satisfies
+        all guarded clauses, so a guard-free consequence of the full
+        database is a consequence of the permanent base alone — it is a
+        fact about the good-circuit cone, valid for every fault, and
+        safe to inject into any solver whose base is a superset of this
+        one's.  Clauses are returned in learning order, literals
+        canonically sorted; the tag queues are cleared.
+        """
+        core = self.core
+        if not core.structural_fresh and not core.structural_fresh_units:
+            return []
+        name_of = self.compiler.name_of
+        out: list[tuple[Literal, ...]] = []
+        if core.structural_fresh:
+            live = set(core.learned)
+            for ref in core.structural_fresh:
+                if ref not in live:
+                    continue  # reduced away before the drain
+                named = self._name_ints(core.read_clause(ref), name_of)
+                if named is not None:
+                    out.append(named)
+            core.structural_fresh.clear()
+        if core.structural_fresh_units:
+            for lit in core.structural_fresh_units:
+                named = self._name_ints([lit], name_of)
+                if named is not None:
+                    out.append(named)
+            core.structural_fresh_units.clear()
+        return out
+
+    @staticmethod
+    def _name_ints(ints, name_of) -> Optional[tuple[Literal, ...]]:
+        """Integer literals -> sorted named clause; None if any variable
+        has no live name (defensive: tagging already excludes guards)."""
+        lits = []
+        for lit in ints:
+            name = name_of(lit >> 1)
+            if name is None:
+                return None
+            lits.append(Literal(name, not (lit & 1)))
+        lits.sort()
+        return tuple(lits)
 
     # ------------------------------------------------------------------
     def seed_phases(self, hints: Mapping[str, int]) -> None:

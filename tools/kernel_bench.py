@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Flat-kernel microbench: CDCL propagation throughput in isolation.
+
+Runs the incremental ATPG engine over a generated circuit and reports
+the solve stage's propagations/sec — the single number that tracks the
+flat-array kernel's raw speed.  The fault set and call sequence are
+fully deterministic, so the work counters (propagations, conflicts) are
+bit-identical across hosts and only the rate varies; CI records the
+JSON next to the ratcheted ``BENCH_atpg.json`` as a quick trend line.
+
+The wall rate is noisy on loaded runners, so the report includes a
+steal-corrected rate (solve time scaled by the run's CPU/wall ratio)
+and takes the best of ``--repeat`` runs.
+
+Usage::
+
+    PYTHONPATH=src python tools/kernel_bench.py [--repeat 3] \
+        [--seed 7] [--gates 300] [--json KERNEL_bench.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.atpg.engine import AtpgEngine
+from repro.atpg.faults import collapse_faults
+from repro.circuits.decompose import tech_decompose
+from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
+
+
+def one_run(network, faults):
+    engine = AtpgEngine(network, order="given")
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = engine.run(faults=faults)
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    stats = result.stats
+    solve = stats.stage_times()["solve"]
+    solve_cpu = solve * (cpu / wall) if wall else solve
+    return {
+        "propagations": stats.propagations,
+        "conflicts": stats.conflicts,
+        "sat_calls": stats.sat_calls,
+        "solve_time_s": solve,
+        "solve_time_cpu_s": solve_cpu,
+        "propagations_per_sec": stats.propagations / solve if solve else 0.0,
+        "propagations_per_sec_cpu": (
+            stats.propagations / solve_cpu if solve_cpu else 0.0
+        ),
+        "shared_promoted": stats.shared_promoted,
+        "shared_injected": stats.shared_injected,
+        "shared_hit_rate": stats.shared_hit_rate,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--inputs", type=int, default=20)
+    parser.add_argument("--gates", type=int, default=300)
+    parser.add_argument("--outputs", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    spec = RandomCircuitSpec(
+        num_inputs=args.inputs,
+        num_gates=args.gates,
+        num_outputs=args.outputs,
+        seed=args.seed,
+    )
+    network = tech_decompose(random_circuit(spec))
+    faults = collapse_faults(network)
+
+    runs = [one_run(network, faults) for _ in range(max(1, args.repeat))]
+    counters = {
+        (r["propagations"], r["conflicts"], r["sat_calls"]) for r in runs
+    }
+    if len(counters) != 1:
+        print(f"ERROR: work counters varied across runs: {counters}")
+        return 1
+    best = max(runs, key=lambda r: r["propagations_per_sec_cpu"])
+    report = {
+        "circuit": network.name,
+        "faults": len(faults),
+        "repeat": len(runs),
+        **best,
+    }
+    print(
+        f"kernel: {report['propagations']} propagations in "
+        f"{report['solve_time_s']:.3f}s solve "
+        f"({report['propagations_per_sec']:.0f}/s wall, "
+        f"{report['propagations_per_sec_cpu']:.0f}/s steal-corrected, "
+        f"best of {report['repeat']})"
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
