@@ -27,6 +27,12 @@ throughput trajectory in ``BENCH_atpg.json`` at the repo root:
 A ``kernel`` block records the flat-array CDCL kernel's solve-stage
 propagations/sec (raw and steal-corrected) plus the cross-fault
 structural clause-sharing telemetry (promoted / injected / hit rate).
+A ``kernel_round2`` block records the compiled fault-sim kernel's
+words/sec throughput on the same circuit, and a ``redundancy_circuit``
+block measures clause sharing on/off on the tmr16 TMR voted adder —
+the deliberately redundancy-heavy suite member where UNSAT proofs
+dominate — with verdict parity between the two runs asserted
+(blocking) and the timing delta recorded (non-blocking).
 
 The smoke asserts the batched path beats the seed loop, the incremental
 mode removes ≥1.25x of the batched path's propagation work at identical
@@ -45,24 +51,28 @@ from __future__ import annotations
 
 import gc
 import json
+import random
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.atpg.engine import AtpgEngine, make_solver
-from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.fault_sim import FaultSimulator, fault_simulate
 from repro.atpg.faults import collapse_faults
 from repro.atpg.miter import UnobservableFault, build_atpg_circuit
 from repro.atpg.parallel import ParallelAtpgEngine
 from repro.circuits.decompose import tech_decompose
+from repro.circuits.simulate import pack_patterns, simulate
+from repro.gen.benchmarks import load_circuit
 from repro.gen.random_circuits import RandomCircuitSpec, random_circuit
 from repro.sat.result import SatStatus
 
 pytestmark = pytest.mark.bench
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
-#: Whole-smoke wall-clock budget (seconds); the measured total is ~12s.
+#: Whole-smoke wall-clock budget (seconds); the measured total is ~45s
+#: (the tmr16 sharing on/off pair dominates at ~28s).
 BUDGET_S = 120.0
 #: Regression ratchet: fail if batched throughput drops below this
 #: fraction of the committed baseline's.
@@ -219,6 +229,61 @@ def test_perf_smoke():
     assert cert_health.escalations == 0
     assert cert_health.certified > 0
 
+    # Round-2 fault-sim kernel microbench: probe every collapsed fault
+    # against 8 full-width pattern blocks through one FaultSimulator so
+    # the compiled cones tier up and get reused, exactly as the engine
+    # uses them.  word_ops is the machine-independent numerator.
+    gc.collect()
+    fsim = FaultSimulator(network)
+    rng = random.Random(11)
+    fsim_blocks = []
+    for _ in range(8):
+        block = [
+            {name: rng.randrange(2) for name in network.inputs}
+            for _ in range(64)
+        ]
+        words = pack_patterns(block, network.inputs)
+        fsim_blocks.append(simulate(network, words, 64))
+    fsim_mask = (1 << 64) - 1
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    fsim_checksum = 0
+    for good_values in fsim_blocks:
+        for fault in faults:
+            fsim_checksum ^= fsim.detect_mask(fault, good_values, fsim_mask)
+    fsim_cpu = time.process_time() - cpu_start
+    fsim_time = time.perf_counter() - start
+
+    # Redundancy-heavy circuit: the tmr16 suite member's untestable
+    # majority makes UNSAT proofs, not interpreter overhead, the cost
+    # center — the workload clause sharing is built for.  Dropping is
+    # disabled so both runs solve the identical fault list and the
+    # verdict-parity assert below is exact.
+    tmr = load_circuit("iscas", "tmr16")
+    tmr_faults = collapse_faults(tmr)
+    gc.collect()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    tmr_on = AtpgEngine(tmr, share_learned="cone").run(fault_dropping=False)
+    tmr_on_cpu = time.process_time() - cpu_start
+    tmr_on_time = time.perf_counter() - start
+    gc.collect()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    tmr_off = AtpgEngine(tmr, share_learned="off").run(fault_dropping=False)
+    tmr_off_cpu = time.process_time() - cpu_start
+    tmr_off_time = time.perf_counter() - start
+
+    # Blocking parity: clause sharing must not flip a single verdict on
+    # the UNSAT-dominated workload it is benchmarked on.
+    assert [r.status for r in tmr_on.records] == [
+        r.status for r in tmr_off.records
+    ], "clause sharing changed a verdict on tmr16"
+    assert tmr_on.fault_coverage == tmr_off.fault_coverage
+    # The workload must actually exercise the exchange.
+    assert tmr_on.stats.shared_promoted > 0
+    assert tmr_on.stats.shared_injected > 0
+
     batched_solve = batched.stats.solve_time
     incremental_solve = incremental.stats.solve_time
     # Stage times are wall-clock sums measured inside the engine; on a
@@ -282,6 +347,56 @@ def test_perf_smoke():
             "shared_promoted": incremental.stats.shared_promoted,
             "shared_injected": incremental.stats.shared_injected,
             "shared_hit_rate": incremental.stats.shared_hit_rate,
+        },
+        "kernel_round2": {
+            # Raw speed round 2: the compiled fault-sim kernel's
+            # throughput on the same bench circuit (the CDCL side's
+            # propagations/sec lives in "kernel" above).  Timing is
+            # telemetry; the work counters are deterministic.
+            "fsim_blocks": len(fsim_blocks),
+            "fsim_faults": len(faults),
+            "fsim_wall_time_s": fsim_time,
+            "fsim_cpu_time_s": fsim_cpu,
+            "fsim_gate_evals": fsim.gate_evals,
+            "fsim_word_ops": fsim.word_ops,
+            "fsim_words_per_sec_cpu": (
+                fsim.word_ops / fsim_cpu if fsim_cpu else float("inf")
+            ),
+            "fsim_checksum": fsim_checksum,
+        },
+        "redundancy_circuit": {
+            # The deliberately redundancy-heavy suite member: UNSAT
+            # proofs dominate, so this is where clause sharing is
+            # measured.  Timing is non-blocking telemetry; verdict
+            # parity between the two runs is asserted above.
+            "circuit": tmr.name,
+            "faults": len(tmr_faults),
+            "untestable": sum(
+                1 for r in tmr_on.records if r.status.name == "UNTESTABLE"
+            ),
+            "sharing_on": {
+                "wall_time_s": tmr_on_time,
+                "cpu_time_s": tmr_on_cpu,
+                "propagations": tmr_on.stats.propagations,
+                "conflicts": tmr_on.stats.conflicts,
+                "shared_promoted": tmr_on.stats.shared_promoted,
+                "shared_injected": tmr_on.stats.shared_injected,
+                "shared_hit_rate": tmr_on.stats.shared_hit_rate,
+            },
+            "sharing_off": {
+                "wall_time_s": tmr_off_time,
+                "cpu_time_s": tmr_off_cpu,
+                "propagations": tmr_off.stats.propagations,
+                "conflicts": tmr_off.stats.conflicts,
+            },
+            "sharing_conflict_reduction": (
+                tmr_off.stats.conflicts / tmr_on.stats.conflicts
+                if tmr_on.stats.conflicts
+                else float("inf")
+            ),
+            "sharing_speedup_cpu": (
+                tmr_off_cpu / tmr_on_cpu if tmr_on_cpu else float("inf")
+            ),
         },
         "parallel": {
             "solver_mode": "incremental",

@@ -8,12 +8,25 @@ machine-word limit) and, for each fault, re-evaluates only the fault's
 fanout cone against cached good values (the standard single-fault
 propagation optimisation).
 
-The hot paths run through :class:`FaultSimulator`, which caches a
+The hot paths run through :class:`FaultSimulator`, which *compiles* a
 levelized evaluation schedule per fault site: the cone's gates in
-topological order with their opcodes and fanins resolved once, so
-simulating the same fault against another pattern block is a flat loop
-with no membership tests against the full topological order and no
-per-gate function-call dispatch.
+topological order are lowered once into ``(op, dst_slot, src_slots)``
+records over a dense local slot space, evaluated by a single
+interpreter loop against a preallocated word buffer.  Inside the loop
+a fanin read is one buffer index — no per-net dict hashing, no
+faulty-vs-good membership probe (whether a fanin is inside the cone is
+static, so the compiler resolves it to a slot at compile time).  A
+fully flat ``array('q')`` opcode/operand stream was measured first and
+is *slower* in CPython — every operand fetch from a typed array boxes
+a fresh int (values >= 256 miss the small-int cache), and the
+record-header decode costs more than tuple iteration — so the program
+keeps tuple records whose operands are cached pointer reads.  The
+program, slot buffer, and boundary-load list are cached per fault
+site, so simulating the same fault against another pattern block — or
+the complementary stuck-at fault of the same site against the same
+block — reuses the compiled cone; the boundary good-value loads are
+additionally skipped when the same good-value block is probed again
+(both stuck-at polarities of a site, pattern-store sweeps).
 """
 
 from __future__ import annotations
@@ -32,6 +45,11 @@ from repro.circuits.simulate import pack_patterns, simulate
 _OP_AND, _OP_OR, _OP_XOR, _OP_NAND, _OP_NOR, _OP_XNOR, _OP_BUF, _OP_NOT = (
     range(8)
 )
+
+#: Probes of a fault site before its cone tiers up from the record
+#: interpreter to a generated straight-line function (the ``compile``
+#: cost only pays for itself on repeat probes).
+_TIER_UP_HITS = 2
 
 _OPCODES = {
     GateType.AND: _OP_AND,
@@ -61,19 +79,130 @@ class FaultSimResult:
         return len(self.detected) / total if total else 1.0
 
 
+class _CompiledCone:
+    """A fault site's fanout cone lowered to a slot program.
+
+    ``prog`` holds one ``(op, dst_slot, src_slots)`` record per cone
+    gate in topological order, all net names resolved to dense local
+    slot indices at compile time (see the module docstring for why the
+    records are tuples rather than a flat typed-array stream).
+    ``loads`` lists ``(slot, topo_pos)`` pairs whose slots hold
+    fault-free words — cone-boundary fanins plus one shadow slot per
+    cone output (for the detection XOR) — read from the simulator's
+    per-block topo-indexed good-value list, so a load is two list
+    indexes, not a dict probe; ``buf`` is the preallocated word buffer
+    the interpreter runs over (Python ints, so any block width works).
+    ``last_good`` stamps the good-value mapping most recently loaded:
+    probing the same block again (e.g. the complementary stuck-at
+    polarity of this site) skips the boundary reloads entirely.
+    """
+
+    __slots__ = (
+        "prog",
+        "loads",
+        "out_pairs",
+        "site_slot",
+        "buf",
+        "n_gates",
+        "n_word_ops",
+        "last_good",
+        "hits",
+        "fn",
+    )
+
+    def __init__(
+        self,
+        prog: list[tuple[int, int, tuple[int, ...]]],
+        loads: list[tuple[int, int]],
+        out_pairs: list[tuple[int, int]],
+        site_slot: int,
+        n_slots: int,
+        n_gates: int,
+        n_word_ops: int,
+    ) -> None:
+        self.prog = prog
+        self.loads = loads
+        self.out_pairs = out_pairs
+        self.site_slot = site_slot
+        self.buf: list[int] = [0] * n_slots
+        self.n_gates = n_gates
+        self.n_word_ops = n_word_ops
+        self.last_good: object = None
+        #: Probe count; at :data:`_TIER_UP_HITS` the cone tiers up from
+        #: the record interpreter to a generated straight-line function.
+        self.hits = 0
+        self.fn: object = None
+
+    def codegen(self) -> object:
+        """Lower the slot program to a straight-line Python function.
+
+        Emits one assignment per cone gate (operands are local names
+        or topo-indexed reads from the good-value list ``G``) plus a
+        final detection OR, and ``exec``-compiles it.  Straight-line
+        locals-based code drops the per-gate dispatch and per-fanin
+        buffer indexing of the interpreter entirely; the one-time
+        ``compile`` cost is why tier-up waits for repeat probes.
+        Operand text is built from compile-time ints only — no net
+        names reach the generated source.
+        """
+        pos_of = dict(self.loads)  # load slot -> topo position
+        names = {self.site_slot: "stuck"}
+        for slot, pos in self.loads:
+            names[slot] = f"G[{pos}]"
+        lines = ["def _cone(G, stuck, m):"]
+        for op, dst, srcs in self.prog:
+            terms = [names[s] for s in srcs]
+            if op == _OP_AND:
+                rhs = " & ".join(terms)
+            elif op == _OP_NAND:
+                rhs = "m ^ ({})".format(" & ".join(terms))
+            elif op == _OP_OR:
+                rhs = " | ".join(terms)
+            elif op == _OP_NOR:
+                rhs = "m ^ ({})".format(" | ".join(terms))
+            elif op == _OP_XOR:
+                rhs = " ^ ".join(terms)
+            elif op == _OP_XNOR:
+                rhs = "m ^ ({})".format(" ^ ".join(terms))
+            elif op == _OP_BUF:
+                rhs = terms[0]
+            else:  # NOT
+                rhs = f"m ^ {terms[0]}"
+            name = names[dst] = f"v{dst}"
+            lines.append(f"    {name} = {rhs}")
+        if self.out_pairs:
+            detect = " | ".join(
+                f"({names[fs]} ^ G[{pos_of[gs]}])"
+                for fs, gs in self.out_pairs
+            )
+        else:
+            detect = "0"
+        lines.append(f"    return {detect}")
+        namespace: dict[str, object] = {}
+        exec(  # noqa: S102 - source built from compile-time ints only
+            compile("\n".join(lines), "<fsim-cone>", "exec"), namespace
+        )
+        return namespace["_cone"]
+
+
 class FaultSimulator:
-    """Cone simulator with per-fault-site levelized schedules.
+    """Cone simulator with per-fault-site compiled schedules.
 
     The schedule for a fault site is the site's transitive fanout in
-    topological order, each gate pre-resolved to an (output net, opcode,
-    fanin nets) triple.  Schedules are cached per site and reused for
-    every pattern block, so repeated simulation of the same fault (the
-    pattern-store dropping pass) costs one flat loop over the cone —
-    width-agnostic: the good/faulty values are plain Python ints of any
-    bit width, bounded by the caller's valid-pattern ``mask``.
+    topological order, compiled once into a :class:`_CompiledCone`
+    (see the module docstring) and reused for every pattern block —
+    width-agnostic: the good/faulty values are plain Python ints of
+    any bit width, bounded by the caller's valid-pattern ``mask``.
 
     The cache keys off the network's topological-order cache identity,
     so mutating the network invalidates all schedules automatically.
+
+    Attributes:
+        gate_evals: cone gate evaluations performed (one per program
+            record interpreted) — a machine-independent work counter.
+        word_ops: packed-word operations performed (one per fanin
+            fold plus one per complement) — the numerator of the
+            bench-suite's words-per-second throughput metric.
     """
 
     def __init__(self, network: Network) -> None:
@@ -89,6 +218,12 @@ class FaultSimulator:
                 set[str],
             ],
         ] = {}
+        self._compiled: dict[str, _CompiledCone] = {}
+        #: Identity-keyed single-entry cache: the last good-value
+        #: mapping seen, flattened to a topo-position-indexed list.
+        self._good_cache: tuple[object, list[int]] | None = None
+        self.gate_evals = 0
+        self.word_ops = 0
 
     def _refresh(self) -> None:
         """Drop cached schedules if the network mutated since last use."""
@@ -100,6 +235,8 @@ class FaultSimulator:
             self._topo_ref = topo
             self._positions = {net: i for i, net in enumerate(topo)}
             self._schedules.clear()
+            self._compiled.clear()
+            self._good_cache = None
 
     def schedule(
         self, site: str
@@ -128,6 +265,63 @@ class FaultSimulator:
             self._schedules[site] = entry
         return entry
 
+    def compiled(self, site: str) -> _CompiledCone:
+        """The compiled slot program for a fault on ``site``.
+
+        Slots are assigned densely in first-use order: the site first,
+        then each gate's fanins (boundary fanins — nets outside the
+        cone — become load slots holding fault-free words) and its
+        output net.  Whether a fanin carries a faulty or a fault-free
+        word is decided here, once, instead of per word in the
+        interpreter loop.
+        """
+        self._refresh()
+        compiled = self._compiled.get(site)
+        if compiled is None:
+            triples, outputs, _cone = self.schedule(site)
+            positions = self._positions
+            slots: dict[str, int] = {site: 0}
+            loads: list[tuple[int, int]] = []
+            prog: list[tuple[int, int, tuple[int, ...]]] = []
+            n_word_ops = 0
+            for net, op, srcs in triples:
+                src_slots: list[int] = []
+                for src in srcs:
+                    slot = slots.get(src)
+                    if slot is None:
+                        # Topological order puts every cone gate before
+                        # its cone fanouts, so an unseen fanin is
+                        # outside the cone: a fault-free boundary load.
+                        slot = slots[src] = len(slots)
+                        loads.append((slot, positions[src]))
+                    src_slots.append(slot)
+                dst = slots.get(net)
+                if dst is None:
+                    dst = slots[net] = len(slots)
+                prog.append((op, dst, tuple(src_slots)))
+                n_word_ops += len(src_slots)
+                if op >= _OP_NAND and op != _OP_BUF:
+                    n_word_ops += 1  # the complement
+            n_slots = len(slots)
+            out_pairs: list[tuple[int, int]] = []
+            for out in outputs:
+                # Shadow slot: the output's fault-free word, for the
+                # detection XOR against the faulty word.
+                out_pairs.append((slots[out], n_slots))
+                loads.append((n_slots, positions[out]))
+                n_slots += 1
+            compiled = _CompiledCone(
+                prog,
+                loads,
+                out_pairs,
+                0,
+                n_slots,
+                len(triples),
+                n_word_ops,
+            )
+            self._compiled[site] = compiled
+        return compiled
+
     def detect_mask(
         self, fault: Fault, good_values: Mapping[str, int], mask: int
     ) -> int:
@@ -135,40 +329,62 @@ class FaultSimulator:
 
         ``good_values`` holds the fault-free packed words per net for a
         block of patterns; ``mask`` is the block's valid-pattern mask.
+        Consecutive probes against the *same* ``good_values`` mapping
+        (both polarities of a site, pattern-store sweeps) skip the
+        boundary reloads — the mapping must not be mutated in between,
+        which holds for every caller (:func:`simulate` returns a fresh
+        dict per block and the pattern store keeps its block dicts
+        immutable).
         """
         stuck_word = mask if fault.value else 0
         if good_values[fault.net] == stuck_word:
             return 0  # fault never excited by these patterns
-        triples, outputs, _cone = self.schedule(fault.net)
-        faulty: dict[str, int] = {fault.net: stuck_word}
-        fget = faulty.get
-        good = good_values
-        for net, op, srcs in triples:
+        cone = self.compiled(fault.net)
+        cached = self._good_cache
+        if cached is None or cached[0] is not good_values:
+            # Flatten the block's good values once; every cone probed
+            # against this block reads by topo position.
+            glist = [good_values[net] for net in self._topo_ref]
+            self._good_cache = (good_values, glist)
+        else:
+            glist = cached[1]
+        self.gate_evals += cone.n_gates
+        self.word_ops += cone.n_word_ops
+        fn = cone.fn
+        if fn is None:
+            cone.hits += 1
+            if cone.hits >= _TIER_UP_HITS:
+                fn = cone.fn = cone.codegen()
+        if fn is not None:
+            return fn(glist, stuck_word, mask) & mask
+        # Cold tier: the record interpreter over the slot buffer.
+        buf = cone.buf
+        if cone.last_good is not good_values:
+            for slot, pos in cone.loads:
+                buf[slot] = glist[pos]
+            cone.last_good = good_values
+        buf[cone.site_slot] = stuck_word
+        for op, dst, srcs in cone.prog:
             if op == _OP_AND or op == _OP_NAND:
                 acc = mask
-                for src in srcs:
-                    word = fget(src)
-                    acc &= good[src] if word is None else word
+                for s in srcs:
+                    acc &= buf[s]
             elif op == _OP_OR or op == _OP_NOR:
                 acc = 0
-                for src in srcs:
-                    word = fget(src)
-                    acc |= good[src] if word is None else word
-            elif op == _OP_XOR or op == _OP_XNOR:
+                for s in srcs:
+                    acc |= buf[s]
+            elif op == _OP_BUF or op == _OP_NOT:
+                acc = buf[srcs[0]]
+            else:  # XOR / XNOR
                 acc = 0
-                for src in srcs:
-                    word = fget(src)
-                    acc ^= good[src] if word is None else word
-            else:  # BUF / NOT
-                src = srcs[0]
-                word = fget(src)
-                acc = good[src] if word is None else word
+                for s in srcs:
+                    acc ^= buf[s]
             if op >= _OP_NAND and op != _OP_BUF:  # NAND/NOR/XNOR/NOT
                 acc ^= mask
-            faulty[net] = acc
+            buf[dst] = acc
         detected = 0
-        for out in outputs:
-            detected |= faulty[out] ^ good[out]
+        for fs, gs in cone.out_pairs:
+            detected |= buf[fs] ^ buf[gs]
         return detected & mask
 
 

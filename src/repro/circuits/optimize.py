@@ -26,8 +26,6 @@ _IDENTITY = {
     (GateType.NAND, 1),
     (GateType.OR, 0),
     (GateType.NOR, 0),
-    (GateType.XOR, 0),
-    (GateType.XNOR, 1),
 }
 
 
@@ -71,8 +69,12 @@ def propagate_constants(network: Network) -> Network:
                 break
             if (gtype, value) in _IDENTITY:
                 continue
-            if gtype in (GateType.XOR, GateType.XNOR) and value == 1:
-                flips += 1
+            if gtype in (GateType.XOR, GateType.XNOR):
+                # Both feed the same internal parity: a 0 input drops
+                # out, a 1 input drops out and inverts the result —
+                # regardless of whether the gate's output is inverted.
+                # (XNOR(1, x) = x, so the flip applies to XNOR too.)
+                flips += value
                 continue
             if gtype in (GateType.BUF, GateType.NOT):
                 out = value if gtype is GateType.BUF else 1 - value

@@ -34,6 +34,47 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _bounded_int(maximum: int, what: str):
+    """Argparse type: strictly positive int with an absurdity ceiling.
+
+    Perf knobs fail here, at parse time with exit code 2, instead of
+    deep inside the engine (or, worse, succeeding while quietly
+    thrashing — a million-bit fault-simulation word is "valid").
+    """
+
+    def parse(text: str) -> int:
+        value = _positive_int(text)
+        if value > maximum:
+            raise argparse.ArgumentTypeError(
+                f"absurd {what}: {value} (max {maximum})"
+            )
+        return value
+
+    return parse
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for strictly positive float options."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from exc
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type for float options that allow zero."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from exc
+    if not value >= 0 or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _abort(reason: str) -> None:
     """Print the unified abort line (``abort: <reason>``) to stderr."""
     print(f"abort: {reason}", file=sys.stderr)
@@ -503,11 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-faults", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_bounded_int(256, "worker count"), default=1,
         help="worker processes per circuit width sweep",
     )
     p.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
+        "--deadline", type=_nonnegative_float, default=None, metavar="SECONDS",
         help="run-level wall-clock budget across all suites; past it "
         "remaining circuits are skipped and the command exits 3 "
         "(abort: deadline_exceeded)",
@@ -537,7 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-faults)",
     )
     p.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_bounded_int(256, "worker count"), default=1,
         help="worker processes (>1 fans shards out under supervision)",
     )
     p.add_argument(
@@ -551,11 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate each sample's Theorem 4.1 bound n*2^(2*k_fo*W)",
     )
     p.add_argument(
-        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        "--shard-timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="per-shard wall-clock budget (terminated, retried, split)",
     )
     p.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
+        "--deadline", type=_nonnegative_float, default=None, metavar="SECONDS",
         help="run-level wall-clock budget; unanalysed faults are "
         "reported as skipped (deadline_exceeded)",
     )
@@ -626,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--decompose", action="store_true")
     p.add_argument("--compact", action="store_true")
     p.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_bounded_int(256, "worker count"), default=1,
         help="worker processes (>1 uses ParallelAtpgEngine)",
     )
     p.add_argument(
@@ -634,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault processing order (auto = SCOAP easiest-first)",
     )
     p.add_argument(
-        "--block-size", type=_positive_int, default=64,
+        "--block-size", type=_bounded_int(1 << 16, "block width"), default=64,
         help="patterns per packed fault-simulation block (any width "
         ">= 1: blocks ride arbitrary-precision integer words)",
     )
@@ -643,12 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write throughput/cache/stage-time JSON to PATH",
     )
     p.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
+        "--deadline", type=_nonnegative_float, default=None, metavar="SECONDS",
         help="run-level wall-clock budget; past it the run stops "
         "cleanly with remaining faults ABORTED (deadline_exceeded)",
     )
     p.add_argument(
-        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        "--shard-timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="per-shard wall-clock budget; a shard exceeding it is "
         "terminated, retried, and split on repeat failure",
     )
@@ -677,13 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
         "solvers (incremental -> fresh CDCL -> DPLL reference)",
     )
     p.add_argument(
-        "--max-conflicts-per-fault", type=int, default=100_000,
+        "--max-conflicts-per-fault", type=_positive_int, default=100_000,
         metavar="N",
         help="per-fault solver conflict budget; exhausted faults abort "
         "with budget_exhausted (deterministic, final on resume)",
     )
     p.add_argument(
-        "--mem-budget-mb", type=float, default=None, metavar="MB",
+        "--mem-budget-mb", type=_positive_float, default=None, metavar="MB",
         help="clause-database memory budget per SAT call; past it the "
         "fault aborts with mem_budget_exceeded (and, under --certify, "
         "escalates to the next solver rung)",

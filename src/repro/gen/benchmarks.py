@@ -40,6 +40,7 @@ from repro.gen.structured import (
     mux_tree,
     parity_tree,
     ripple_carry_adder,
+    tmr_voted_adder,
 )
 from repro.io.bench import loads_bench
 
@@ -88,6 +89,7 @@ def _iscas_like_builders() -> _BuilderMap:
         "alu12": lambda: alu_slice(12),
         "cmp16": lambda: comparator(16),
         "parity24": lambda: parity_tree(24),
+        "tmr16": lambda: tmr_voted_adder(16),
         "rand_iscas_a": lambda: random_circuit(
             RandomCircuitSpec(
                 num_inputs=72,

@@ -147,6 +147,70 @@ def array_multiplier(width: int) -> Network:
     return b.build()
 
 
+def tmr_voted_adder(width: int) -> Network:
+    """A ``width``-bit adder with triple-modular-redundant carry chains.
+
+    The carry logic is replicated three times (each replica recomputes
+    generate/propagate/carry from the shared primary inputs) and the
+    per-bit carries are merged by a majority voter
+    ``v_i = MAJ(c0_i, c1_i, c2_i)`` before feeding the sum XORs.  Any
+    single stuck-at fault inside one replica's carry chain (or on one
+    voter AND leg) is outvoted by the two healthy replicas, so a large
+    fraction of the fault list is provably untestable — every such
+    fault is an UNSAT instance for ATPG.  The shared sum XORs, the
+    voter OR, and the primary inputs remain testable.
+
+    This is the bench suite's deliberately redundancy-heavy member:
+    unlike the random circuits (whose redundancy is accidental absorbed
+    logic), its untestable faults all stem from one structural
+    mechanism, which makes it the right workload for measuring clause
+    sharing and conflict-side solver behaviour where UNSAT proofs, not
+    interpreter overhead, dominate.
+
+    Inputs a0..a{w-1}, b0..b{w-1}, cin; outputs s0..s{w-1}, cout.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = NetworkBuilder(f"tmr{width}")
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    cin = b.input("cin")
+
+    # Shared half-sum terms feeding the (testable) sum XORs.
+    half = [
+        b.xor(a_bits[i], b_bits[i], name=f"hs{i}") for i in range(width)
+    ]
+
+    # Three independent replica carry chains, each recomputing its own
+    # generate/propagate terms from the shared primary inputs.
+    replica_carries: list[list[str]] = []
+    for r in range(3):
+        carry = cin
+        carries = []
+        for i in range(width):
+            axb = b.xor(a_bits[i], b_bits[i], name=f"axb_r{r}_{i}")
+            gen = b.and_(a_bits[i], b_bits[i], name=f"gen_r{r}_{i}")
+            prop = b.and_(axb, carry, name=f"prp_r{r}_{i}")
+            carry = b.or_(gen, prop, name=f"c_r{r}_{i+1}")
+            carries.append(carry)
+        replica_carries.append(carries)
+
+    # Per-bit majority vote over the three replica carries.
+    voted = []
+    for i in range(width):
+        c0, c1, c2 = (replica_carries[r][i] for r in range(3))
+        m01 = b.and_(c0, c1, name=f"vt01_{i}")
+        m02 = b.and_(c0, c2, name=f"vt02_{i}")
+        m12 = b.and_(c1, c2, name=f"vt12_{i}")
+        voted.append(b.or_(m01, m02, m12, name=f"v{i}"))
+
+    sums = [b.xor(half[0], cin, name="s0")]
+    for i in range(1, width):
+        sums.append(b.xor(half[i], voted[i - 1], name=f"s{i}"))
+    b.outputs(*sums, voted[width - 1])
+    return b.build()
+
+
 def decoder(select_bits: int) -> Network:
     """A ``select_bits``-to-2^n one-hot decoder (k-bounded family)."""
     if select_bits < 1 or select_bits > 8:

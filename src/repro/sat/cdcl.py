@@ -24,23 +24,66 @@ The solver is split in two layers:
 Storage layout (the flat-array kernel)
 --------------------------------------
 
-Clauses live in a single packed integer arena instead of one Python
-list object per clause: a clause reference ``ref`` is an index into
-``arena`` where the clause's literals start, with the clause length at
-``arena[ref - 1]``.  Watch lists are flat lists of refs, the
-implication graph (``reason``) is a parallel int array (-1 = decision),
-and literal truth values are kept per *literal* (``lit_truth[lit]``) so
-the hot propagation loop needs no shift/xor per probe.  The kernel is
-required to stay **bit-identical** to the object-graph reference
-implementation (:mod:`repro.sat.cdcl_ref`) — same verdicts, same
-propagation/decision/conflict/restart counters, same DRUP proofs —
-because both perform the same in-place literal permutations in the same
-order; ``tests/sat/test_kernel_parity.py`` enforces this over the fuzz
-corpus.
+All per-variable and per-literal state lives in flat parallel *lists*
+of small ints, indexed by variable or literal — no objects, no dicts,
+no attribute loads on the hot paths.  Plain lists, not ``array``-typed
+arenas, and deliberately so: on CPython, ``array('q')``/``array('b')``
+element reads construct a fresh ``int`` object for every value outside
+the small-int cache (clause refs and literals routinely exceed 256),
+and measured propagation throughput is *lower* than with lists, whose
+elements are already boxed once and shared.  Lists also grow by
+doubling inside the allocator, so bulk extension via
+:meth:`CdclCore.new_vars` already avoids per-variable rebuilds; the
+arenas' win on a C backend (contiguity, no pointer chase) simply does
+not materialise under the CPython object model.
+
+Truth values are stored per *literal* (``lit_truth[lit]``, with
+``lit_truth[lit ^ 1]`` kept complementary) so the propagation loop
+needs no shift/xor per probe; there is no separate per-variable value
+array at all — ``lit_truth[2 * var]`` *is* the variable's value, and
+the public :attr:`CdclCore.values` view is derived from it as a
+stride-2 slice snapshot on demand.
+
+Clauses of three or more literals live in a single packed integer
+arena: a clause reference ``ref`` is an index into ``arena`` where the
+clause's literals start, with the clause length at ``arena[ref - 1]``.
+Watch lists are flat lists of refs, and the implication graph
+(``reason``) is a parallel per-variable list (-1 = decision).
+
+**Binary clauses** (exactly two literals after root simplification) are
+kept out of the watch lists entirely.  Each literal owns a flat
+successor array ``bin_others[lit]`` — the implication edges
+``¬lit → other`` — with the owning clause refs in a parallel
+``bin_refs[lit]`` array, and propagation runs a tight pre-pass over the
+successors before touching the long-clause watch lists: a binary clause
+needs no replacement-watch search, no literal permutation, and its
+reason is encoded directly in the ``reason`` array
+(``reason[var] = -2 - falsified_lit``) so conflict analysis resolves it
+without an arena read.  Splitting the successors from the refs keeps
+the pre-pass a bare C-speed iteration (one list read and one truth
+probe per edge); the parallel ref is only consulted on the rare
+conflict.  Tseitin CNF of AND/OR netlists is roughly two-thirds binary
+clauses, which makes this the propagation fast path.  The clauses
+themselves still occupy the arena (for proofs, analysis of binary
+*conflicts*, and :meth:`CdclCore.read_clause`); only their watch
+plumbing is special.
+
+Long-clause watch entries carry a **blocker literal** (MiniSat 2.2
+style) in a parallel ``blockers[lit]`` array: the last literal of the
+clause observed true.  While the blocker holds, a watch visit is two
+list reads and a compare — no arena access, no literal swap.
+
+The kernel is required to stay **bit-identical** to the object-graph
+reference implementation (:mod:`repro.sat.cdcl_ref`) — same verdicts,
+same propagation/decision/conflict/restart counters, same DRUP proofs —
+because both perform the same binary-first propagation and the same
+in-place literal permutations in the same order;
+``tests/sat/test_kernel_parity.py`` enforces this over the fuzz corpus.
 
 Dead arena space (detached learned clauses, swept groups) is reclaimed
 by :meth:`CdclCore.collect`, which compacts the arena while preserving
-watch-list order so the search trajectory is unaffected.
+watch-list and binary-edge order so the search trajectory is
+unaffected.
 
 Cross-fault structural learning hooks
 -------------------------------------
@@ -91,8 +134,9 @@ class CdclCore:
 
     Clauses are stored in a packed integer arena (see the module
     docstring); ``base`` and ``learned`` hold arena refs, and the
-    solver may permute a clause's literal order in place during watch
-    maintenance (the literal *set* is never changed).
+    solver may permute a long clause's literal order in place during
+    watch maintenance (the literal *set* is never changed; binary
+    clauses are never permuted).
 
     Args:
         restart_interval: conflicts before the first restart (grows 1.5x).
@@ -126,16 +170,32 @@ class CdclCore:
         self.learned_db_min = learned_db_min
         self.learned_db_factor = learned_db_factor
 
-        self.values: list[int] = []
         self.level: list[int] = []
-        self.reason: list[int] = []  # arena ref, -1 = decision/none
+        #: Implication-graph edge per variable: an arena ref (>= 0) for
+        #: long-clause reasons, -1 for decisions/none, and ``-2 - lit``
+        #: for binary reasons where ``lit`` is the falsified literal of
+        #: the binary clause (conflict analysis resolves a binary
+        #: reason with just that literal, no arena access).
+        self.reason: list[int] = []
+        #: VSIDS activity per var, stored *negated* (always <= 0.0):
+        #: heap entries are ``(activity[var], var)`` directly, so the
+        #: hot requeue paths build no negated copy per push.
         self.activity: list[float] = []
         self.saved_phase: list[int] = []
-        self.released: list[bool] = []
+        self.released = bytearray()
         #: Per-literal truth: lit_truth[lit] is -1 unassigned, else the
         #: truth value (0/1) of the *literal* under the assignment.
         self.lit_truth: list[int] = []
+        #: Watch lists (long clauses only): per-literal lists of refs,
+        #: with a parallel blocker literal per entry (clause skipped
+        #: without arena access while the blocker is true).
         self.watches: list[list[int]] = []
+        self.blockers: list[list[int]] = []
+        #: Binary implication edges: bin_others[lit] holds the successor
+        #: literals (one per binary clause {lit, other}), bin_refs[lit]
+        #: the owning clause refs at matching indices.
+        self.bin_others: list[list[int]] = []
+        self.bin_refs: list[list[int]] = []
 
         #: Packed clause storage: a clause ref points at its first
         #: literal; arena[ref - 1] holds the clause length.
@@ -150,6 +210,13 @@ class CdclCore:
         self.root_failed = False
 
         self._var_inc = 1.0
+        #: Lazy-deletion branching heap.  Entries are (activity, var)
+        #: (activities are stored negated, so min-heap order is
+        #: highest-activity-first)
+        #: tuples under C-implemented heapq: pops depend only on the
+        #: entry multiset, never on internal layout, so bulk heap
+        #: construction (new_vars, backjump batching) cannot change the
+        #: search trajectory.
         self._heap: list[tuple[float, int]] = []
         #: cur_in_heap[var] == 1 while the heap holds an entry whose key
         #: matches the var's *current* activity.  ``_pick_branch`` only
@@ -158,6 +225,11 @@ class CdclCore:
         #: pushes here cannot change the search trajectory, it only
         #: keeps the lazy-deletion heap free of redundant entries.
         self._cur_in_heap = bytearray()
+        #: Count of vars that are unassigned and not released — the
+        #: SAT-detection counter.  When it hits zero the model is total
+        #: over live vars, and solve() concludes SAT without draining
+        #: the lazy-deletion heap's stale entries one pop at a time.
+        self._active_unassigned = 0
         self._free: list[int] = []
         #: Vars released while still root-assigned (activation literals);
         #: recycled by :meth:`collect` once their clauses are swept.
@@ -182,49 +254,111 @@ class CdclCore:
     @property
     def num_vars(self) -> int:
         """Allocated variable count (including recyclable slots)."""
-        return len(self.values)
+        return len(self.level)
+
+    @property
+    def values(self) -> list[int]:
+        """Per-variable truth values (-1 unassigned, else 0/1).
+
+        Derived from ``lit_truth`` by a C-level stride-2 slice —
+        ``lit_truth[2 * var]`` is exactly the truth value of ``var``, so
+        the kernel keeps no separate per-variable value array (one
+        fewer store per enqueue and per unwind).  Callers get a fresh
+        snapshot list; mutations to it do not touch solver state.
+        """
+        return self.lit_truth[::2]
 
     def new_var(self) -> int:
         """Allocate a variable index (recycling released ones)."""
         if self._free:
             var = self._free.pop()
-            self.released[var] = False
+            self.released[var] = 0
             self.activity[var] = 0.0
             self.saved_phase[var] = 0
+            self._active_unassigned += 1
             heappush(self._heap, (0.0, var))
             self._cur_in_heap[var] = 1
             return var
-        var = len(self.values)
-        self.values.append(_UNASSIGNED)
+        var = len(self.level)
         self.level.append(0)
         self.reason.append(-1)
         self.activity.append(0.0)
         self.saved_phase.append(0)
-        self.released.append(False)
+        self.released.append(0)
         self.lit_truth.append(_UNASSIGNED)
         self.lit_truth.append(_UNASSIGNED)
-        self.watches.append([])
-        self.watches.append([])
+        for _ in range(2):
+            self.watches.append([])
+            self.blockers.append([])
+            self.bin_others.append([])
+            self.bin_refs.append([])
         self._seen.append(0)
         self._cur_in_heap.append(1)
+        self._active_unassigned += 1
         heappush(self._heap, (0.0, var))
         return var
+
+    def new_vars(self, count: int) -> None:
+        """Bulk-allocate ``count`` fresh variables.
+
+        Semantically identical to ``count`` calls of :meth:`new_var`
+        (the branching heap receives the same entry multiset, and heap
+        pops depend only on the multiset, so the trajectory is
+        unchanged), but the flat state arrays are extended in one shot —
+        this is how one-shot solves avoid a per-variable core rebuild.
+        """
+        if count <= 0:
+            return
+        if self._free:
+            # Recycling in play: take the exact scalar path.
+            for _ in range(count):
+                self.new_var()
+            return
+        start = len(self.level)
+        self.level.extend([0] * count)
+        self.reason.extend([-1] * count)
+        self.activity.extend([0.0] * count)
+        self.saved_phase.extend([0] * count)
+        self.released.extend(bytes(count))
+        self.lit_truth.extend([_UNASSIGNED] * (2 * count))
+        self._seen.extend(bytes(count))
+        self._cur_in_heap.extend(b"\x01" * count)
+        self._active_unassigned += count
+        watches = self.watches
+        blockers = self.blockers
+        bin_others = self.bin_others
+        bin_refs = self.bin_refs
+        for _ in range(2 * count):
+            watches.append([])
+            blockers.append([])
+            bin_others.append([])
+            bin_refs.append([])
+        entries = [(0.0, var) for var in range(start, start + count)]
+        if self._heap:
+            for entry in entries:
+                heappush(self._heap, entry)
+        else:
+            # Strictly increasing keys form a valid heap as-is.
+            self._heap = entries
 
     def release_var(self, var: int, defer: bool = False) -> None:
         """Mark ``var`` dead.  Immediately recyclable unless ``defer``
         (for vars still root-assigned, e.g. activation literals, which
         :meth:`collect` recycles after sweeping their clauses)."""
-        self.released[var] = True
-        if defer or self.values[var] != _UNASSIGNED:
+        self.released[var] = 1
+        unassigned = self.lit_truth[var << 1] == _UNASSIGNED
+        if unassigned:
+            self._active_unassigned -= 1
+        if defer or not unassigned:
             self._zombie.append(var)
         else:
             self._free.append(var)
 
     def set_activity(self, var: int, value: float) -> None:
         """Seed a variable's activity (static-order tie-breaking)."""
-        self.activity[var] = value
+        self.activity[var] = -value
         self._cur_in_heap[var] = 0  # any in-heap entry is now stale
-        if self.values[var] == _UNASSIGNED and not self.released[var]:
+        if self.lit_truth[var << 1] == _UNASSIGNED and not self.released[var]:
             heappush(self._heap, (-value, var))
             self._cur_in_heap[var] = 1
 
@@ -242,6 +376,13 @@ class CdclCore:
         ref = len(arena)
         arena.extend(lits)
         return ref
+
+    def _attach_binary(self, a: int, b: int, ref: int) -> None:
+        """Record the implication edges ``¬a → b`` and ``¬b → a``."""
+        self.bin_others[a].append(b)
+        self.bin_refs[a].append(ref)
+        self.bin_others[b].append(a)
+        self.bin_refs[b].append(ref)
 
     def add_clause(self, lits: list[int]) -> bool:
         """Append a problem clause (root simplified).
@@ -287,20 +428,36 @@ class CdclCore:
             return True
         ref = self._alloc(clause)
         self.base.append(ref)
-        self.watches[clause[0]].append(ref)
-        self.watches[clause[1]].append(ref)
+        if len(clause) == 2:
+            self._attach_binary(clause[0], clause[1], ref)
+        else:
+            self.watches[clause[0]].append(ref)
+            self.blockers[clause[0]].append(clause[1])
+            self.watches[clause[1]].append(ref)
+            self.blockers[clause[1]].append(clause[0])
         return True
 
     def _detach(self, ref: int) -> None:
-        """Remove the clause at ``ref`` from its two watch lists."""
+        """Remove the clause at ``ref`` from its watch structures."""
         arena = self.arena
+        if arena[ref - 1] == 2:
+            for lit in (arena[ref], arena[ref + 1]):
+                refs = self.bin_refs[lit]
+                others = self.bin_others[lit]
+                j = refs.index(ref)
+                refs[j] = refs[-1]
+                refs.pop()
+                others[j] = others[-1]
+                others.pop()
+            return
         for lit in (arena[ref], arena[ref + 1]):
             watching = self.watches[lit]
-            for i, other in enumerate(watching):
-                if other == ref:
-                    watching[i] = watching[-1]
-                    watching.pop()
-                    break
+            blks = self.blockers[lit]
+            i = watching.index(ref)
+            watching[i] = watching[-1]
+            watching.pop()
+            blks[i] = blks[-1]
+            blks.pop()
 
     # ------------------------------------------------------------------
     # Assignment machinery
@@ -312,13 +469,13 @@ class CdclCore:
         return self.lit_truth[lit]
 
     def _enqueue(self, lit: int, reason_ref: int = -1) -> bool:
-        var = lit >> 1
-        value = 1 ^ (lit & 1)
-        values = self.values
-        if values[var] != _UNASSIGNED:
-            return values[var] == value
-        values[var] = value
         lit_truth = self.lit_truth
+        value = lit_truth[lit]
+        if value != _UNASSIGNED:
+            return value == 1
+        var = lit >> 1
+        if not self.released[var]:
+            self._active_unassigned -= 1
         lit_truth[lit] = 1
         lit_truth[lit ^ 1] = 0
         self.level[var] = len(self.trail_lim)
@@ -327,25 +484,65 @@ class CdclCore:
         return True
 
     def _propagate(self, stats: SolverStats) -> int:
-        """Unit propagation.  Returns a conflicting clause ref, or -1."""
+        """Unit propagation.  Returns a conflicting clause ref, or -1.
+
+        Each dequeued literal first walks its flat binary-implication
+        edges (no watch surgery, no replacement search, reason encoded
+        as ``-2 - falsified_lit``), then the long-clause watch list.
+        """
         arena = self.arena
         lit_truth = self.lit_truth
         watches = self.watches
+        blockers = self.blockers
+        bin_others = self.bin_others
         trail = self.trail
-        values = self.values
         level = self.level
         reason = self.reason
         current = len(self.trail_lim)
         qhead = self.qhead
-        props = 0
+        # Every trail append inside this call is one propagation, so the
+        # counter is derived from trail growth instead of maintained in
+        # the hot enqueue bodies.
+        entry_len = len(trail)
         while qhead < len(trail):
             lit = trail[qhead]
             qhead += 1
             false_lit = lit ^ 1
+            # Binary fast path: every edge is ¬false_lit → other.  A
+            # bare C-iterator loop: one list read and one truth probe
+            # per already-satisfied edge.
+            others = bin_others[false_lit]
+            for other in others:
+                ov = lit_truth[other]
+                if ov == 1:
+                    continue
+                if ov == 0:  # both literals false: conflict
+                    self.qhead = qhead
+                    delta = len(trail) - entry_len
+                    stats.propagations += delta
+                    self._active_unassigned -= delta
+                    # The conflicting edge is the *first* edge carrying
+                    # this successor value: an earlier duplicate would
+                    # itself have conflicted (or enqueued the literal)
+                    # first.  ``.index`` therefore recovers its ref.
+                    return self.bin_refs[false_lit][others.index(other)]
+                var = other >> 1
+                lit_truth[other] = 1
+                lit_truth[other ^ 1] = 0
+                level[var] = current
+                reason[var] = -2 - false_lit
+                trail.append(other)
+            # Long clauses (size >= 3) via two watched literals.  Each
+            # entry carries a blocker literal; while it holds true the
+            # clause is satisfied and skipped without arena access.
             watching = watches[false_lit]
+            blks = blockers[false_lit]
             i = 0
             end_w = len(watching)
             while i < end_w:
+                if lit_truth[blks[i]] == 1:
+                    i += 1
+                    continue
                 ref = watching[i]
                 first = arena[ref]
                 if first == false_lit:
@@ -354,40 +551,46 @@ class CdclCore:
                     arena[ref + 1] = false_lit
                 fv = lit_truth[first]
                 if fv == 1:
+                    blks[i] = first
                     i += 1
                     continue
                 size = arena[ref - 1]
-                if size > 2:  # binary clauses have no replacement slots
-                    found = False
-                    for k in range(ref + 2, ref + size):
-                        other = arena[k]
-                        if lit_truth[other] != 0:
-                            arena[ref + 1] = other
-                            arena[k] = false_lit
-                            watches[other].append(ref)
-                            end_w -= 1
-                            watching[i] = watching[end_w]
-                            watching.pop()
-                            found = True
-                            break
-                    if found:
-                        continue
+                found = False
+                for k in range(ref + 2, ref + size):
+                    other = arena[k]
+                    if lit_truth[other] != 0:
+                        arena[ref + 1] = other
+                        arena[k] = false_lit
+                        watches[other].append(ref)
+                        blockers[other].append(first)
+                        end_w -= 1
+                        watching[i] = watching[end_w]
+                        watching.pop()
+                        blks[i] = blks[end_w]
+                        blks.pop()
+                        found = True
+                        break
+                if found:
+                    continue
                 if fv == 0:  # first is false: conflict
                     self.qhead = qhead
-                    stats.propagations += props
+                    delta = len(trail) - entry_len
+                    stats.propagations += delta
+                    self._active_unassigned -= delta
                     return ref
                 # first is the implied literal: inlined _enqueue.
-                props += 1
                 var = first >> 1
-                values[var] = 1 ^ (first & 1)
                 lit_truth[first] = 1
                 lit_truth[first ^ 1] = 0
                 level[var] = current
                 reason[var] = ref
                 trail.append(first)
+                blks[i] = first
                 i += 1
         self.qhead = qhead
-        stats.propagations += props
+        delta = len(trail) - entry_len
+        stats.propagations += delta
+        self._active_unassigned -= delta
         return -1
 
     def propagate_root(self, stats: Optional[SolverStats] = None) -> bool:
@@ -415,7 +618,6 @@ class CdclCore:
             return
         limit = self.trail_lim[target_level]
         trail = self.trail
-        values = self.values
         lit_truth = self.lit_truth
         saved_phase = self.saved_phase
         reason = self.reason
@@ -424,17 +626,26 @@ class CdclCore:
         heap = self._heap
         cur_in_heap = self._cur_in_heap
         requeue: list[tuple[float, int]] = []
-        while len(trail) > limit:
-            lit = trail.pop()
+        # Unwind as one slice: per-variable effects are idempotent and
+        # independent, and the heap requeue below depends only on the
+        # entry multiset, so iteration order is free.
+        unwound = trail[limit:]
+        del trail[limit:]
+        n_released = 0
+        for lit in unwound:
             var = lit >> 1
-            saved_phase[var] = values[var]
-            values[var] = _UNASSIGNED
+            # The trail literal was true, so the var's value is its
+            # polarity — no value array to consult (or to clear).
+            saved_phase[var] = 1 ^ (lit & 1)
             lit_truth[lit] = _UNASSIGNED
             lit_truth[lit ^ 1] = _UNASSIGNED
             reason[var] = -1
-            if not released[var] and not cur_in_heap[var]:
-                requeue.append((-activity[var], var))
+            if released[var]:
+                n_released += 1
+            elif not cur_in_heap[var]:
+                requeue.append((activity[var], var))
                 cur_in_heap[var] = 1
+        self._active_unassigned += len(unwound) - n_released
         # heapify is O(heap + batch) vs O(batch * log heap) for pushes;
         # only worth it when the batch rivals the heap (lazy deletion
         # leaves stale entries, so the heap can be much larger).
@@ -451,14 +662,14 @@ class CdclCore:
     # VSIDS
     # ------------------------------------------------------------------
     def _bump(self, var: int) -> None:
-        value = self.activity[var] + self._var_inc
+        value = self.activity[var] - self._var_inc
         self.activity[var] = value
-        if self.values[var] == _UNASSIGNED and not self.released[var]:
-            heappush(self._heap, (-value, var))
+        if self.lit_truth[var << 1] == _UNASSIGNED and not self.released[var]:
+            heappush(self._heap, (value, var))
             self._cur_in_heap[var] = 1
         else:
             self._cur_in_heap[var] = 0  # in-heap entry (if any) is stale
-        if value > _ACTIVITY_CAP:
+        if value < -_ACTIVITY_CAP:
             self._rescale()
 
     def _rescale(self) -> None:
@@ -466,27 +677,28 @@ class CdclCore:
         for var in range(len(self.activity)):
             self.activity[var] *= scale
         self._var_inc *= scale
+        lit_truth = self.lit_truth
         self._heap = [
-            (-self.activity[var], var)
-            for var in range(len(self.values))
-            if self.values[var] == _UNASSIGNED and not self.released[var]
+            (self.activity[var], var)
+            for var in range(len(self.level))
+            if lit_truth[var << 1] == _UNASSIGNED and not self.released[var]
         ]
         heapify(self._heap)
-        self._cur_in_heap = bytearray(len(self.values))
+        self._cur_in_heap = bytearray(len(self.level))
         for _, var in self._heap:
             self._cur_in_heap[var] = 1
 
     def _pick_branch(self) -> int:
         heap = self._heap
-        values = self.values
+        lit_truth = self.lit_truth
         activity = self.activity
         released = self.released
         cur_in_heap = self._cur_in_heap
         while heap:
             negact, var = heappop(heap)
-            if -negact == activity[var]:
+            if negact == activity[var]:
                 cur_in_heap[var] = 0  # the current-key entry just left
-                if values[var] == _UNASSIGNED and not released[var]:
+                if lit_truth[var << 1] == _UNASSIGNED and not released[var]:
                     return var
         return -1
 
@@ -498,8 +710,9 @@ class CdclCore:
     ) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis (MiniSat structure).
 
-        Relies on the invariant that a reason clause stores its implied
-        literal at position 0.
+        Relies on the invariant that a long reason clause stores its
+        implied literal at position 0; binary reasons carry their single
+        remaining literal in the ``reason`` encoding itself.
 
         Returns:
             (learned clause with asserting literal first, backjump
@@ -512,28 +725,75 @@ class CdclCore:
         level = self.level
         trail = self.trail
         reason = self.reason
-        bump = self._bump
+        lit_truth = self.lit_truth
+        released = self.released
+        activity = self.activity
+        cur_in_heap = self._cur_in_heap
+        heap = self._heap
+        var_inc = self._var_inc
         path_count = 0
         first_pass = True
         ref = conflict
         index = len(trail) - 1
         current = len(self.trail_lim)
         while True:
-            assert ref >= 0
-            # Skip position 0 when it is the literal we resolved on.
-            start = ref if first_pass else ref + 1
-            first_pass = False
-            for pos in range(start, ref + arena[ref - 1]):
-                q = arena[pos]
+            if ref >= 0:
+                # Skip position 0 when it is the literal we resolved on.
+                start = ref if first_pass else ref + 1
+                for pos in range(start, ref + arena[ref - 1]):
+                    q = arena[pos]
+                    var = q >> 1
+                    if not seen[var]:
+                        lv = level[var]
+                        if lv > 0:
+                            seen[var] = 1
+                            touched.append(var)
+                            # Inlined _bump (activities stored negated).
+                            act = activity[var] - var_inc
+                            activity[var] = act
+                            if (
+                                lit_truth[q & -2] == -1
+                                and not released[var]
+                            ):
+                                heappush(heap, (act, var))
+                                cur_in_heap[var] = 1
+                            else:
+                                cur_in_heap[var] = 0
+                            if act < -_ACTIVITY_CAP:
+                                self._rescale()
+                                var_inc = self._var_inc
+                                heap = self._heap
+                                cur_in_heap = self._cur_in_heap
+                            if lv >= current:
+                                path_count += 1
+                            else:
+                                learned.append(q)
+            else:
+                # Binary reason: resolve with the encoded literal.
+                q = -2 - ref
                 var = q >> 1
-                if not seen[var] and level[var] > 0:
-                    seen[var] = 1
-                    touched.append(var)
-                    bump(var)
-                    if level[var] >= current:
-                        path_count += 1
-                    else:
-                        learned.append(q)
+                if not seen[var]:
+                    lv = level[var]
+                    if lv > 0:
+                        seen[var] = 1
+                        touched.append(var)
+                        act = activity[var] - var_inc
+                        activity[var] = act
+                        if lit_truth[q & -2] == -1 and not released[var]:
+                            heappush(heap, (act, var))
+                            cur_in_heap[var] = 1
+                        else:
+                            cur_in_heap[var] = 0
+                        if act < -_ACTIVITY_CAP:
+                            self._rescale()
+                            var_inc = self._var_inc
+                            heap = self._heap
+                            cur_in_heap = self._cur_in_heap
+                        if lv >= current:
+                            path_count += 1
+                        else:
+                            learned.append(q)
+            first_pass = False
             while not seen[trail[index] >> 1]:
                 index -= 1
             p = trail[index]
@@ -562,26 +822,34 @@ class CdclCore:
             # Copy now: watch maintenance permutes the arena clause.
             self.proof.add(learned)
         slm = self.structural_lbd_max
-        if len(learned) >= 2:
+        size = len(learned)
+        if size == 2:
+            ref = self._alloc(learned)
+            self.learned.append(ref)
+            self._lbd[ref] = lbd
+            self._attach_binary(learned[0], learned[1], ref)
+            self._enqueue(learned[0], -2 - learned[1])
+        elif size > 2:
             # Watch invariant: position 1 must hold a literal from the
             # backjump level, else future backtracks can leave the
             # clause incorrectly watched.
             level = self.level
-            best = max(
-                range(1, len(learned)),
-                key=lambda j: level[learned[j] >> 1],
-            )
+            best = 1
+            best_level = level[learned[1] >> 1]
+            for j in range(2, size):
+                lv = level[learned[j] >> 1]
+                if lv > best_level:  # strict: first maximum, like max()
+                    best_level = lv
+                    best = j
             learned[1], learned[best] = learned[best], learned[1]
             ref = self._alloc(learned)
             self.learned.append(ref)
             self._lbd[ref] = lbd
             self.watches[learned[0]].append(ref)
+            self.blockers[learned[0]].append(learned[1])
             self.watches[learned[1]].append(ref)
+            self.blockers[learned[1]].append(learned[0])
             self._enqueue(learned[0], ref)
-            if slm is not None and lbd <= slm:
-                ceiling = self.structural_var_ceiling
-                if all((q >> 1) < ceiling for q in learned):
-                    self.structural_fresh.append(ref)
         else:
             if (
                 slm is not None
@@ -589,6 +857,11 @@ class CdclCore:
             ):
                 self.structural_fresh_units.append(learned[0])
             self._enqueue(learned[0], -1)
+            return
+        if slm is not None and lbd <= slm:
+            ceiling = self.structural_var_ceiling
+            if all((q >> 1) < ceiling for q in learned):
+                self.structural_fresh.append(ref)
 
     def reduce_learned(self) -> int:
         """Drop the worst half of the learned database.
@@ -632,15 +905,14 @@ class CdclCore:
         permanently satisfies every clause tagged with ``¬t`` — the
         group's deltas and any learned clause derived from them.  This
         sweep removes them, compacts the clause arena, rebuilds the
-        watch lists, and returns deferred-release variables (the ``t``s
-        themselves) to the free list.  Must be called at decision level
-        0 with propagation settled.
+        watch lists and binary edges, and returns deferred-release
+        variables (the ``t``s themselves) to the free list.  Must be
+        called at decision level 0 with propagation settled.
 
         Returns the number of clauses removed.
         """
         assert len(self.trail_lim) == 0
         arena = self.arena
-        values = self.values
         lit_truth = self.lit_truth
 
         removed = 0
@@ -671,7 +943,6 @@ class CdclCore:
             ]
             self.qhead = len(self.trail)
             for var in self._zombie:
-                self.values[var] = _UNASSIGNED
                 lit_truth[2 * var] = _UNASSIGNED
                 lit_truth[2 * var + 1] = _UNASSIGNED
                 self.reason[var] = -1
@@ -682,21 +953,43 @@ class CdclCore:
 
         # Compact the arena and rebuild watches; pick non-root-false
         # watch positions so the two-watched-literal invariant holds
-        # from a clean slate.  Watch-list order is rebuilt from
-        # base+learned order exactly as the reference core does, so the
-        # search trajectory is unaffected by compaction.
+        # from a clean slate (binary clauses are never permuted, in
+        # either core).  Watch-list and binary-edge order is rebuilt
+        # from base+learned order exactly as the reference core does,
+        # so the search trajectory is unaffected by compaction.
         new_arena: list[int] = []
         remap: dict[int, int] = {}
-        self.watches = [[] for _ in range(2 * len(values))]
+        n_lits = 2 * len(self.level)
+        self.watches = [[] for _ in range(n_lits)]
+        self.blockers = [[] for _ in range(n_lits)]
+        self.bin_others = [[] for _ in range(n_lits)]
+        self.bin_refs = [[] for _ in range(n_lits)]
         watches = self.watches
+        blockers = self.blockers
+        bin_others = self.bin_others
+        bin_refs = self.bin_refs
         for bucket in (self.base, self.learned):
             for idx, ref in enumerate(bucket):
                 size = arena[ref - 1]
+                if size == 2:
+                    a = arena[ref]
+                    b = arena[ref + 1]
+                    new_arena.append(2)
+                    new_ref = len(new_arena)
+                    new_arena.append(a)
+                    new_arena.append(b)
+                    remap[ref] = new_ref
+                    bucket[idx] = new_ref
+                    bin_others[a].append(b)
+                    bin_refs[a].append(new_ref)
+                    bin_others[b].append(a)
+                    bin_refs[b].append(new_ref)
+                    continue
                 cl = arena[ref : ref + size]
                 free = 0
                 for k in range(size):
-                    value = values[cl[k] >> 1]
-                    if value == _UNASSIGNED or value ^ (cl[k] & 1) == 1:
+                    # Non-false literal: unassigned (-1) or true (1).
+                    if lit_truth[cl[k]] != 0:
                         cl[free], cl[k] = cl[k], cl[free]
                         free += 1
                         if free == 2:
@@ -707,16 +1000,19 @@ class CdclCore:
                 remap[ref] = new_ref
                 bucket[idx] = new_ref
                 watches[cl[0]].append(new_ref)
+                blockers[cl[0]].append(cl[1])
                 watches[cl[1]].append(new_ref)
+                blockers[cl[1]].append(cl[0])
         self.arena = new_arena
         self._lbd = {
             remap[ref]: value
             for ref, value in self._lbd.items()
             if ref in remap
         }
-        # Root-level reasons may point at swept clauses; they are never
-        # dereferenced (conflict analysis skips level-0 literals), so a
-        # dangling entry simply becomes -1.
+        # Root-level reasons may point at swept clauses (or encode
+        # binary edges); they are never dereferenced — conflict
+        # analysis skips level-0 literals — so a dangling entry simply
+        # becomes -1.
         self.reason = [
             remap.get(ref, -1) if ref >= 0 else -1 for ref in self.reason
         ]
@@ -857,6 +1153,25 @@ class CdclCore:
                     lit = p
                     break
             if lit is None:
+                if self._active_unassigned == 0:
+                    # Total over live vars: SAT without draining the
+                    # heap's stale entries (they stay and are skipped
+                    # lazily by future picks, same pop order).  Once
+                    # stale entries dominate, compact to exactly the
+                    # current-key entries — the flag invariant says
+                    # cur_in_heap[var] == 1 iff the heap holds an entry
+                    # at var's current activity, so the rebuilt heap has
+                    # the same live-entry multiset and the same pick
+                    # sequence, minus inert stale pops.
+                    if len(self._heap) > 2 * len(self.level) + 64:
+                        activity = self.activity
+                        self._heap = [
+                            (activity[var], var)
+                            for var, flagged in enumerate(self._cur_in_heap)
+                            if flagged
+                        ]
+                        heapify(self._heap)
+                    return SatStatus.SAT, stats
                 var = self._pick_branch()
                 if var == -1:
                     return SatStatus.SAT, stats
@@ -926,8 +1241,7 @@ class CdclSolver:
         core = CdclCore(
             restart_interval=self.restart_interval, decay=self.decay
         )
-        for _ in range(compiled.num_vars):
-            core.new_var()
+        core.new_vars(compiled.num_vars)
         for name, phase in self.phase_hint.items():
             idx = compiled.index_of.get(name)
             if idx is not None:

@@ -1,16 +1,27 @@
-"""Reference object-graph CDCL core (pre-flat-array implementation).
+"""Reference object-graph CDCL core (executable specification).
 
-This is the original :class:`~repro.sat.cdcl.CdclCore` implementation,
-kept verbatim as an executable specification: clauses are plain
+This is the object-graph :class:`~repro.sat.cdcl.CdclCore`
+implementation, kept as an executable specification: clauses are plain
 ``list[int]`` objects referenced by identity from the watch lists and
-the implication graph.  The production core (:mod:`repro.sat.cdcl`) now
-stores clauses in a packed integer arena for speed, but is required to
-be *bit-identical* to this reference — same verdicts, same propagation
-/ decision / conflict / restart counters, same DRUP proofs — because
-the two implementations perform the same literal-order permutations in
-the same order.  The parity suite
+the implication graph.  The production core (:mod:`repro.sat.cdcl`)
+stores clauses in a packed integer arena and keeps ``array``-typed
+state for speed, but is required to be *bit-identical* to this
+reference — same verdicts, same propagation / decision / conflict /
+restart counters, same DRUP proofs — because the two implementations
+perform the same binary-first propagation and the same literal-order
+permutations in the same order.  The parity suite
 (``tests/sat/test_kernel_parity.py``) drives both cores through
 identical clause streams and compares trajectories.
+
+Binary clauses are handled exactly as in the production core: they are
+kept out of the watch lists, attached as implication edges in
+``bin_watches``, propagated in a pre-pass before the long-clause watch
+traversal, and never permuted.  A binary reason contributes its single
+non-resolved literal during conflict analysis (the production core
+encodes that literal in its flat ``reason`` array; here the reason is
+the two-literal clause and the contribution is selected by variable).
+This is a *semantic* mirror, not an optimisation: the propagation order
+defines the search trajectory, so both cores must share it.
 
 Do not optimise this module; its only job is to stay simple enough to
 trust.
@@ -38,7 +49,8 @@ class ReferenceCdclCore:
 
     See :class:`repro.sat.cdcl.CdclCore` for the full API contract; the
     two classes are drop-in interchangeable except that here ``reason``
-    holds clause *lists* and there it holds arena offsets.
+    holds clause *lists* and there it holds arena offsets (with binary
+    reasons literal-encoded).
     """
 
     def __init__(
@@ -62,6 +74,12 @@ class ReferenceCdclCore:
         self.saved_phase: list[int] = []
         self.released: list[bool] = []
         self.watches: list[list[list[int]]] = []
+        #: Parallel blocker literal per long-clause watch entry; the
+        #: clause is skipped without inspection while it is true.
+        self.blockers: list[list[int]] = []
+        #: Binary implication edges: bin_watches[lit] holds
+        #: ``(other, clause)`` pairs, one per binary clause {lit, other}.
+        self.bin_watches: list[list[tuple[int, list[int]]]] = []
 
         self.base: list[list[int]] = []
         self.learned: list[list[int]] = []
@@ -103,10 +121,18 @@ class ReferenceCdclCore:
         self.activity.append(0.0)
         self.saved_phase.append(0)
         self.released.append(False)
-        self.watches.append([])
-        self.watches.append([])
+        for _ in range(2):
+            self.watches.append([])
+            self.blockers.append([])
+            self.bin_watches.append([])
         heappush(self._heap, (0.0, var))
         return var
+
+    def new_vars(self, count: int) -> None:
+        """Bulk-allocate ``count`` fresh variables (scalar loop here;
+        the production core extends its flat arrays in one shot)."""
+        for _ in range(count):
+            self.new_var()
 
     def release_var(self, var: int, defer: bool = False) -> None:
         """Mark ``var`` dead.  Immediately recyclable unless ``defer``
@@ -167,18 +193,36 @@ class ReferenceCdclCore:
                 return False
             return True
         self.base.append(clause)
-        self.watches[clause[0]].append(clause)
-        self.watches[clause[1]].append(clause)
+        if len(clause) == 2:
+            self.bin_watches[clause[0]].append((clause[1], clause))
+            self.bin_watches[clause[1]].append((clause[0], clause))
+        else:
+            self.watches[clause[0]].append(clause)
+            self.blockers[clause[0]].append(clause[1])
+            self.watches[clause[1]].append(clause)
+            self.blockers[clause[1]].append(clause[0])
         return True
 
     def _detach(self, clause: list[int]) -> None:
-        """Remove ``clause`` from its two watch lists (by identity)."""
+        """Remove ``clause`` from its watch structures (by identity)."""
+        if len(clause) == 2:
+            for lit in (clause[0], clause[1]):
+                edges = self.bin_watches[lit]
+                for i, (_, other) in enumerate(edges):
+                    if other is clause:
+                        edges[i] = edges[-1]
+                        edges.pop()
+                        break
+            return
         for lit in (clause[0], clause[1]):
             watching = self.watches[lit]
+            blks = self.blockers[lit]
             for i, other in enumerate(watching):
                 if other is clause:
                     watching[i] = watching[-1]
                     watching.pop()
+                    blks[i] = blks[-1]
+                    blks.pop()
                     break
 
     # ------------------------------------------------------------------
@@ -205,23 +249,48 @@ class ReferenceCdclCore:
         return True
 
     def _propagate(self, stats: SolverStats) -> Optional[list[int]]:
-        """Unit propagation.  Returns a conflicting clause, or None."""
+        """Unit propagation.  Returns a conflicting clause, or None.
+
+        Mirrors the production kernel: each dequeued literal first
+        walks its binary implication edges, then the long-clause watch
+        list.
+        """
         values = self.values
         watches = self.watches
+        blockers = self.blockers
+        bin_watches = self.bin_watches
         trail = self.trail
         while self.qhead < len(trail):
             lit = trail[self.qhead]
             self.qhead += 1
             false_lit = lit ^ 1
+            # Binary fast path: every edge is ¬false_lit → other.
+            for other, cl in bin_watches[false_lit]:
+                ov = values[other >> 1]
+                if ov != _UNASSIGNED:
+                    if ov ^ (other & 1) == 1:
+                        continue
+                    return cl  # both literals false: conflict
+                stats.propagations += 1
+                self._enqueue(other, cl)
+            # Long clauses (size >= 3) via two watched literals, each
+            # entry carrying a blocker literal (skip while it is true).
             watching = watches[false_lit]
+            blks = blockers[false_lit]
             i = 0
             while i < len(watching):
+                b = blks[i]
+                bv = values[b >> 1]
+                if bv != _UNASSIGNED and bv ^ (b & 1) == 1:
+                    i += 1
+                    continue
                 cl = watching[i]
                 if cl[0] == false_lit:
                     cl[0], cl[1] = cl[1], cl[0]
                 first = cl[0]
                 fv = values[first >> 1]
                 if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+                    blks[i] = first
                     i += 1
                     continue
                 found = False
@@ -231,8 +300,11 @@ class ReferenceCdclCore:
                     if ov == _UNASSIGNED or ov ^ (other & 1) != 0:
                         cl[1], cl[k] = cl[k], cl[1]
                         watches[cl[1]].append(cl)
+                        blockers[cl[1]].append(first)
                         watching[i] = watching[-1]
                         watching.pop()
+                        blks[i] = blks[-1]
+                        blks.pop()
                         found = True
                         break
                 if found:
@@ -241,6 +313,7 @@ class ReferenceCdclCore:
                     return cl
                 stats.propagations += 1
                 self._enqueue(first, cl)
+                blks[i] = first
                 i += 1
         return None
 
@@ -316,7 +389,14 @@ class ReferenceCdclCore:
     def _analyze(
         self, conflict: list[int], stats: SolverStats
     ) -> tuple[list[int], int, int]:
-        """First-UIP conflict analysis (MiniSat structure)."""
+        """First-UIP conflict analysis (MiniSat structure).
+
+        A long reason clause stores its implied literal at position 0
+        (maintained by watch swaps); binary clauses are never permuted,
+        so a binary reason contributes the literal whose variable is
+        not the resolved one — exactly the literal the production core
+        encodes in its flat ``reason`` array.
+        """
         learned: list[int] = []
         seen = [False] * len(self.values)
         level = self.level
@@ -327,8 +407,15 @@ class ReferenceCdclCore:
         current = self.current_level()
         while True:
             assert cl is not None
-            # Skip position 0 when it is the literal we resolved on.
-            for q in cl[0 if p is None else 1 :]:
+            if p is None:
+                tail: Sequence[int] = cl
+            elif len(cl) == 2:
+                # Binary reason: resolve with the non-p literal.
+                tail = (cl[1],) if (cl[0] >> 1) == (p >> 1) else (cl[0],)
+            else:
+                # Skip position 0: the literal we resolved on.
+                tail = cl[1:]
+            for q in tail:
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
                     seen[var] = True
@@ -362,7 +449,13 @@ class ReferenceCdclCore:
         if self.proof is not None:
             # Copy now: watch maintenance permutes the list in place.
             self.proof.add(learned)
-        if len(learned) >= 2:
+        if len(learned) == 2:
+            self.learned.append(learned)
+            self._lbd[id(learned)] = lbd
+            self.bin_watches[learned[0]].append((learned[1], learned))
+            self.bin_watches[learned[1]].append((learned[0], learned))
+            self._enqueue(learned[0], learned)
+        elif len(learned) > 2:
             # Watch invariant: position 1 must hold a literal from the
             # backjump level, else future backtracks can leave the
             # clause incorrectly watched.
@@ -374,7 +467,9 @@ class ReferenceCdclCore:
             self.learned.append(learned)
             self._lbd[id(learned)] = lbd
             self.watches[learned[0]].append(learned)
+            self.blockers[learned[0]].append(learned[1])
             self.watches[learned[1]].append(learned)
+            self.blockers[learned[1]].append(learned[0])
             self._enqueue(learned[0], learned)
         else:
             self._enqueue(learned[0], None)
@@ -452,8 +547,16 @@ class ReferenceCdclCore:
 
         # Rebuild watches; pick non-root-false watch positions so the
         # two-watched-literal invariant holds from a clean slate.
+        # Binary clauses are never permuted (matching the production
+        # core) and re-attach in base+learned order.
         self.watches = [[] for _ in range(2 * len(values))]
+        self.blockers = [[] for _ in range(2 * len(values))]
+        self.bin_watches = [[] for _ in range(2 * len(values))]
         for cl in self.base + self.learned:
+            if len(cl) == 2:
+                self.bin_watches[cl[0]].append((cl[1], cl))
+                self.bin_watches[cl[1]].append((cl[0], cl))
+                continue
             free = 0
             for k in range(len(cl)):
                 value = values[cl[k] >> 1]
@@ -463,7 +566,9 @@ class ReferenceCdclCore:
                     if free == 2:
                         break
             self.watches[cl[0]].append(cl)
+            self.blockers[cl[0]].append(cl[1])
             self.watches[cl[1]].append(cl)
+            self.blockers[cl[1]].append(cl[0])
         return removed
 
     # ------------------------------------------------------------------

@@ -7,7 +7,9 @@ from hypothesis import strategies as st
 from repro.apps.redundancy import remove_redundancies
 from repro.atpg.engine import AtpgEngine, FaultStatus
 from repro.circuits.build import NetworkBuilder
+from repro.circuits.decompose import tech_decompose
 from repro.circuits.simulate import networks_equivalent
+from repro.gen.structured import tmr_voted_adder
 from tests.conftest import make_random_network
 
 
@@ -71,5 +73,46 @@ class TestRemoval:
         builder.outputs(r2)
         net = builder.build()
         optimized, report = remove_redundancies(net)
+        assert networks_equivalent(net, optimized)
+        assert optimized.num_gates() < net.num_gates()
+
+
+class TestTmrVotedAdder:
+    """The deliberately redundancy-heavy bench circuit: every fault
+    inside a single TMR carry replica is outvoted by the other two, so
+    the untestable fraction is structural, not accidental."""
+
+    def _net(self, width=3):
+        return tech_decompose(tmr_voted_adder(width))
+
+    def test_majority_of_faults_untestable(self):
+        net = self._net()
+        summary = AtpgEngine(net).run(fault_dropping=False)
+        counts = summary.status_counts()
+        total = sum(counts.values())
+        assert counts["untestable"] > total // 2, counts
+        # The shared sum logic stays testable — coverage of the
+        # testable faults must be complete.
+        assert counts["tested"] > 0
+        assert counts["aborted"] == 0
+        assert summary.fault_coverage == pytest.approx(1.0)
+
+    def test_sharing_on_off_verdict_parity(self):
+        """Blocking parity: clause sharing must not flip any verdict on
+        the UNSAT-dominated workload it is benchmarked on."""
+        net = self._net()
+        on = AtpgEngine(net, share_learned="cone").run(fault_dropping=False)
+        off = AtpgEngine(net, share_learned="off").run(fault_dropping=False)
+        assert on.status_counts() == off.status_counts()
+        assert [r.status for r in on.records] == [
+            r.status for r in off.records
+        ]
+
+    def test_redundancy_removal_strips_replicas(self):
+        """remove_redundancies collapses the voted adder toward a plain
+        adder while preserving its function."""
+        net = self._net(width=2)
+        optimized, report = remove_redundancies(net)
+        assert report.removed
         assert networks_equivalent(net, optimized)
         assert optimized.num_gates() < net.num_gates()

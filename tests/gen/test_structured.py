@@ -18,6 +18,7 @@ from repro.gen.structured import (
     mux_tree,
     parity_tree,
     ripple_carry_adder,
+    tmr_voted_adder,
 )
 
 RNG = random.Random(99)
@@ -55,6 +56,27 @@ class TestAdders:
     @pytest.mark.parametrize("maker", [ripple_carry_adder, carry_lookahead_adder])
     def test_structurally_valid(self, maker):
         assert validate_network(maker(4)).ok
+
+
+class TestTmrVotedAdder:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_addition_correct(self, width):
+        net = tmr_voted_adder(width)
+        for _ in range(20):
+            a = RNG.randrange(1 << width)
+            b = RNG.randrange(1 << width)
+            cin = RNG.randrange(2)
+            values = simulate_pattern(net, adder_pattern(width, a, b, cin))
+            total = sum(values[f"s{i}"] << i for i in range(width))
+            total += values[f"v{width - 1}"] << width
+            assert total == a + b + cin
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            tmr_voted_adder(0)
+
+    def test_structurally_valid(self):
+        assert validate_network(tmr_voted_adder(4)).ok
 
 
 class TestMultiplier:

@@ -110,6 +110,31 @@ def iter_miter_formulas(seed, max_faults=6):
         produced += 1
 
 
+def iter_binary_dense_formulas(seed, count=4, num_vars=10, p_binary=0.8):
+    """(tag, formula) pairs of random CNF biased toward width-2 clauses.
+
+    Tseitin miters are already ~2/3 binary, but their binary clauses
+    are all implications of gate consistency; these formulas drive the
+    binary implication graph with arbitrary 2-SAT-heavy structure
+    (including pure-binary cycles the miters never produce) so the
+    fast path's conflicts, reasons, and proofs face the differential
+    and DRUP oracles too.
+    """
+    import random
+
+    from repro.sat.cnf import formula_from_ints
+
+    rng = random.Random(seed * 7919 + 1)
+    for index in range(count):
+        num_clauses = rng.randint(int(num_vars * 2), int(num_vars * 4.5))
+        ints = []
+        for _ in range(num_clauses):
+            width = 2 if rng.random() < p_binary else rng.choice((1, 3))
+            chosen = rng.sample(range(1, num_vars + 1), width)
+            ints.append([v if rng.random() < 0.5 else -v for v in chosen])
+        yield f"bin{index}", formula_from_ints(ints)
+
+
 def fuzz_round(seed, artifact_dir):
     """One fuzz round; returns artifact paths for any mismatches."""
     artifacts = []
@@ -120,6 +145,15 @@ def fuzz_round(seed, artifact_dir):
                     formula.clauses,
                     artifact_dir,
                     f"mismatch-seed{seed}-{fault.net}-sa{fault.value}",
+                )
+            )
+    for tag, formula in iter_binary_dense_formulas(seed):
+        if verdicts_disagree(formula.clauses):
+            artifacts.append(
+                shrink_and_dump(
+                    formula.clauses,
+                    artifact_dir,
+                    f"mismatch-seed{seed}-{tag}",
                 )
             )
     return artifacts

@@ -225,3 +225,62 @@ class TestParityWithFreshSolver:
             if result.status is SatStatus.SAT:
                 assert combined.is_satisfied_by(result.assignment)
             solver.retire(group)
+
+
+class TestBinaryEdgesAcrossLifecycle:
+    """Push/retire/GC interaction with the binary implication graph:
+    guarded clauses of width 2 live in the ``bin_others``/``bin_refs``
+    successor lists, and a retired group's edges must leave the graph
+    at the next arena collection."""
+
+    @staticmethod
+    def _binary_edges(core):
+        return sum(len(succ) for succ in core.bin_others)
+
+    def test_retired_group_drops_binary_edges(self):
+        solver = IncrementalSatSolver(gc_interval=1000)  # manual collect
+        solver.add_base([clause(pos("a"), pos("b"))])
+        base_edges = self._binary_edges(solver.core)
+        # Each single-literal group clause compiles to a guarded binary
+        # [¬act, lit], entering the binary graph.
+        group = solver.push_group([clause(pos("c")), clause(pos("d"))])
+        assert self._binary_edges(solver.core) == base_edges + 4
+        assert solver.solve(group).status is SatStatus.SAT
+        solver.retire(group)
+        solver.core.backjump(0)
+        solver.core.collect()
+        assert self._binary_edges(solver.core) == base_edges
+        assert self._binary_edges(solver.core) == sum(
+            len(refs) for refs in solver.core.bin_refs
+        )
+
+    def test_gc_never_changes_a_verdict(self):
+        """Property: a solver that collects after every retire returns
+        the same verdict sequence as one that never collects, over
+        randomized binary-dense push/retire workloads."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=10_000))
+        def run(seed):
+            rng = random.Random(seed)
+            eager = IncrementalSatSolver(gc_interval=1)
+            lazy = IncrementalSatSolver(gc_interval=10**9)
+            base = random_formula(rng.randrange(10**6), num_vars=6)
+            eager.add_base(base.clauses)
+            lazy.add_base(base.clauses)
+            for _ in range(6):
+                group_formula = random_formula(
+                    rng.randrange(10**6), num_vars=8, num_clauses=10
+                )
+                g_eager = eager.push_group(group_formula.clauses)
+                g_lazy = lazy.push_group(group_formula.clauses)
+                verdict_eager = eager.solve(g_eager).status
+                verdict_lazy = lazy.solve(g_lazy).status
+                assert verdict_eager is verdict_lazy
+                if rng.random() < 0.7:
+                    eager.retire(g_eager)
+                    lazy.retire(g_lazy)
+
+        run()

@@ -16,7 +16,6 @@ import pytest
 
 from repro.sat.cdcl import CdclCore
 from repro.sat.cdcl_ref import ReferenceCdclCore
-from repro.sat.cnf import CnfFormula
 from repro.sat.compile import compile_formula, lit_of
 from repro.sat.drup import DrupLog
 from repro.sat.result import SatStatus
@@ -187,3 +186,105 @@ def test_reference_untouched_by_structural_hooks():
         # at least be well-formed refs into the live learned DB.
         live = set(tagging.learned)
         assert all(ref in live for ref in tagging.structural_fresh)
+
+
+class _IntCnf:
+    """A pre-compiled stand-in: integer clauses in the cores' literal
+    encoding, duck-typing ``compile_formula``'s result for
+    :func:`_trajectory`."""
+
+    def __init__(self, num_vars, clauses):
+        self.num_vars = num_vars
+        self.clauses = clauses
+
+
+def _binary_dense_formula(seed, num_vars=14, num_clauses=50, p_binary=0.7):
+    """Random CNF biased toward width-2 clauses so the binary
+    implication graph, not the watch lists, carries the search."""
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = 2 if rng.random() < p_binary else 3
+        picked = rng.sample(range(num_vars), width)
+        clauses.append(
+            tuple(lit_of(v, rng.random() < 0.5) for v in picked)
+        )
+    return _IntCnf(num_vars, clauses)
+
+
+class TestBinarySplitParity:
+    """The binary-clause fast path against the reference core.
+
+    Binary clauses live outside the watch lists (``bin_others`` /
+    ``bin_refs`` successor lists, reasons encoded as ``-2 - lit``), so
+    these formulas route almost all propagation through the pre-pass;
+    trajectories and proofs must still match the reference exactly.
+    """
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_binary_dense_trajectories_identical(self, seed):
+        compiled = _binary_dense_formula(seed)
+        flat = _trajectory(CdclCore, compiled)
+        ref = _trajectory(ReferenceCdclCore, compiled)
+        assert flat == ref, f"seed {seed}: flat={flat} ref={ref}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_binary_dense_drup_identical(self, seed):
+        flat_proof, ref_proof = DrupLog(), DrupLog()
+        compiled = _binary_dense_formula(seed)
+        _trajectory(CdclCore, compiled, proof=flat_proof)
+        _trajectory(ReferenceCdclCore, compiled, proof=ref_proof)
+        assert flat_proof.steps == ref_proof.steps, f"seed {seed}"
+
+    def test_binary_graph_engaged(self):
+        """The split actually routes binary clauses out of the watch
+        lists: every root-level width-2 clause appears as a pair of
+        successor edges and none of them occupies a watch list."""
+        compiled = _binary_dense_formula(3)
+        core = CdclCore()
+        for _ in range(compiled.num_vars):
+            core.new_var()
+        binary = 0
+        for clause in compiled.clauses:
+            core.add_clause(list(clause))
+            if len(set(clause)) == 2:
+                binary += 1
+        assert binary > 0
+        edges = sum(len(succ) for succ in core.bin_others)
+        assert edges == 2 * binary
+        assert edges == sum(len(refs) for refs in core.bin_refs)
+        watched = {ref for watch in core.watches for ref in watch}
+        for lit, refs in enumerate(core.bin_refs):
+            for ref in refs:
+                assert ref not in watched
+
+    def test_binary_edges_survive_collect(self):
+        """Arena GC rewrites refs but preserves the successor order, so
+        post-collect trajectories still match the reference."""
+        compiled = _binary_dense_formula(5)
+        flat = CdclCore()
+        ref = ReferenceCdclCore()
+        for core in (flat, ref):
+            for _ in range(compiled.num_vars):
+                core.new_var()
+            for clause in compiled.clauses:
+                core.add_clause(list(clause))
+            core.solve(max_conflicts=20)
+            core.backjump(0)
+            core.collect()
+        before = [list(succ) for succ in flat.bin_others]
+        flat_sig = flat.solve()
+        ref_sig = ref.solve()
+        assert flat_sig[0] == ref_sig[0]
+        assert (
+            flat_sig[1].propagations,
+            flat_sig[1].decisions,
+            flat_sig[1].conflicts,
+        ) == (
+            ref_sig[1].propagations,
+            ref_sig[1].decisions,
+            ref_sig[1].conflicts,
+        )
+        assert [list(succ) for succ in flat.bin_others] == before

@@ -245,3 +245,56 @@ class TestAtpgPerfFlags:
             == 0
         )
         assert "fault coverage: 100.0%" in capsys.readouterr().out
+
+
+class TestPerfKnobValidation:
+    """Satellite: numeric perf knobs are validated at parse time —
+    non-positive or absurd values exit 2 with a clear message instead
+    of failing deep inside the engine."""
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["--block-size", "0"], "must be >= 1"),
+            (["--block-size", "-8"], "must be >= 1"),
+            (["--block-size", "huge"], "not an integer"),
+            (["--block-size", "1000000"], "absurd block width"),
+            (["--workers", "0"], "must be >= 1"),
+            (["--workers", "100000"], "absurd worker count"),
+            (["--max-conflicts-per-fault", "0"], "must be >= 1"),
+            (["--mem-budget-mb", "0"], "must be > 0"),
+            (["--mem-budget-mb", "-1.5"], "must be > 0"),
+            (["--mem-budget-mb", "nan"], "must be > 0"),
+            (["--shard-timeout", "0"], "must be > 0"),
+            (["--deadline", "-1"], "must be >= 0"),
+            (["--deadline", "inf"], "must be >= 0"),
+        ],
+    )
+    def test_bad_value_exits_2(self, argv, fragment, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        with pytest.raises(SystemExit) as exc:
+            main(["atpg", str(path)] + argv)
+        assert exc.value.code == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_good_values_still_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "atpg",
+                "x.bench",
+                "--block-size",
+                "128",
+                "--workers",
+                "4",
+                "--deadline",
+                "0",
+                "--mem-budget-mb",
+                "64.5",
+            ]
+        )
+        assert args.block_size == 128
+        assert args.workers == 4
+        assert args.deadline == 0.0
+        assert args.mem_budget_mb == 64.5

@@ -38,6 +38,7 @@ from repro.sat.drup import DrupLog, check_drup
 from repro.sat.result import SatStatus
 from tests.sat.test_fuzz_cdcl import (
     clauses_to_dimacs,
+    iter_binary_dense_formulas,
     iter_miter_formulas,
     shrink_and_dump,
     verdicts_disagree,
@@ -82,8 +83,15 @@ def run_sweep(budget_s: float, artifact_dir: Path, seed_base: int) -> int:
     rounds = 0
     seed = seed_base
     while time.monotonic() < deadline:
-        for fault, formula in iter_miter_formulas(seed):
-            name = f"seed{seed}-{fault.net}-sa{fault.value}"
+        # Tseitin miters plus binary-clause-dense random CNF, so the
+        # binary implication fast path is fuzzed on structure the
+        # miters never produce (pure-binary cycles, 2-SAT cores).
+        stream = [
+            (f"{fault.net}-sa{fault.value}", formula)
+            for fault, formula in iter_miter_formulas(seed)
+        ] + list(iter_binary_dense_formulas(seed))
+        for tag, formula in stream:
+            name = f"seed{seed}-{tag}"
             if verdicts_disagree(formula.clauses):
                 path = shrink_and_dump(
                     formula.clauses, artifact_dir, f"mismatch-{name}"
