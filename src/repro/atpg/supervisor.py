@@ -13,10 +13,12 @@ worker processes and supervises them:
   terminated and counted as ``shard_timeout``;
 * **crash detection** — a worker that exits without delivering a result
   (killed, segfaulted, ``os._exit``) is counted as ``shard_crashed``;
-* **bounded retry with shard splitting** — a failed shard is retried;
-  on repeat failure it is split in half and the halves are re-queued, so
-  one poisonous fault ends up isolated (and aborted) instead of taking
-  its whole shard down;
+* **bounded retry with shard splitting** — a failed shard is retried
+  after a jittered exponential backoff delay (immediate re-dispatch
+  hammers a machine that is already sick; the chosen delays land in
+  ``RunHealth.backoff_delays``); on repeat failure it is split in half
+  and the halves are re-queued, so one poisonous fault ends up isolated
+  (and aborted) instead of taking its whole shard down;
 * **graceful degradation** — when forking is unavailable or the pool
   keeps dying (several consecutive failures with no success), remaining
   jobs run in-process through ``fallback_fn``;
@@ -41,6 +43,7 @@ any particular workload.
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -83,6 +86,11 @@ class RunHealth:
     degraded: bool = False
     deadline_hit: bool = False
     abort_reasons: dict[str, int] = field(default_factory=dict)
+    #: Jittered exponential-backoff delays (seconds) applied before each
+    #: shard retry, in the order they were chosen.  Purely diagnostic —
+    #: ``retries`` already marks the run unclean; the delays say how
+    #: much re-dispatch pressure the backoff absorbed.
+    backoff_delays: list[float] = field(default_factory=list)
     #: Result-certification telemetry (:mod:`repro.atpg.certify`).
     #: ``certified``/``uncertified`` tally final records whose
     #: certification passed/failed (recomputed over final records, like
@@ -166,6 +174,7 @@ class RunHealth:
         add up.
         """
         self.retries += other.retries
+        self.backoff_delays.extend(other.backoff_delays)
         self.timed_out_shards += other.timed_out_shards
         self.crashed_shards += other.crashed_shards
         self.shard_splits += other.shard_splits
@@ -180,6 +189,7 @@ class RunHealth:
         """JSON-ready view (the ``health`` block of ``--bench-json``)."""
         return {
             "retries": self.retries,
+            "backoff_delays": list(self.backoff_delays),
             "timed_out_shards": self.timed_out_shards,
             "crashed_shards": self.crashed_shards,
             "shard_splits": self.shard_splits,
@@ -226,6 +236,9 @@ class _Attempt:
 
     job: Any
     attempts: int = 0
+    #: ``time.monotonic()`` before which this attempt must not be
+    #: dispatched (retry backoff); 0.0 = immediately dispatchable.
+    not_before: float = 0.0
 
 
 class _Running:
@@ -276,6 +289,18 @@ class ShardSupervisor:
         max_consecutive_failures: failures with no intervening success
             before the supervisor stops trusting the pool and degrades
             to in-process execution.
+        retry_backoff_base: first-retry backoff delay in seconds.  A
+            failed shard is re-queued with a jittered exponential delay
+            (``base * 2^(attempts-1)``, capped, scaled by a jitter in
+            [0.5, 1.0]) instead of immediate re-dispatch, so a sick
+            machine (OOM pressure, thrashing disk) is not hammered by a
+            tight crash-retry loop.  ``0`` restores immediate retries.
+        retry_backoff_cap: upper bound in seconds on any single backoff
+            delay.
+        retry_jitter_seed: seed for the jitter PRNG (default 0 keeps
+            delay sequences reproducible run to run; pass ``None`` for
+            entropy-seeded jitter in fleet deployments where
+            synchronized retry stampedes are the thing to avoid).
         use_processes: False forces in-process execution from the start
             (the ``workers <= 1`` / cannot-fork path).
         mark_degraded: record ``health.degraded`` even for planned
@@ -300,11 +325,18 @@ class ShardSupervisor:
         use_processes: bool = True,
         mark_degraded: bool = False,
         on_result: Optional[Callable[[Any], None]] = None,
+        retry_backoff_base: float = 0.05,
+        retry_backoff_cap: float = 2.0,
+        retry_jitter_seed: Optional[int] = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if retry_backoff_base < 0:
+            raise ValueError("retry_backoff_base must be >= 0")
+        if retry_backoff_cap < 0:
+            raise ValueError("retry_backoff_cap must be >= 0")
         self.worker_fn = worker_fn
         self.fallback_fn = fallback_fn if fallback_fn is not None else worker_fn
         self.split_job = split_job
@@ -317,6 +349,9 @@ class ShardSupervisor:
         self.use_processes = use_processes
         self.mark_degraded = mark_degraded
         self.on_result = on_result
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        self._jitter = random.Random(retry_jitter_seed)
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Any]) -> SupervisorReport:
@@ -347,8 +382,17 @@ class ShardSupervisor:
                     continue
 
                 if not degraded:
-                    while pending and len(running) < self.workers:
-                        running.append(self._launch(ctx, pending.popleft()))
+                    self._launch_ready(ctx, pending, running, now)
+
+                if not running and pending:
+                    # Every queued attempt is in retry backoff: sleep
+                    # toward the nearest release instead of busy-spinning
+                    # through an empty poll.
+                    soonest = min(a.not_before for a in pending)
+                    delay = min(_TICK, max(0.0, soonest - time.monotonic()))
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
 
                 events = self._poll(running)
                 for kind, entry in events:
@@ -378,6 +422,37 @@ class ShardSupervisor:
         return report
 
     # ------------------------------------------------------------------
+    def _launch_ready(
+        self,
+        ctx,
+        pending: deque,
+        running: list["_Running"],
+        now: float,
+    ) -> None:
+        """Fill free worker slots with dispatchable attempts, leaving
+        attempts still inside their retry backoff window queued."""
+        scan = len(pending)
+        while scan and pending and len(running) < self.workers:
+            scan -= 1
+            attempt = pending.popleft()
+            if attempt.not_before > now:
+                pending.append(attempt)
+                continue
+            running.append(self._launch(ctx, attempt))
+
+    def _backoff_delay(self, attempts: int) -> float:
+        """Jittered exponential backoff for re-dispatch number
+        ``attempts`` (1-based): ``base * 2^(attempts-1)`` capped at
+        ``retry_backoff_cap``, scaled by a jitter in [0.5, 1.0] so
+        sibling retries do not re-land in lockstep."""
+        if self.retry_backoff_base <= 0:
+            return 0.0
+        raw = min(
+            self.retry_backoff_cap,
+            self.retry_backoff_base * (2.0 ** (attempts - 1)),
+        )
+        return raw * (0.5 + 0.5 * self._jitter.random())
+
     def _launch(self, ctx, attempt: _Attempt) -> _Running:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
@@ -454,6 +529,9 @@ class ShardSupervisor:
         attempt.attempts += 1
         if attempt.attempts < self.max_attempts:
             report.health.retries += 1
+            delay = self._backoff_delay(attempt.attempts)
+            attempt.not_before = time.monotonic() + delay if delay else 0.0
+            report.health.backoff_delays.append(delay)
             pending.append(attempt)
             return
         pieces = (

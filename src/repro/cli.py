@@ -238,8 +238,6 @@ def _bench_payload(summary, solver: str, solver_mode: str = "incremental") -> di
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
-    import json
-
     from repro.atpg.engine import AtpgEngine, FaultStatus
     from repro.atpg.parallel import ParallelAtpgEngine
     from repro.circuits.decompose import tech_decompose
@@ -356,8 +354,10 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             + (f" aborts[{reasons}]" if reasons else "")
         )
     if args.bench_json:
+        from repro.io.atomic import atomic_write_json
+
         payload = _bench_payload(summary, args.solver, args.solver_mode)
-        Path(args.bench_json).write_text(json.dumps(payload, indent=2))
+        atomic_write_json(args.bench_json, payload)
         print(f"  bench json -> {args.bench_json}")
     if args.compact:
         from repro.atpg.compaction import reverse_order_compaction
@@ -390,8 +390,6 @@ def _width_bench_payload(report) -> dict:
 
 
 def _cmd_width_study(args: argparse.Namespace) -> int:
-    import json
-
     from repro.circuits.decompose import tech_decompose
     from repro.circuits.validate import ValidationError, check_network
     from repro.core.width_pipeline import WidthAnalysisPipeline
@@ -488,8 +486,10 @@ def _cmd_width_study(args: argparse.Namespace) -> int:
         deadline_hit = deadline_hit or health.deadline_hit
         payloads.append(_width_bench_payload(report))
     if args.bench_json:
+        from repro.io.atomic import atomic_write_json
+
         document = payloads[0] if len(payloads) == 1 else payloads
-        Path(args.bench_json).write_text(json.dumps(document, indent=2))
+        atomic_write_json(args.bench_json, document)
         print(f"  bench json -> {args.bench_json}")
     if deadline_hit:
         _abort(ABORT_DEADLINE)
@@ -520,6 +520,32 @@ def _cmd_cutwidth(args: argparse.Namespace) -> int:
     for output, mla in sorted(result.per_output.items()):
         print(f"  cone {output}: |V|={len(mla.order)} W={mla.cutwidth}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.budgets import BackpressureConfig, TenantPolicy
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent_jobs=args.max_concurrent_jobs,
+        workers_per_job=args.workers,
+        drain_timeout_s=args.drain_timeout,
+        backpressure=BackpressureConfig(
+            hard_limit=args.queue_limit,
+            soft_limit=args.queue_soft_limit,
+            degraded_max_conflicts=args.degraded_max_conflicts,
+            retry_after_s=args.retry_after,
+        ),
+        default_policy=TenantPolicy(
+            max_conflicts=args.tenant_max_conflicts,
+            max_deadline_s=args.tenant_max_deadline,
+            max_queued=args.tenant_max_queued,
+        ),
+    )
+    return serve(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -750,6 +776,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--decompose", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_cutwidth)
+
+    p = sub.add_parser(
+        "serve",
+        help="crash-safe async ATPG job server (POST /jobs, event "
+        "streaming, certified result cache, graceful drain)",
+    )
+    p.add_argument(
+        "--data-dir", default="atpg-service-data", metavar="DIR",
+        help="job store + result cache root (all durable state)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    p.add_argument(
+        "--max-concurrent-jobs", type=_bounded_int(64, "job slots"),
+        default=1, help="runner processes dispatched at once",
+    )
+    p.add_argument(
+        "--workers", type=_bounded_int(256, "worker count"), default=1,
+        help="engine worker processes inside each runner",
+    )
+    p.add_argument(
+        "--queue-limit", type=_positive_int, default=64, metavar="N",
+        help="hard queue limit: past it submissions get 429 + Retry-After",
+    )
+    p.add_argument(
+        "--queue-soft-limit", type=_positive_int, default=16, metavar="N",
+        help="soft queue limit: past it admissions are degraded to the "
+        "reduced conflict budget before refusal kicks in",
+    )
+    p.add_argument(
+        "--degraded-max-conflicts", type=_positive_int, default=4_000,
+        metavar="N",
+        help="per-fault conflict budget applied to degraded admissions",
+    )
+    p.add_argument(
+        "--retry-after", type=_positive_float, default=5.0,
+        metavar="SECONDS", help="Retry-After hint on 429 refusals",
+    )
+    p.add_argument(
+        "--drain-timeout", type=_nonnegative_float, default=10.0,
+        metavar="SECONDS",
+        help="SIGTERM drain: wait this long for running jobs, then "
+        "SIGKILL the runners and persist their jobs back to the queue",
+    )
+    p.add_argument(
+        "--tenant-max-conflicts", type=_positive_int, default=None,
+        metavar="N", help="per-tenant ceiling on requested conflict budget",
+    )
+    p.add_argument(
+        "--tenant-max-deadline", type=_positive_float, default=None,
+        metavar="SECONDS", help="per-tenant ceiling on requested deadline",
+    )
+    p.add_argument(
+        "--tenant-max-queued", type=_positive_int, default=None,
+        metavar="N", help="per-tenant ceiling on held queue slots",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

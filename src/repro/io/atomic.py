@@ -1,0 +1,53 @@
+"""Atomic file replacement for JSON artifacts.
+
+Benchmark documents, job metadata, and cached result records are all
+read by *other* processes (CI ratchets, a restarted server, a resumed
+run), so a crash mid-write must never leave a torn half-document where
+a consumer expects valid JSON.  POSIX ``rename(2)`` within one
+filesystem is atomic: writing to a temporary sibling and
+``os.replace``-ing it over the target means readers observe either the
+old complete file or the new complete file, never a prefix.
+
+The checkpoint *journal* (:mod:`repro.atpg.checkpoint`) deliberately
+does not use this: it is append-only and torn-line tolerant by design,
+and rewriting it per record would defeat its purpose.  Everything that
+writes a whole document in one shot should come through here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file +
+    ``os.replace``, so a crash never leaves a torn artifact.
+
+    The temp file lives next to the target (``os.replace`` across
+    filesystems is not atomic) and is fsynced before the rename, so the
+    rename can never be durable while the content is not.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | Path, payload, *, indent: int = 2) -> None:
+    """Serialise ``payload`` and atomically write it to ``path``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

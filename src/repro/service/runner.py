@@ -1,0 +1,123 @@
+"""Job execution: one forked runner process per job.
+
+The server forks a runner per dispatched job (same isolation argument
+as :class:`~repro.atpg.supervisor.ShardSupervisor`, one level up): a
+runner that segfaults, gets OOM-killed, or is SIGKILLed at drain time
+takes nothing down with it — the journal already holds every settled
+fault, and re-adoption resumes the remainder.  Inside the runner the
+job runs on :class:`~repro.atpg.parallel.ParallelAtpgEngine`, so the
+full supervision ladder (per-shard timeout, retry with backoff,
+bisection, degradation) applies to the job's own shards unchanged.
+
+:func:`execute_job` is deliberately a plain synchronous function over
+the on-disk job store — the forked child, the in-process test path, and
+a future standalone worker fleet all call the same code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.atpg.checkpoint import record_to_dict
+from repro.atpg.parallel import ParallelAtpgEngine
+from repro.io.bench import loads_bench
+from repro.io.atomic import atomic_write_json
+from repro.service.jobs import JobState, JobStore
+from repro.service.store import ResultStore, cacheable, verdict_digest
+
+
+def result_document(meta: dict, summary) -> dict:
+    """The result.json / cache document for a completed run."""
+    records = [record_to_dict(r) for r in summary.records]
+    return {
+        "job_id": meta["id"],
+        "job_key": meta["job_key"],
+        "circuit_hash": meta["circuit_hash"],
+        "circuit": summary.circuit,
+        "options": meta["options"],
+        "faults": len(summary.records),
+        "status_counts": summary.status_counts(),
+        "fault_coverage": summary.fault_coverage,
+        "records": records,
+        "verdict_digest": verdict_digest(records),
+        "stats": summary.stats.as_dict(),
+    }
+
+
+def execute_job(store: JobStore, results: ResultStore, job_id: str) -> dict:
+    """Run ``job_id`` to completion against the on-disk job store.
+
+    Resumes from the job's journal when one exists (the re-adoption
+    path), journals every record as it settles, writes ``result.json``
+    atomically, promotes cacheable results into the content-addressed
+    store, and transitions the job to DONE.  Exceptions propagate after
+    the job is marked FAILED — the caller decides retry policy.
+    """
+    meta = store.load_meta(job_id)
+    if meta is None:
+        raise KeyError(f"no such job {job_id!r}")
+    options = meta["options"]
+    try:
+        network = loads_bench(
+            store.circuit_path(job_id).read_text(encoding="utf-8"),
+            name=meta["circuit_name"],
+        )
+        journal = store.journal_path(job_id)
+        resume_from = journal if journal.exists() else None
+        engine = ParallelAtpgEngine(
+            network,
+            workers=meta.get("workers") or 1,
+            solver=options["solver"],
+            max_conflicts=options["max_conflicts"],
+            drop_block_size=options["drop_block_size"],
+            solver_mode=options["solver_mode"],
+            certify=options["certify"],
+            share_learned=options["share_learned"],
+            deadline=meta.get("deadline_s"),
+        )
+        summary = engine.run(
+            fault_dropping=options["fault_dropping"],
+            resume_from=resume_from,
+            checkpoint_to=journal,
+        )
+        doc = result_document(meta, summary)
+        atomic_write_json(store.result_path(job_id), doc)
+        if cacheable(doc):
+            results.put(meta["job_key"], doc)
+    except Exception as exc:
+        store.set_state(
+            job_id,
+            JobState.FAILED,
+            finished_at=time.time(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        raise
+    store.set_state(job_id, JobState.DONE, finished_at=time.time())
+    return doc
+
+
+def _runner_child_main(root: str, job_id: str) -> None:
+    """Forked runner body: execute the job, exit 0/1."""
+    store = JobStore(root)
+    results = ResultStore(JobStore(root).root / "cas")
+    try:
+        execute_job(store, results, job_id)
+    except Exception:
+        raise SystemExit(1)
+
+
+def spawn_runner(store: JobStore, job_id: str):
+    """Fork a runner process for ``job_id``; returns the live process.
+
+    The caller must record ``process.pid`` into the job meta (so crash
+    recovery can kill an orphaned runner) and join the process.
+    """
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(
+        target=_runner_child_main,
+        args=(str(store.root), job_id),
+        daemon=False,
+    )
+    process.start()
+    return process

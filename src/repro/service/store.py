@@ -1,0 +1,156 @@
+"""Content-addressed certified result cache.
+
+One file per job key under ``<root>/cas/<key>.json``, written atomically
+(:func:`repro.io.atomic.atomic_write_json`) so a crash mid-promotion
+never leaves a torn document.
+
+The cache is a *trust boundary*, exactly like the checkpoint journal's
+resume path: a cached record may come from an older build, a corrupted
+disk, or a malicious tenant who wrote into the data directory.  A read
+therefore never returns records on faith — every TESTED record's
+pattern is replayed through the independent fault simulator
+(:func:`repro.atpg.certify.witness_ok`) against the *requesting*
+submission's network before the document is served.  A document that
+fails replay (or structural sanity) is evicted and the caller falls
+through to a real solve.  UNSAT records carry no replayable witness;
+they are covered by only caching documents whose run certified them
+upstream and whose verdict digest matches on re-serve.
+
+Only *complete, deterministic* results are cacheable: a document with
+orchestration aborts (deadline, crashed shard) reflects the outage that
+produced it, not the circuit, and is rejected at :func:`cacheable`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.atpg.certify import witness_ok
+from repro.atpg.checkpoint import record_from_dict
+from repro.atpg.engine import ABORT_BUDGET, ABORT_MEM, FaultStatus
+from repro.circuits.network import Network
+from repro.io.atomic import atomic_write_json
+
+RESULT_SCHEMA_VERSION = 1
+
+#: Abort reasons that are deterministic functions of (circuit, options)
+#: — a re-run would abort identically, so they do not block caching.
+_DETERMINISTIC_ABORTS = frozenset({ABORT_BUDGET, ABORT_MEM})
+
+
+def verdict_projection(record_dict: dict) -> list:
+    """The verdict-bearing fields of one journaled/cached record.
+
+    Timing and search-effort counters vary run to run on an identical
+    machine; the *verdict* — status, test vector, abort reason,
+    certification outcome — is what the canonical compile order makes
+    bit-identical.  The digest below is computed over exactly this.
+    """
+    return [
+        record_dict["net"],
+        record_dict["value"],
+        record_dict["status"],
+        record_dict.get("test"),
+        record_dict.get("abort_reason"),
+        record_dict.get("certified"),
+    ]
+
+
+def verdict_digest(record_dicts: list[dict]) -> str:
+    """SHA-256 over the ordered verdict projections of a result."""
+    payload = json.dumps(
+        [verdict_projection(r) for r in record_dicts], sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cacheable(result_doc: dict) -> bool:
+    """True when a result document may enter the cache: every abort (if
+    any) is a deterministic budget abort, never an orchestration one."""
+    reasons = set()
+    for record in result_doc.get("records", ()):
+        if record.get("status") == FaultStatus.ABORTED.value:
+            reasons.add(record.get("abort_reason"))
+    return reasons <= _DETERMINISTIC_ABORTS
+
+
+class ResultStore:
+    """The on-disk content-addressed store (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Read-side telemetry: served / missed / evicted-on-read.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed result key {key!r}")
+        return self.root / f"{key}.json"
+
+    def put(self, key: str, result_doc: dict) -> bool:
+        """Promote a completed result; returns False (and skips the
+        write) for documents :func:`cacheable` rejects."""
+        if not cacheable(result_doc):
+            return False
+        doc = dict(result_doc)
+        doc["schema"] = RESULT_SCHEMA_VERSION
+        doc["verdict_digest"] = verdict_digest(doc.get("records", []))
+        atomic_write_json(self._path(key), doc)
+        return True
+
+    def get(self, key: str, network: Network) -> Optional[dict]:
+        """Fetch the certified result for ``key``, or None.
+
+        Every TESTED record is witness-replayed against ``network``
+        before the document is trusted; a failing document is evicted.
+        """
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not self._verify(doc, network):
+            self.evictions += 1
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def _verify(self, doc: dict, network: Network) -> bool:
+        """The read-side trust boundary (see module docstring)."""
+        if doc.get("schema") != RESULT_SCHEMA_VERSION:
+            return False
+        records = doc.get("records")
+        if not isinstance(records, list):
+            return False
+        if doc.get("verdict_digest") != verdict_digest(records):
+            return False
+        for payload in records:
+            try:
+                record = record_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                return False
+            if record.status not in (FaultStatus.TESTED, FaultStatus.DROPPED):
+                continue
+            # DROPPED records claim detection by an earlier pattern, so
+            # they carry a replayable witness exactly like TESTED ones.
+            if record.test is None:
+                return False
+            if not witness_ok(network, record.fault, record.test):
+                return False
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

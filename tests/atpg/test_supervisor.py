@@ -260,3 +260,91 @@ class TestShardSupervisor:
         report = sup.run([_Job([1])])
         assert report.health.degraded
         assert report.results
+
+
+class TestRetryBackoff:
+    """Failed shards are re-dispatched after jittered exponential
+    backoff, with the chosen delays surfaced in RunHealth."""
+
+    @staticmethod
+    def _crash_once_fn(marker):
+        def runner(job: _Job):
+            if not marker.exists():
+                marker.touch()
+                os._exit(13)
+            return _ok(job)
+
+        return runner
+
+    def test_delay_surfaced_and_actually_waited(self, tmp_path):
+        sup = ShardSupervisor(
+            self._crash_once_fn(tmp_path / "crashed"),
+            workers=1,
+            max_attempts=2,
+            retry_backoff_base=0.3,
+            retry_backoff_cap=0.3,
+        )
+        start = time.monotonic()
+        report = sup.run([_Job([1])])
+        elapsed = time.monotonic() - start
+        assert report.results
+        delays = report.health.backoff_delays
+        assert len(delays) == 1
+        # Jitter scales the capped 0.3s delay into [0.15, 0.3].
+        assert 0.15 <= delays[0] <= 0.3
+        assert elapsed >= delays[0]
+        assert report.health.retries == 1
+
+    def test_delays_grow_exponentially(self, tmp_path):
+        marker = tmp_path / "crashes"
+        marker.write_text("")
+
+        def crash_twice(job: _Job):
+            crashes = len(marker.read_text())
+            if crashes < 2:
+                marker.write_text("x" * (crashes + 1))
+                os._exit(13)
+            return _ok(job)
+
+        sup = ShardSupervisor(
+            crash_twice,
+            workers=1,
+            max_attempts=3,
+            retry_backoff_base=0.05,
+            retry_backoff_cap=10.0,
+        )
+        report = sup.run([_Job([1])])
+        assert report.results
+        delays = report.health.backoff_delays
+        assert len(delays) == 2
+        assert 0.025 <= delays[0] <= 0.05  # base * [0.5, 1.0]
+        assert 0.05 <= delays[1] <= 0.10  # 2 * base * [0.5, 1.0]
+
+    def test_zero_base_restores_immediate_retry(self, tmp_path):
+        sup = ShardSupervisor(
+            self._crash_once_fn(tmp_path / "crashed"),
+            workers=1,
+            max_attempts=2,
+            retry_backoff_base=0.0,
+        )
+        report = sup.run([_Job([1])])
+        assert report.results
+        assert report.health.backoff_delays == [0.0]
+
+    def test_jitter_is_seed_deterministic(self):
+        def delays(seed):
+            sup = ShardSupervisor(
+                _ok, retry_backoff_base=0.1, retry_jitter_seed=seed
+            )
+            return [sup._backoff_delay(n) for n in (1, 2, 3)]
+
+        assert delays(7) == delays(7)
+        assert delays(7) != delays(8)
+
+    def test_backoff_delays_survive_health_merge(self):
+        from repro.atpg.supervisor import RunHealth
+
+        a, b = RunHealth(backoff_delays=[0.1]), RunHealth(backoff_delays=[0.2])
+        a.merge(b)
+        assert a.backoff_delays == [0.1, 0.2]
+        assert a.as_dict()["backoff_delays"] == [0.1, 0.2]
