@@ -34,6 +34,16 @@ the deliberately redundancy-heavy suite member where UNSAT proofs
 dominate — with verdict parity between the two runs asserted
 (blocking) and the timing delta recorded (non-blocking).
 
+A ``hardness_guided`` block runs the hard-tail corpus (tmr16 plus the
+generated rtail8, whose injected redundant tail and SCOAP-mispriced
+multiplier core are built for exactly this comparison) under
+``--order scoap`` (fixed budgets) and ``--order hardness
+--budget-policy predicted``.  Per-fault verdict-class parity and
+identical coverage between the two schedules are blocking, the
+deterministic conflict reduction must hold ≥1.15x (the win the
+learned schedule is shipped for), and the wall/CPU speedups are
+recorded and ratcheted against the committed baseline.
+
 The smoke asserts the batched path beats the seed loop, the incremental
 mode removes ≥1.25x of the batched path's propagation work at identical
 fault coverage (the deterministic proxy for its ~1.35x solve-stage
@@ -71,9 +81,10 @@ from repro.sat.result import SatStatus
 pytestmark = pytest.mark.bench
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
-#: Whole-smoke wall-clock budget (seconds); the measured total is ~45s
-#: (the tmr16 sharing on/off pair dominates at ~28s).
-BUDGET_S = 120.0
+#: Whole-smoke wall-clock budget (seconds); the measured total is ~75s
+#: (the tmr16 sharing on/off pair at ~28s and the hardness-guided
+#: corpus pair at ~30s dominate).
+BUDGET_S = 150.0
 #: Regression ratchet: fail if batched throughput drops below this
 #: fraction of the committed baseline's.
 RATCHET = 0.75
@@ -284,6 +295,79 @@ def test_perf_smoke():
     assert tmr_on.stats.shared_promoted > 0
     assert tmr_on.stats.shared_injected > 0
 
+    # Hardness-guided scheduling on the hard-tail corpus: the same
+    # engine, same budgets ceiling, same verdicts — only the schedule
+    # and per-fault budgets move.  Conflict counts are deterministic
+    # (canonical compile order), so the win assert is noise-free; wall
+    # and steal-corrected CPU speedups are recorded as telemetry and
+    # ratcheted below.
+    def _verdict_class(record):
+        if record.status.name in ("TESTED", "DROPPED"):
+            return "detected"
+        return record.status.name
+
+    rtail = load_circuit("iscas", "rtail8")
+    hardness_circuits = {}
+    hg_wall = {"scoap": 0.0, "hardness": 0.0}
+    hg_cpu = {"scoap": 0.0, "hardness": 0.0}
+    hg_conflicts = {"scoap": 0, "hardness": 0}
+    hg_escalations = 0
+    hg_routed = 0
+    for circuit_name, circuit in (("tmr16", tmr), ("rtail8", rtail)):
+        runs = {}
+        for label, engine_kwargs in (
+            ("scoap", {"order": "scoap"}),
+            (
+                "hardness",
+                {"order": "hardness", "budget_policy": "predicted"},
+            ),
+        ):
+            gc.collect()
+            hg_engine = AtpgEngine(circuit, **engine_kwargs)
+            start = time.perf_counter()
+            cpu_start = time.process_time()
+            summary = hg_engine.run()
+            cpu = time.process_time() - cpu_start
+            wall = time.perf_counter() - start
+            runs[label] = (summary, wall, cpu)
+            hg_wall[label] += wall
+            hg_cpu[label] += cpu
+            hg_conflicts[label] += summary.stats.conflicts
+        scoap_run, scoap_wall, scoap_cpu = runs["scoap"]
+        hard_run, hard_wall, hard_cpu = runs["hardness"]
+        # Blocking parity: the learned schedule may move *when* a fault
+        # is handled (TESTED vs DROPPED swaps with order), never what
+        # the run concludes about it or how much it covers.
+        assert {
+            r.fault: _verdict_class(r) for r in scoap_run.records
+        } == {
+            r.fault: _verdict_class(r) for r in hard_run.records
+        }, f"hardness order changed a verdict on {circuit_name}"
+        assert scoap_run.fault_coverage == hard_run.fault_coverage
+        hg_escalations += hard_run.stats.budget_escalations
+        hg_routed += hard_run.stats.hard_routed
+        hardness_circuits[circuit_name] = {
+            "faults": len(scoap_run.records),
+            "scoap": {
+                "wall_time_s": scoap_wall,
+                "cpu_time_s": scoap_cpu,
+                "conflicts": scoap_run.stats.conflicts,
+                "sat_calls": scoap_run.stats.sat_calls,
+            },
+            "hardness": {
+                "wall_time_s": hard_wall,
+                "cpu_time_s": hard_cpu,
+                "conflicts": hard_run.stats.conflicts,
+                "sat_calls": hard_run.stats.sat_calls,
+            },
+            "speedup_wall": scoap_wall / hard_wall,
+            "conflict_reduction": (
+                scoap_run.stats.conflicts / hard_run.stats.conflicts
+                if hard_run.stats.conflicts
+                else float("inf")
+            ),
+        }
+
     batched_solve = batched.stats.solve_time
     incremental_solve = incremental.stats.solve_time
     # Stage times are wall-clock sums measured inside the engine; on a
@@ -398,6 +482,30 @@ def test_perf_smoke():
                 tmr_off_cpu / tmr_on_cpu if tmr_on_cpu else float("inf")
             ),
         },
+        "hardness_guided": {
+            # The hard-tail corpus under SCOAP vs learned-hardness
+            # scheduling (order + per-fault predicted budgets).  The
+            # conflict reduction is deterministic and blocking; the
+            # wall/CPU speedups are host-dependent telemetry defended
+            # by the ratchet below.
+            "corpus": list(hardness_circuits),
+            "circuits": hardness_circuits,
+            "scoap_wall_time_s": hg_wall["scoap"],
+            "hardness_wall_time_s": hg_wall["hardness"],
+            "speedup_wall": hg_wall["scoap"] / hg_wall["hardness"],
+            "speedup_cpu": (
+                hg_cpu["scoap"] / hg_cpu["hardness"]
+                if hg_cpu["hardness"]
+                else float("inf")
+            ),
+            "conflict_reduction": (
+                hg_conflicts["scoap"] / hg_conflicts["hardness"]
+                if hg_conflicts["hardness"]
+                else float("inf")
+            ),
+            "budget_escalations": hg_escalations,
+            "hard_routed": hg_routed,
+        },
         "parallel": {
             "solver_mode": "incremental",
             "wall_time_s": parallel_time,
@@ -481,6 +589,25 @@ def test_perf_smoke():
         f"({cert_overhead_work / incremental.stats.propagations:.2f}x "
         f"> 1.3x)"
     )
+
+    # Hardness-guided scheduling acceptance: the learned schedule must
+    # remove >= 1.15x of the SCOAP schedule's conflict work on the
+    # hard-tail corpus (measured ~1.30x; conflicts are deterministic,
+    # so this does not flap with host load).  The wall-clock speedup —
+    # the number the scheduler is shipped for, measured ~1.4x — is
+    # recorded in the JSON and defended by the ratchet below.
+    hg_reduction = payload["hardness_guided"]["conflict_reduction"]
+    assert hg_reduction >= 1.15, (
+        f"hardness-guided schedule win too small: {hg_reduction:.2f}x "
+        f"conflict reduction < 1.15x on the hard-tail corpus"
+    )
+    committed_hg = committed.get("hardness_guided", {}).get("speedup_wall")
+    if committed_hg is not None:
+        new_hg = payload["hardness_guided"]["speedup_wall"]
+        assert new_hg >= committed_hg * RATCHET, (
+            f"hardness-guided speedup regressed: {new_hg:.2f}x vs "
+            f"committed {committed_hg:.2f}x (ratchet {RATCHET:.0%})"
+        )
 
     # Regression ratchet against the committed baseline.
     if baseline_ips is not None:

@@ -163,9 +163,16 @@ class EscalationLadder:
         #: Whether advancing to the next rung is a failure-triggered
         #: escalation (counted) or routine UNSAT certification (not).
         failure_climb = False
+        # Predicted-hard faults may be routed past the rungs that are
+        # empirically doomed for them (engine._route_start_rung); the
+        # skipped rungs are a scheduling choice, not escalations.
+        start_rung = engine._route_start_rung(fault)
+        if start_rung > 0:
+            stats.hard_routed += 1
 
-        for rung_index, rung in enumerate(RUNGS):
-            if rung_index > 0:
+        for rung_index in range(start_rung, len(RUNGS)):
+            rung = RUNGS[rung_index]
+            if rung_index > start_rung:
                 if engine._past_deadline():
                     break
                 if failure_climb:
@@ -355,6 +362,7 @@ class EscalationLadder:
             solve_time=solved - encoded,
             decisions=result.stats.decisions,
             conflicts=result.stats.conflicts,
+            propagations=result.stats.propagations,
         )
         if result.status is SatStatus.SAT:
             assert result.assignment is not None
@@ -459,6 +467,7 @@ class EscalationLadder:
             solve_time=solve_time,
             decisions=solver_stats.decisions if solver_stats else 0,
             conflicts=solver_stats.conflicts if solver_stats else 0,
+            propagations=solver_stats.propagations if solver_stats else 0,
         )
         proof_status: Optional[str] = None
         if status is SatStatus.SAT:
@@ -511,6 +520,7 @@ class EscalationLadder:
             solve_time=solve_time,
             decisions=result.stats.decisions,
             conflicts=result.stats.conflicts,
+            propagations=result.stats.propagations,
         )
         if result.status is SatStatus.SAT:
             record.status = FaultStatus.TESTED

@@ -72,6 +72,7 @@ def record_to_dict(record: AtpgRecord) -> dict:
         "solve_time": record.solve_time,
         "decisions": record.decisions,
         "conflicts": record.conflicts,
+        "propagations": record.propagations,
         "test": record.test,
         "abort_reason": record.abort_reason,
         "certified": record.certified,
@@ -90,6 +91,8 @@ def record_from_dict(payload: dict) -> AtpgRecord:
         solve_time=payload.get("solve_time", 0.0),
         decisions=payload.get("decisions", 0),
         conflicts=payload.get("conflicts", 0),
+        # Added for predictor training data; old journals default to 0.
+        propagations=payload.get("propagations", 0),
         test=payload.get("test"),
         abort_reason=payload.get("abort_reason"),
         certified=payload.get("certified"),

@@ -52,11 +52,13 @@ from typing import Optional
 
 from repro.atpg.certify import (
     CERTIFY_MODES,
+    RUNGS,
     CertificationError,
     EscalationLadder,
 )
 from repro.atpg.fault_sim import PatternBlockStore, fault_simulate
 from repro.atpg.faults import Fault, collapse_faults
+from repro.atpg.hardness import HardnessModel, HardnessPredictor
 from repro.atpg.miter import (
     UnobservableFault,
     build_atpg_circuit,
@@ -121,6 +123,7 @@ class AtpgRecord:
     solve_time: float = 0.0
     decisions: int = 0
     conflicts: int = 0
+    propagations: int = 0
     test: Optional[dict[str, int]] = None
     abort_reason: Optional[str] = None
     #: Certification outcome (:mod:`repro.atpg.certify`): ``True`` the
@@ -165,6 +168,12 @@ class EngineStats:
     shared_promoted: int = 0
     shared_injected: int = 0
     shared_active_solves: int = 0
+    #: Hardness-guided scheduling (:mod:`repro.atpg.hardness`): SAT
+    #: calls whose tight predicted conflict budget ran out and were
+    #: re-solved at the full budget, and faults the predictor routed
+    #: straight to a stronger escalation-ladder rung.
+    budget_escalations: int = 0
+    hard_routed: int = 0
     health: RunHealth = field(default_factory=RunHealth)
 
     @property
@@ -215,6 +224,8 @@ class EngineStats:
         self.shared_promoted += other.shared_promoted
         self.shared_injected += other.shared_injected
         self.shared_active_solves += other.shared_active_solves
+        self.budget_escalations += other.budget_escalations
+        self.hard_routed += other.hard_routed
         self.health.merge(other.health)
 
     def solver_rates(self) -> dict[str, float]:
@@ -248,6 +259,8 @@ class EngineStats:
             "shared_injected": self.shared_injected,
             "shared_active_solves": self.shared_active_solves,
             "shared_hit_rate": self.shared_hit_rate,
+            "budget_escalations": self.budget_escalations,
+            "hard_routed": self.hard_routed,
             "health": self.health.as_dict(),
             **self.solver_rates(),
         }
@@ -385,7 +398,10 @@ class AtpgEngine:
             whose network the coordinator already validated).
         drop_block_size: patterns packed per fault-dropping block.
         order: ``auto`` (SCOAP-order the default collapsed list, keep
-            explicit lists as given), ``scoap``, or ``given``.
+            explicit lists as given), ``scoap``, ``hardness`` (learned
+            predictor ordering, :mod:`repro.atpg.hardness`), or
+            ``given``.  Ordering only moves the *schedule*: per-fault
+            verdicts and coverage are order-independent.
         solver_mode: ``incremental`` (default) keeps one persistent
             assumption-based CDCL solver per observing-output cone —
             each fault's miter is pushed as an activation-guarded delta
@@ -425,6 +441,21 @@ class AtpgEngine:
             for the soundness argument).  ``off`` disables the exchange.
             Only the incremental CDCL path shares; verdicts are
             unaffected either way.
+        budget_policy: ``fixed`` (default) gives every fault the full
+            ``max_conflicts`` budget.  ``predicted`` gives each fault a
+            tight budget derived from its predicted conflict count
+            (:meth:`~repro.atpg.hardness.HardnessPredictor.budget`) and
+            *escalates* to the full budget when the tight attempt comes
+            back UNKNOWN — so a mispredicted fault costs one bounded
+            extra solve while a genuinely hard fault can no longer pin a
+            shard at the full budget repeatedly on doomed warm attempts.
+            Escalation is budget-only (never applied to memory or
+            deadline aborts), so final verdicts are identical to
+            ``fixed``.
+        hardness_model: the trained :class:`HardnessModel` (or a path to
+            its JSON) used by ``order="hardness"``,
+            ``budget_policy="predicted"``, and hard-fault ladder
+            routing; ``None`` loads the shipped default model.
     """
 
     def __init__(
@@ -442,11 +473,15 @@ class AtpgEngine:
         certify: str = "off",
         mem_budget_mb: Optional[float] = None,
         share_learned: str = "cone",
+        budget_policy: str = "fixed",
+        hardness_model: Optional["HardnessModel | str"] = None,
     ) -> None:
-        if order not in ("auto", "scoap", "given"):
+        if order not in ("auto", "scoap", "hardness", "given"):
             raise ValueError(f"unknown fault order {order!r}")
         if solver_mode not in ("incremental", "fresh"):
             raise ValueError(f"unknown solver mode {solver_mode!r}")
+        if budget_policy not in ("fixed", "predicted"):
+            raise ValueError(f"unknown budget policy {budget_policy!r}")
         if share_learned not in ("off", "cone"):
             raise ValueError(f"unknown share_learned mode {share_learned!r}")
         if deadline is not None and deadline < 0:
@@ -469,6 +504,9 @@ class AtpgEngine:
         self.certify = certify
         self.mem_budget_mb = mem_budget_mb
         self.share_learned = share_learned
+        self.budget_policy = budget_policy
+        self.hardness_model = hardness_model
+        self._hardness: Optional[HardnessPredictor] = None
         self._structural_store = (
             StructuralClauseStore() if share_learned == "cone" else None
         )
@@ -487,6 +525,62 @@ class AtpgEngine:
     def incremental(self) -> bool:
         """True when faults are solved on persistent per-cone solvers."""
         return self.solver_mode == "incremental" and self.solver_name == "cdcl"
+
+    @property
+    def hardness_guided(self) -> bool:
+        """True when any scheduling decision consults the predictor."""
+        return self.order == "hardness" or self.budget_policy == "predicted"
+
+    def hardness_predictor(self) -> HardnessPredictor:
+        """The per-network hardness predictor (built on first use)."""
+        if self._hardness is None:
+            model = self.hardness_model
+            if model is None:
+                model = HardnessModel.default()
+            elif not isinstance(model, HardnessModel):
+                model = HardnessModel.load(model)
+            self._hardness = HardnessPredictor(self.network, model=model)
+        return self._hardness
+
+    def _fault_budget(self, fault: Fault) -> tuple[Optional[int], bool]:
+        """(first-attempt conflict budget, whether escalation remains).
+
+        Under the ``fixed`` policy every fault gets the full budget and
+        there is nothing to escalate to.  Under ``predicted`` the first
+        attempt runs on the predictor's tight budget; the second element
+        says a full-budget retry is still meaningful if it aborts.
+        """
+        if self.budget_policy != "predicted":
+            return self.max_conflicts, False
+        budget = self.hardness_predictor().budget(fault, self.max_conflicts)
+        escalatable = budget is not None and (
+            self.max_conflicts is None or budget < self.max_conflicts
+        )
+        return budget, escalatable
+
+    def _route_start_rung(self, fault: Fault) -> int:
+        """The escalation-ladder rung this fault should start on.
+
+        The cheap full-mode UNSAT certification is two *warm* rungs
+        agreeing (primary + core-replay), so routing past them only pays
+        when those rungs are doomed to burn their whole conflict budget
+        and abort anyway.  That is exactly the faults the predictor
+        prices above the configured ``max_conflicts``: for them the
+        ladder starts at the proof-logged ``fresh-cdcl`` rung, replacing
+        two full-budget warm aborts with the one cold solve the fault
+        was always going to need.  Only the schedule moves — every rung
+        agrees on verdicts, and a fresh-cdcl abort still climbs on to
+        the DPLL reference exactly as an escalated one would.
+        """
+        if (
+            self.certify == "full"
+            and self.hardness_guided
+            and self.max_conflicts is not None
+        ):
+            predictor = self.hardness_predictor()
+            if predictor.conflicts(fault) > self.max_conflicts:
+                return RUNGS.index("fresh-cdcl")
+        return 0
 
     # ------------------------------------------------------------------
     def fault_cone(self, net: str) -> set[str]:
@@ -535,16 +629,35 @@ class AtpgEngine:
         formula = atpg.formula(cache=self._encoding_cache)
         encoded = time.perf_counter()
 
-        result = self._solve(formula)
+        budget, escalatable = self._fault_budget(fault)
+        result = self._solve(formula, max_conflicts=budget)
+        sat_calls = 1
+        decisions = result.stats.decisions
+        conflicts = result.stats.conflicts
+        propagations = result.stats.propagations
+        if (
+            escalatable
+            and result.status is SatStatus.UNKNOWN
+            and not result.stats.mem_limit_hit
+            and not self._past_deadline()
+        ):
+            # Tight predicted budget exhausted: retry once at the full
+            # budget, so final verdicts match the fixed policy exactly.
+            stats.budget_escalations += 1
+            result = self._solve(formula)
+            sat_calls += 1
+            decisions += result.stats.decisions
+            conflicts += result.stats.conflicts
+            propagations += result.stats.propagations
         solved = time.perf_counter()
 
         stats.build_time += built - start
         stats.encode_time += encoded - built
         stats.solve_time += solved - encoded
-        stats.sat_calls += 1
-        stats.propagations += result.stats.propagations
-        stats.decisions += result.stats.decisions
-        stats.conflicts += result.stats.conflicts
+        stats.sat_calls += sat_calls
+        stats.propagations += propagations
+        stats.decisions += decisions
+        stats.conflicts += conflicts
 
         record = AtpgRecord(
             fault=fault,
@@ -554,8 +667,9 @@ class AtpgEngine:
             build_time=built - start,
             encode_time=encoded - built,
             solve_time=solved - encoded,
-            decisions=result.stats.decisions,
-            conflicts=result.stats.conflicts,
+            decisions=decisions,
+            conflicts=conflicts,
+            propagations=propagations,
         )
         self._finish_record(record, result)
         return record
@@ -598,13 +712,40 @@ class AtpgEngine:
                 entry.solver.push_shared(fresh)
             if entry.solver.num_shared_clauses:
                 stats.shared_active_solves += 1
+        budget, escalatable = self._fault_budget(fault)
         result = entry.solver.solve(
             group,
-            max_conflicts=self.max_conflicts,
+            max_conflicts=budget,
             deadline_at=self._deadline_at,
             mem_budget_mb=self.mem_budget_mb,
             model_names=self.network.inputs,
         )
+        sat_calls = 1
+        decisions = result.stats.decisions
+        conflicts = result.stats.conflicts
+        propagations = result.stats.propagations
+        if (
+            escalatable
+            and result.status is SatStatus.UNKNOWN
+            and not result.stats.mem_limit_hit
+            and not self._past_deadline()
+        ):
+            # Tight predicted budget exhausted: re-solve at the full
+            # budget on the still-warm solver (the group is still
+            # active, and the first attempt's learned clauses carry
+            # over), so final verdicts match the fixed policy exactly.
+            stats.budget_escalations += 1
+            result = entry.solver.solve(
+                group,
+                max_conflicts=self.max_conflicts,
+                deadline_at=self._deadline_at,
+                mem_budget_mb=self.mem_budget_mb,
+                model_names=self.network.inputs,
+            )
+            sat_calls += 1
+            decisions += result.stats.decisions
+            conflicts += result.stats.conflicts
+            propagations += result.stats.propagations
         entry.solver.retire(group)
         if store is not None:
             # Drain *after* retire: the delta's variable names are
@@ -619,10 +760,10 @@ class AtpgEngine:
         stats.build_time += built - start
         stats.encode_time += encoded - built
         stats.solve_time += solved - encoded
-        stats.sat_calls += 1
-        stats.propagations += result.stats.propagations
-        stats.decisions += result.stats.decisions
-        stats.conflicts += result.stats.conflicts
+        stats.sat_calls += sat_calls
+        stats.propagations += propagations
+        stats.decisions += decisions
+        stats.conflicts += conflicts
 
         record = AtpgRecord(
             fault=fault,
@@ -632,8 +773,9 @@ class AtpgEngine:
             build_time=built - start,
             encode_time=encoded - built,
             solve_time=solved - encoded,
-            decisions=result.stats.decisions,
-            conflicts=result.stats.conflicts,
+            decisions=decisions,
+            conflicts=conflicts,
+            propagations=propagations,
         )
         self._finish_record(record, result)
         if record.test is not None:
@@ -713,10 +855,14 @@ class AtpgEngine:
             and time.monotonic() >= self._deadline_at
         )
 
-    def _solve(self, formula: CnfFormula) -> SatResult:
+    def _solve(
+        self,
+        formula: CnfFormula,
+        max_conflicts: Optional[int] = None,
+    ) -> SatResult:
         return make_solver(
             self.solver_name,
-            self.max_conflicts,
+            self.max_conflicts if max_conflicts is None else max_conflicts,
             deadline_at=self._deadline_at,
             mem_budget_mb=self.mem_budget_mb,
         ).solve(formula)
@@ -741,6 +887,8 @@ class AtpgEngine:
         """
         explicit = faults is not None
         fault_list = list(faults) if explicit else collapse_faults(self.network)
+        if self.order == "hardness":
+            return self.hardness_predictor().order(fault_list)
         if self.order == "scoap" or (self.order == "auto" and not explicit):
             return order_faults(self.network, fault_list)
         return fault_list

@@ -1,0 +1,535 @@
+"""Learned fault-hardness prediction for schedule and budget decisions.
+
+The paper's thesis is that ATPG is easy *on average*: runtime is
+dominated by a small hard/redundant tail, not by the typical fault.
+SCOAP detection cost (:mod:`repro.atpg.scoap`) is the classic static
+stand-in for per-fault difficulty, but it is blind to exactly the
+mechanism that creates the hard tail — reconvergent masking (a TMR
+voter's replica faults get modest finite SCOAP costs yet are provably
+untestable).  This module learns a better predictor *offline* from the
+per-fault search-effort records the checkpoint journal already collects
+(:mod:`repro.atpg.checkpoint`): conflicts, decisions, propagations and
+solve time per fault, over corpus runs.
+
+Three consumers, all schedule-only (verdicts never depend on a
+prediction — mispredictions cost time, not correctness):
+
+* **Ordering** (``AtpgEngine order="hardness"``): process predicted-easy
+  faults first so their patterns fault-drop the hard tail before it is
+  ever SAT-solved, and group the predicted-hard tail together so the
+  persistent per-cone solvers and the structural clause store attack it
+  with maximally warm state.
+* **Per-fault conflict budgets** (``budget_policy="predicted"``):
+  predicted-easy faults get a tight conflict budget and *escalate* to
+  the full budget on exhaustion, so one misprediction costs a bounded
+  re-solve instead of stalling a shard at the full 100k-conflict budget.
+* **Ladder routing / shard balancing**: predicted-hard faults skip
+  solve paths that are empirically doomed for them (see
+  :mod:`repro.atpg.certify`), and the parallel engine balances shards by
+  predicted cost instead of the SCOAP x cone-size heuristic.
+
+The model is deliberately tiny and dependency-free: gradient-boosted
+regression stumps (pure Python, deterministic training given the data
+order) over a fixed feature vector, serialised to JSON.  A pre-trained
+default model ships with the package (``hardness_model.json``) so
+``--order hardness`` works out of the box; :mod:`tools.train_hardness`
+retrains it from fresh journal corpora.
+
+Feature extraction is deterministic and invariant under net renaming:
+every feature is a count, level, or SCOAP value — nothing depends on
+name ordering, hash ordering, or iteration order over sets (property-
+tested in ``tests/atpg/test_hardness.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.atpg.faults import Fault
+from repro.atpg.scoap import INFINITY, ScoapMeasures, compute_scoap
+from repro.circuits.gates import GateType
+from repro.circuits.network import Network
+
+MODEL_VERSION = 1
+
+#: Where the shipped pre-trained model lives (package data).
+DEFAULT_MODEL_PATH = Path(__file__).with_name("hardness_model.json")
+
+#: Finite stand-in for SCOAP infinities inside feature vectors: far
+#: beyond any realistic finite cost, with companion indicator features
+#: so the model can treat "provably impossible under SCOAP" as its own
+#: regime instead of a very large number.
+_SCOAP_CAP = 1.0e6
+
+#: Gate types that get a slot in the cone gate-type histogram, in a
+#: fixed order (feature identity must not depend on enum iteration).
+_HISTOGRAM_TYPES = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+)
+
+#: The fixed feature vector layout.  Training, prediction, and the JSON
+#: model all agree on this order; a mismatch fails loudly at load time.
+FEATURE_NAMES: tuple[str, ...] = (
+    "stuck_value",
+    "cc_excite",
+    "cc_excite_inf",
+    "co",
+    "co_inf",
+    "detection_cost",
+    "fanout",
+    "level",
+    "tfo_size",
+    "tfo_depth",
+    "observing_outputs",
+    "tfi_size",
+    "reconvergence",
+    "reconvergence_frac",
+) + tuple(f"cone_{gtype.value}" for gtype in _HISTOGRAM_TYPES)
+
+
+def _capped(value: float) -> tuple[float, float]:
+    """(finite value, infinity indicator) for one SCOAP measure."""
+    if value >= INFINITY:
+        return _SCOAP_CAP, 1.0
+    return float(value), 0.0
+
+
+class HardnessModelError(ValueError):
+    """A hardness model document could not be loaded."""
+
+
+@dataclass
+class HardnessModel:
+    """A gradient-boosted-stump regressor over :data:`FEATURE_NAMES`.
+
+    The prediction target is ``log1p(conflicts)`` of the fault's SAT
+    search (the journal's deterministic effort currency), so
+    ``expm1(score)`` is the predicted conflict count.  Alongside the
+    ensemble the model carries the two policy constants its consumers
+    need:
+
+    * ``route_threshold`` — scores at or above it classify a fault as
+      *hard* (ladder routing, tail grouping); chosen at train time as a
+      quantile of the training scores.
+    * ``budget_margin`` / ``budget_min`` — the predicted-budget policy
+      grants ``margin * predicted_conflicts`` (at least ``budget_min``)
+      conflicts before escalating to the full budget.
+    """
+
+    feature_names: tuple[str, ...] = FEATURE_NAMES
+    base: float = 0.0
+    #: Stumps as (feature index, threshold, left value, right value);
+    #: rows with ``x[f] <= t`` take the left value.
+    trees: list[tuple[int, float, float, float]] = field(default_factory=list)
+    route_threshold: float = math.inf
+    budget_margin: float = 8.0
+    budget_min: int = 256
+    meta: dict = field(default_factory=dict)
+
+    def predict(self, features: Sequence[float]) -> float:
+        """Predicted ``log1p(conflicts)`` for one feature vector."""
+        score = self.base
+        for feature, threshold, left, right in self.trees:
+            score += left if features[feature] <= threshold else right
+        return score
+
+    def predicted_conflicts(self, features: Sequence[float]) -> float:
+        """The score mapped back to a conflict count."""
+        return math.expm1(max(0.0, self.predict(features)))
+
+    # -- serialisation --------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "version": MODEL_VERSION,
+            "feature_names": list(self.feature_names),
+            "base": self.base,
+            "trees": [list(tree) for tree in self.trees],
+            "route_threshold": self.route_threshold,
+            "budget_margin": self.budget_margin,
+            "budget_min": self.budget_min,
+            "meta": self.meta,
+        }
+
+    def save(self, path: str | Path) -> None:
+        from repro.io.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "HardnessModel":
+        if not isinstance(doc, dict) or doc.get("version") != MODEL_VERSION:
+            raise HardnessModelError(
+                f"unsupported hardness model version {doc.get('version')!r}"
+                if isinstance(doc, dict)
+                else "hardness model document must be a JSON object"
+            )
+        names = tuple(doc.get("feature_names", ()))
+        if names != FEATURE_NAMES:
+            raise HardnessModelError(
+                "hardness model feature layout does not match this build "
+                f"(model has {len(names)} features, expected "
+                f"{len(FEATURE_NAMES)}) — retrain with tools/train_hardness.py"
+            )
+        try:
+            trees = [
+                (int(f), float(t), float(left), float(right))
+                for f, t, left, right in doc["trees"]
+            ]
+            model = cls(
+                feature_names=names,
+                base=float(doc["base"]),
+                trees=trees,
+                route_threshold=float(doc["route_threshold"]),
+                budget_margin=float(doc["budget_margin"]),
+                budget_min=int(doc["budget_min"]),
+                meta=dict(doc.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HardnessModelError(f"malformed hardness model: {exc}") from exc
+        for feature, _, _, _ in model.trees:
+            if not 0 <= feature < len(FEATURE_NAMES):
+                raise HardnessModelError(
+                    f"stump references feature {feature} outside the layout"
+                )
+        return model
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HardnessModel":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HardnessModelError(
+                f"cannot read hardness model {path}: {exc}"
+            ) from exc
+        return cls.from_json_dict(doc)
+
+    @classmethod
+    def default(cls) -> "HardnessModel":
+        """The shipped pre-trained model (cached after first load)."""
+        global _DEFAULT_MODEL
+        if _DEFAULT_MODEL is None:
+            _DEFAULT_MODEL = cls.load(DEFAULT_MODEL_PATH)
+        return _DEFAULT_MODEL
+
+
+_DEFAULT_MODEL: Optional[HardnessModel] = None
+
+
+# ----------------------------------------------------------------------
+# Feature extraction
+# ----------------------------------------------------------------------
+class HardnessExtractor:
+    """Deterministic per-fault feature vectors for one network.
+
+    Per-net structural work (cones, reconvergence, histograms) is cached
+    and shared by both polarities of a stem; only the SCOAP polarity
+    features differ between ``net/sa0`` and ``net/sa1``.
+    """
+
+    def __init__(
+        self, network: Network, measures: Optional[ScoapMeasures] = None
+    ) -> None:
+        self.network = network
+        self.measures = (
+            measures if measures is not None else compute_scoap(network)
+        )
+        self._levels = network.levels()
+        self._outputs = set(network.outputs)
+        self._net_cache: dict[str, list[float]] = {}
+
+    def _structural_features(self, net: str) -> list[float]:
+        """The polarity-independent tail of the feature vector."""
+        cached = self._net_cache.get(net)
+        if cached is not None:
+            return cached
+        network = self.network
+        tfo = network.transitive_fanout([net])
+        observing = [out for out in tfo if out in self._outputs]
+        tfi = network.transitive_fanin(observing) if observing else set()
+        level = self._levels[net]
+        max_level = max((self._levels[n] for n in tfo), default=level)
+
+        # Reconvergence: gates inside the fanout cone fed by 2+ in-cone
+        # nets see the fault on multiple inputs at once — the structural
+        # mechanism behind fault masking (and SCOAP's blind spot).
+        reconv = 0
+        histogram = {gtype: 0 for gtype in _HISTOGRAM_TYPES}
+        for cone_net in tfo:
+            gate = network.gate(cone_net)
+            if gate.gate_type in histogram:
+                histogram[gate.gate_type] += 1
+            if cone_net != net:
+                in_cone = sum(1 for src in gate.inputs if src in tfo)
+                if in_cone >= 2:
+                    reconv += 1
+        cone_gates = max(1, len(tfo))
+
+        features = [
+            float(len(network.fanouts(net))),
+            float(level),
+            float(len(tfo)),
+            float(max_level - level),
+            float(len(observing)),
+            float(len(tfi)),
+            float(reconv),
+            reconv / cone_gates,
+        ] + [float(histogram[gtype]) for gtype in _HISTOGRAM_TYPES]
+        self._net_cache[net] = features
+        return features
+
+    def features(self, fault: Fault) -> list[float]:
+        """The full feature vector for one fault (see FEATURE_NAMES)."""
+        measures = self.measures
+        cc, cc_inf = _capped(
+            measures.controllability(fault.net, 1 - fault.value)
+        )
+        co, co_inf = _capped(measures.co[fault.net])
+        cost, _ = _capped(measures.detection_cost(fault.net, fault.value))
+        return [
+            float(fault.value),
+            cc,
+            cc_inf,
+            co,
+            co_inf,
+            cost,
+        ] + self._structural_features(fault.net)
+
+
+# ----------------------------------------------------------------------
+# The run-time predictor
+# ----------------------------------------------------------------------
+class HardnessPredictor:
+    """Bind a :class:`HardnessModel` to one network.
+
+    The engine-facing API: scores, ordering, routing, budgets, and shard
+    cost weights, all memoised per fault.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        model: Optional[HardnessModel] = None,
+        measures: Optional[ScoapMeasures] = None,
+    ) -> None:
+        self.network = network
+        self.model = model if model is not None else HardnessModel.default()
+        self.extractor = HardnessExtractor(network, measures=measures)
+        self._scores: dict[Fault, float] = {}
+
+    def score(self, fault: Fault) -> float:
+        """Predicted ``log1p(conflicts)`` (memoised)."""
+        score = self._scores.get(fault)
+        if score is None:
+            score = self.model.predict(self.extractor.features(fault))
+            self._scores[fault] = score
+        return score
+
+    def order(self, faults: Iterable[Fault]) -> list[Fault]:
+        """Easiest-first by predicted hardness, ties broken on the fault
+        itself so the order is deterministic across processes."""
+        return sorted(faults, key=lambda f: (self.score(f), f))
+
+    def is_hard(self, fault: Fault) -> bool:
+        """True when the fault belongs to the predicted hard tail."""
+        return self.score(fault) >= self.model.route_threshold
+
+    def conflicts(self, fault: Fault) -> float:
+        """Predicted conflict count (the memoised score, un-logged)."""
+        return math.expm1(max(0.0, self.score(fault)))
+
+    def budget(self, fault: Fault, ceiling: Optional[int]) -> Optional[int]:
+        """The tight first-attempt conflict budget for ``fault``.
+
+        ``margin * predicted_conflicts``, at least ``budget_min``, never
+        above ``ceiling`` (the configured full budget).  Predicted-hard
+        faults go straight to the ceiling: a tight budget would only
+        delay the full-strength attempt they are known to need.
+        """
+        if ceiling is not None and ceiling <= self.model.budget_min:
+            return ceiling
+        if self.is_hard(fault):
+            return ceiling
+        predicted = self.conflicts(fault)
+        tight = max(
+            self.model.budget_min,
+            int(math.ceil(self.model.budget_margin * (predicted + 1.0))),
+        )
+        if ceiling is not None:
+            tight = min(tight, ceiling)
+        return tight
+
+    def cost(self, fault: Fault) -> float:
+        """Shard-balancing work estimate (predicted conflicts + 1).
+
+        Replaces the SCOAP x cone-size product in
+        :func:`repro.atpg.parallel.shard_faults_by_cone`: the model's
+        conflict estimate already folds instance size in through the
+        cone features, and unlike SCOAP it prices the redundant tail
+        correctly.
+        """
+        return self.conflicts(fault) + 1.0
+
+
+# ----------------------------------------------------------------------
+# Training (pure, deterministic; used by tools/train_hardness.py)
+# ----------------------------------------------------------------------
+def hardness_target(record_dict: dict) -> float:
+    """The training target for one journal record: log1p(conflicts).
+
+    Conflicts are the solver's deterministic effort currency (identical
+    across hosts for the canonical compile order), which keeps training
+    data machine-independent; solve_time_s stays in the journal as
+    telemetry and for sanity-checking the conflict/time correlation.
+    """
+    return math.log1p(max(0, int(record_dict.get("conflicts", 0))))
+
+
+def train_stumps(
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    rounds: int = 80,
+    learning_rate: float = 0.25,
+    max_splits: int = 32,
+    route_quantile: float = 0.75,
+    budget_margin: float = 8.0,
+    budget_min: int = 256,
+    meta: Optional[dict] = None,
+) -> HardnessModel:
+    """Fit a gradient-boosted-stump ensemble by least squares.
+
+    Deterministic given (rows, targets) order: candidate thresholds are
+    midpoints between distinct sorted feature values (subsampled evenly
+    to ``max_splits``), the best split is chosen by SSE reduction with
+    ties broken on (feature index, threshold), and no randomness is
+    used anywhere.
+    """
+    n = len(rows)
+    if n == 0 or n != len(targets):
+        raise ValueError("training needs matching, non-empty rows/targets")
+    num_features = len(FEATURE_NAMES)
+    for row in rows:
+        if len(row) != num_features:
+            raise ValueError(
+                f"feature row has {len(row)} values, expected {num_features}"
+            )
+
+    base = sum(targets) / n
+    predictions = [base] * n
+    trees: list[tuple[int, float, float, float]] = []
+
+    # Pre-sort row indices per feature once; every boosting round then
+    # scans each feature in sorted order with prefix sums.
+    order_by_feature = [
+        sorted(range(n), key=lambda i: (rows[i][f], i))
+        for f in range(num_features)
+    ]
+    split_positions_by_feature: list[list[int]] = []
+    for f in range(num_features):
+        ordered = order_by_feature[f]
+        boundaries = [
+            k + 1
+            for k in range(n - 1)
+            if rows[ordered[k]][f] < rows[ordered[k + 1]][f]
+        ]
+        if len(boundaries) > max_splits:
+            stride = len(boundaries) / max_splits
+            boundaries = [
+                boundaries[int(k * stride)] for k in range(max_splits)
+            ]
+        split_positions_by_feature.append(boundaries)
+
+    for _ in range(rounds):
+        residuals = [targets[i] - predictions[i] for i in range(n)]
+        total = sum(residuals)
+        best: Optional[tuple[float, int, float, float, float]] = None
+        for f in range(num_features):
+            boundaries = split_positions_by_feature[f]
+            if not boundaries:
+                continue
+            ordered = order_by_feature[f]
+            prefix = 0.0
+            boundary_iter = iter(boundaries)
+            next_boundary = next(boundary_iter)
+            for k in range(n):
+                prefix += residuals[ordered[k]]
+                if k + 1 != next_boundary:
+                    continue
+                left_n = k + 1
+                right_n = n - left_n
+                left_mean = prefix / left_n
+                right_mean = (total - prefix) / right_n
+                # SSE reduction of this split (up to the constant sum of
+                # squared residuals): n_l*m_l^2 + n_r*m_r^2.
+                gain = left_n * left_mean**2 + right_n * right_mean**2
+                threshold = (
+                    rows[ordered[k]][f] + rows[ordered[k + 1]][f]
+                ) / 2.0
+                candidate = (-gain, f, threshold, left_mean, right_mean)
+                if best is None or candidate < best:
+                    best = candidate
+                next_boundary = next(boundary_iter, None)
+                if next_boundary is None:
+                    break
+        if best is None:
+            break
+        _, f, threshold, left_mean, right_mean = best
+        left = learning_rate * left_mean
+        right = learning_rate * right_mean
+        trees.append((f, threshold, left, right))
+        for i in range(n):
+            predictions[i] += left if rows[i][f] <= threshold else right
+
+    scores = sorted(predictions)
+    route_index = min(n - 1, max(0, int(route_quantile * (n - 1))))
+    model = HardnessModel(
+        base=base,
+        trees=trees,
+        route_threshold=scores[route_index],
+        budget_margin=budget_margin,
+        budget_min=budget_min,
+        meta=dict(meta or {}),
+    )
+    return model
+
+
+def ordering_quality(
+    scores: Sequence[float], targets: Sequence[float]
+) -> float:
+    """How much of the achievable "hard last" mass an ordering captures.
+
+    Sort faults by predicted score ascending and sum ``rank * target``:
+    an ordering that puts expensive faults late scores high.  Normalised
+    to [0, 1] between the worst (hard first) and best (hard last)
+    orderings, so 0.5 is the expected value of a random shuffle — the
+    trained model must beat that on held-out data (asserted by
+    ``tools/train_hardness.py`` and the CI train smoke).
+    """
+    n = len(scores)
+    if n != len(targets) or n == 0:
+        raise ValueError("scores/targets must be non-empty and aligned")
+    by_score = sorted(range(n), key=lambda i: (scores[i], i))
+    achieved = sum(
+        rank * targets[index] for rank, index in enumerate(by_score)
+    )
+    ordered_targets = sorted(targets)
+    best = sum(rank * t for rank, t in enumerate(ordered_targets))
+    worst = sum(
+        (n - 1 - rank) * t for rank, t in enumerate(ordered_targets)
+    )
+    if best == worst:
+        # Uniform targets: every ordering is equally good, which must
+        # not read as "beats random" — report exactly the random value.
+        return 0.5
+    return (achieved - worst) / (best - worst)

@@ -99,6 +99,10 @@ class _ShardJob:
     certify: str = "off"
     mem_budget_mb: Optional[float] = None
     share_learned: str = "cone"
+    budget_policy: str = "fixed"
+    #: The coordinator's resolved HardnessModel (a plain dataclass, so
+    #: it pickles); workers must not re-load it from disk independently.
+    hardness_model: Optional[object] = None
 
 
 def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
@@ -117,6 +121,8 @@ def _run_shard(job: _ShardJob, on_record=None) -> AtpgSummary:
         certify=job.certify,
         mem_budget_mb=job.mem_budget_mb,
         share_learned=job.share_learned,
+        budget_policy=job.budget_policy,
+        hardness_model=job.hardness_model,
     )
     return engine.run(
         faults=job.faults,
@@ -139,36 +145,48 @@ def _split_shard(job: _ShardJob) -> list[_ShardJob]:
 
 
 def shard_faults_by_cone(
-    network: Network, faults: Sequence[Fault], num_shards: int
+    network: Network,
+    faults: Sequence[Fault],
+    num_shards: int,
+    predictor=None,
 ) -> list[list[Fault]]:
     """Partition ``faults`` into cone-coherent, load-balanced shards.
 
     Faults are grouped by the set of primary outputs observing them (a
     cheap proxy for "miters share gates"); groups are then packed onto
-    shards greedily, heaviest first, by estimated work.  A fault's work
-    estimate multiplies its SCOAP detection cost (how hard exciting and
-    propagating it is — the per-fault *search* effort predictor) with
-    the TFI size of its fanout cone (the per-fault *instance* size), so
-    a group of few-but-hard faults weighs as much as one of
-    many-but-trivial faults; weighting by fault count alone left a
-    visible solve-time imbalance between workers.  Within each shard the
-    original fault order is preserved, so workers process their slice
-    in canonical order, keeping the replay merge deterministic.
+    shards greedily, heaviest first, by estimated work.  Without a
+    ``predictor``, a fault's work estimate multiplies its SCOAP
+    detection cost (how hard exciting and propagating it is — the
+    per-fault *search* effort predictor) with the TFI size of its fanout
+    cone (the per-fault *instance* size), so a group of few-but-hard
+    faults weighs as much as one of many-but-trivial faults; weighting
+    by fault count alone left a visible solve-time imbalance between
+    workers.  With a :class:`~repro.atpg.hardness.HardnessPredictor`,
+    the learned per-fault conflict estimate replaces that product — it
+    already folds instance size in through the cone features and,
+    unlike SCOAP, prices the redundant tail correctly.  Within each
+    shard the original fault order is preserved, so workers process
+    their slice in canonical order, keeping the replay merge
+    deterministic.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
     rank = {fault: index for index, fault in enumerate(faults)}
     outputs = set(network.outputs)
-    scoap = compute_scoap(network)
-    # Finite stand-in for SCOAP's infinities (provably unexcitable /
-    # unobservable under its approximation): costlier than any finite
-    # fault, but not so large one such fault swamps the LPT packing.
-    finite = [
-        cost
-        for fault in faults
-        if (cost := scoap.detection_cost(fault.net, fault.value)) < INFINITY
-    ]
-    inf_cost = 2.0 * max(finite, default=1.0)
+    scoap = compute_scoap(network) if predictor is None else None
+    inf_cost = 1.0
+    if scoap is not None:
+        # Finite stand-in for SCOAP's infinities (provably unexcitable /
+        # unobservable under its approximation): costlier than any
+        # finite fault, but not so large one such fault swamps the LPT
+        # packing.
+        finite = [
+            cost
+            for fault in faults
+            if (cost := scoap.detection_cost(fault.net, fault.value))
+            < INFINITY
+        ]
+        inf_cost = 2.0 * max(finite, default=1.0)
 
     groups: dict[tuple[str, ...], list[Fault]] = {}
     weights: dict[tuple[str, ...], float] = {}
@@ -181,11 +199,15 @@ def shard_faults_by_cone(
             key = tuple(sorted(out for out in cone if out in outputs))
             net_keys[fault.net] = key
             net_sizes[fault.net] = len(network.transitive_fanin(cone))
-        cost = scoap.detection_cost(fault.net, fault.value)
-        if cost >= INFINITY:
-            cost = inf_cost
+        if predictor is not None:
+            weight = predictor.cost(fault)
+        else:
+            cost = scoap.detection_cost(fault.net, fault.value)
+            if cost >= INFINITY:
+                cost = inf_cost
+            weight = cost * net_sizes[fault.net]
         groups.setdefault(key, []).append(fault)
-        weights[key] = weights.get(key, 0.0) + cost * net_sizes[fault.net]
+        weights[key] = weights.get(key, 0.0) + weight
 
     shards: list[list[Fault]] = [[] for _ in range(num_shards)]
     loads = [0] * num_shards
@@ -233,6 +255,14 @@ class ParallelAtpgEngine:
             workers share across the cones of their own shard (cone
             grouping keeps sibling cones together, so locality is
             mostly preserved); nothing crosses process boundaries.
+        order / budget_policy / hardness_model: hardness-guided
+            scheduling knobs (see :class:`AtpgEngine`).  ``order``
+            applies on the coordinator (it fixes the canonical fault
+            order the replay merge reproduces; workers always process
+            their shard slice as given); ``budget_policy`` is forwarded
+            to every worker; with either hardness feature active, shard
+            balancing weighs faults by predicted cost instead of
+            SCOAP x cone size.
     """
 
     def __init__(
@@ -253,6 +283,9 @@ class ParallelAtpgEngine:
         certify: str = "off",
         mem_budget_mb: Optional[float] = None,
         share_learned: str = "cone",
+        order: str = "auto",
+        budget_policy: str = "fixed",
+        hardness_model: Optional[object] = None,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -282,6 +315,7 @@ class ParallelAtpgEngine:
         self.certify = certify
         self.mem_budget_mb = mem_budget_mb
         self.share_learned = share_learned
+        self.budget_policy = budget_policy
         #: Worker entry point; tests monkeypatch this with chaos
         #: variants (crashing / hanging shards) to exercise supervision.
         self._shard_runner = _run_shard
@@ -297,6 +331,9 @@ class ParallelAtpgEngine:
             certify=certify,
             mem_budget_mb=mem_budget_mb,
             share_learned=share_learned,
+            order=order,
+            budget_policy=budget_policy,
+            hardness_model=hardness_model,
         )
 
     # ------------------------------------------------------------------
@@ -333,6 +370,12 @@ class ParallelAtpgEngine:
                 certify=self.certify,
                 mem_budget_mb=self.mem_budget_mb,
                 share_learned=self.share_learned,
+                budget_policy=self.budget_policy,
+                hardness_model=(
+                    self._coordinator.hardness_predictor().model
+                    if self._coordinator.hardness_guided
+                    else None
+                ),
             )
             for shard in shards
         ]
@@ -414,7 +457,16 @@ class ParallelAtpgEngine:
             ),
         )
         shards = (
-            shard_faults_by_cone(self.network, remaining, num_shards)
+            shard_faults_by_cone(
+                self.network,
+                remaining,
+                num_shards,
+                predictor=(
+                    self._coordinator.hardness_predictor()
+                    if self._coordinator.hardness_guided
+                    else None
+                ),
+            )
             if remaining
             else []
         )

@@ -167,5 +167,8 @@ def hardest_faults(
         for net in network.nets
         for value in (0, 1)
     ]
-    scored.sort(key=lambda item: -item[2])
+    # Equal costs tie-break on (net, value) so the selection is a pure
+    # function of the circuit — independent of net insertion order and
+    # of PYTHONHASHSEED.
+    scored.sort(key=lambda item: (-item[2], item[0], item[1]))
     return scored[:top]

@@ -271,6 +271,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 certify=args.certify,
                 mem_budget_mb=args.mem_budget_mb,
                 share_learned=args.share_learned,
+                order=args.order,
+                budget_policy=args.budget_policy,
+                hardness_model=args.hardness_model,
             )
         else:
             engine = AtpgEngine(
@@ -285,6 +288,8 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 certify=args.certify,
                 mem_budget_mb=args.mem_budget_mb,
                 share_learned=args.share_learned,
+                budget_policy=args.budget_policy,
+                hardness_model=args.hardness_model,
             )
     except ValidationError as exc:
         print(f"error: invalid netlist {args.netlist}: {exc}", file=sys.stderr)
@@ -324,6 +329,11 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         print(
             f"  parallel: {stats.workers} workers, {stats.shards} shards, "
             f"{stats.replay_solves} replay solves"
+        )
+    if stats.budget_escalations or stats.hard_routed:
+        print(
+            f"  hardness: {stats.budget_escalations} budget escalations, "
+            f"{stats.hard_routed} hard-routed faults"
         )
     if stats.shared_promoted or stats.shared_injected:
         print(
@@ -533,6 +543,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent_jobs=args.max_concurrent_jobs,
         workers_per_job=args.workers,
         drain_timeout_s=args.drain_timeout,
+        cache_max_mb=args.cache_max_mb,
         backpressure=BackpressureConfig(
             hard_limit=args.queue_limit,
             soft_limit=args.queue_soft_limit,
@@ -697,8 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (>1 uses ParallelAtpgEngine)",
     )
     p.add_argument(
-        "--order", choices=("auto", "scoap", "given"), default="auto",
-        help="fault processing order (auto = SCOAP easiest-first)",
+        "--order", choices=("auto", "scoap", "hardness", "given"),
+        default="auto",
+        help="fault processing order (auto = SCOAP easiest-first; "
+        "hardness = learned fault-hardness predictor, easiest first — "
+        "verdicts and coverage are identical to scoap, only the "
+        "schedule moves)",
+    )
+    p.add_argument(
+        "--budget-policy", choices=("fixed", "predicted"), default="fixed",
+        help="per-fault conflict budgets: fixed = every fault gets "
+        "--max-conflicts-per-fault; predicted = tight learned budget "
+        "first, escalating to the full budget on exhaustion (verdicts "
+        "identical, schedule cheaper on mispredicted-easy faults)",
+    )
+    p.add_argument(
+        "--hardness-model", default=None, metavar="PATH",
+        help="trained hardness model JSON (tools/train_hardness.py) for "
+        "--order hardness / --budget-policy predicted; defaults to the "
+        "shipped model",
     )
     p.add_argument(
         "--block-size", type=_bounded_int(1 << 16, "block width"), default=64,
@@ -816,6 +844,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--retry-after", type=_positive_float, default=5.0,
         metavar="SECONDS", help="Retry-After hint on 429 refusals",
+    )
+    p.add_argument(
+        "--cache-max-mb", type=_positive_float, default=None, metavar="MB",
+        help="size bound for the certified result cache: promotions "
+        "LRU-evict least-recently-served documents past it (default "
+        "unbounded); hit/evict counters are surfaced at /healthz",
     )
     p.add_argument(
         "--drain-timeout", type=_nonnegative_float, default=10.0,

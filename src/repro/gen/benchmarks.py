@@ -39,6 +39,7 @@ from repro.gen.structured import (
     decoder,
     mux_tree,
     parity_tree,
+    redundant_tail_unit,
     ripple_carry_adder,
     tmr_voted_adder,
 )
@@ -90,6 +91,8 @@ def _iscas_like_builders() -> _BuilderMap:
         "cmp16": lambda: comparator(16),
         "parity24": lambda: parity_tree(24),
         "tmr16": lambda: tmr_voted_adder(16),
+        "rtail8": lambda: redundant_tail_unit(8, 6),
+        "rtail12": lambda: redundant_tail_unit(12, 6),
         "rand_iscas_a": lambda: random_circuit(
             RandomCircuitSpec(
                 num_inputs=72,

@@ -211,6 +211,123 @@ def tmr_voted_adder(width: int) -> Network:
     return b.build()
 
 
+def redundant_tail_unit(width: int, tail: int) -> Network:
+    """A scheduler-adversarial circuit with an injected redundant tail.
+
+    Three regions, engineered so that SCOAP's detection-cost ordering is
+    close to *worst case* while a learned hardness order is close to
+    best case:
+
+    * **Expensive core** — a ``width x width`` carry-save array
+      multiplier whose product bits are primary outputs.  Its
+      final-row faults have near-zero observability cost and an
+      optimistic min-path controllability, so SCOAP schedules them
+      *first*; actually exciting a specific deep carry costs the solver
+      hundreds of conflicts per fault.  The same faults are readily
+      detected by random-ish patterns, so an order that defers them
+      behind any pattern-producing bulk gets them fault-dropped for
+      free instead of solved.
+    * **Pattern bulk** — a single-output parity chain over all inputs.
+      SCOAP prices every chain fault at roughly the chain length (XOR
+      controllabilities add up), pushing the bulk *behind* the core;
+      in truth each fault is a near-trivial SAT call whose test is a
+      fresh near-random pattern over all inputs — exactly the drop
+      fodder the core needs.
+    * **Redundant tail** — three replica AND-OR mask chains over the
+      low ``tail`` bits, majority-voted per bit: every single stuck-at
+      fault inside one replica is outvoted by the two healthy copies,
+      so the tail is provably untestable and both orders must pay for
+      each UNSAT proof.
+
+    Inputs a0..a{w-1}, b0..b{w-1}, cin; outputs p0..p{2w-1} (product),
+    par (parity), m0..m{t-1} (voted masks).
+    """
+    if width < 2 or tail < 1:
+        raise ValueError("width must be >= 2 and tail positive")
+    b = NetworkBuilder(f"rtail{width}_{tail}")
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    cin = b.input("cin")
+
+    # Expensive core: carry-save array multiplier (c6288 structure).
+    partial = [
+        [b.and_(a_bits[i], b_bits[j], name=f"pp{i}_{j}") for i in range(width)]
+        for j in range(width)
+    ]
+
+    def full_adder(x: str, y: str, z: str, tag: str) -> tuple[str, str]:
+        s1 = b.xor(x, y, name=f"fs{tag}a")
+        total = b.xor(s1, z, name=f"fs{tag}")
+        c1 = b.and_(x, y, name=f"fc{tag}a")
+        c2 = b.and_(s1, z, name=f"fc{tag}b")
+        carry = b.or_(c1, c2, name=f"fc{tag}")
+        return total, carry
+
+    products = [partial[0][0]]
+    sums = partial[0][1:]
+    carries: list[str] = []
+    for row in range(1, width):
+        new_sums: list[str] = []
+        new_carries: list[str] = []
+        for col in range(width):
+            pp = partial[row][col]
+            addend = sums[col] if col < len(sums) else None
+            carry_in = carries[col] if col < len(carries) else None
+            tag = f"{row}_{col}"
+            if addend is None and carry_in is None:
+                new_sums.append(pp)
+            elif carry_in is None:
+                new_sums.append(b.xor(pp, addend, name=f"hs{tag}"))
+                new_carries.append(b.and_(pp, addend, name=f"hc{tag}"))
+            elif addend is None:
+                new_sums.append(b.xor(pp, carry_in, name=f"hs{tag}"))
+                new_carries.append(b.and_(pp, carry_in, name=f"hc{tag}"))
+            else:
+                total, carry = full_adder(pp, addend, carry_in, tag)
+                new_sums.append(total)
+                new_carries.append(carry)
+        products.append(new_sums.pop(0))
+        sums = new_sums
+        carries = new_carries
+    carry = cin
+    for col, (s, c) in enumerate(zip(sums, carries + [cin])):
+        total, carry = full_adder(s, c, carry, f"f{col}")
+        products.append(total)
+    products.append(carry)
+
+    # Pattern bulk: one parity chain over every input.
+    parity = cin
+    for index, net in enumerate(a_bits + b_bits):
+        parity = b.xor(parity, net, name=f"pc{index}")
+
+    # Redundant tail: replica mask chains + per-bit majority voters.  A
+    # replica recomputes mask_i = (a_i AND b_i) OR (mask_{i-1} AND
+    # (a_i XOR b_i)) from the shared inputs; a fault inside one replica
+    # never flips the vote.
+    replica_masks: list[list[str]] = []
+    for r in range(3):
+        mask = cin
+        masks = []
+        for i in range(min(tail, width)):
+            con = b.and_(a_bits[i], b_bits[i], name=f"con_r{r}_{i}")
+            mix = b.xor(a_bits[i], b_bits[i], name=f"mix_r{r}_{i}")
+            keep = b.and_(mask, mix, name=f"kp_r{r}_{i}")
+            mask = b.or_(con, keep, name=f"mk_r{r}_{i}")
+            masks.append(mask)
+        replica_masks.append(masks)
+
+    voted = []
+    for i in range(min(tail, width)):
+        m0, m1, m2 = (replica_masks[r][i] for r in range(3))
+        v01 = b.and_(m0, m1, name=f"mv01_{i}")
+        v02 = b.and_(m0, m2, name=f"mv02_{i}")
+        v12 = b.and_(m1, m2, name=f"mv12_{i}")
+        voted.append(b.or_(v01, v02, v12, name=f"m{i}"))
+
+    b.outputs(*products, parity, *voted)
+    return b.build()
+
+
 def decoder(select_bits: int) -> Network:
     """A ``select_bits``-to-2^n one-hot decoder (k-bounded family)."""
     if select_bits < 1 or select_bits > 8:

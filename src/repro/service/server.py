@@ -85,6 +85,9 @@ class ServiceConfig:
     workers_per_job: int = 1
     max_body_bytes: int = 8 * 1024 * 1024
     drain_timeout_s: float = 10.0
+    #: Size bound for the certified result cache (LRU-evicted past it);
+    #: ``None`` = unbounded (the pre-eviction behaviour).
+    cache_max_mb: Optional[float] = None
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     default_policy: TenantPolicy = field(default_factory=TenantPolicy)
     tenant_policies: dict[str, TenantPolicy] = field(default_factory=dict)
@@ -126,7 +129,14 @@ class AtpgService:
         self.config = config
         root = Path(config.data_dir)
         self.store = JobStore(root)
-        self.results = ResultStore(root / "cas")
+        self.results = ResultStore(
+            root / "cas",
+            max_bytes=(
+                int(config.cache_max_mb * 1024 * 1024)
+                if config.cache_max_mb is not None
+                else None
+            ),
+        )
         self.admission = AdmissionController(
             config.backpressure,
             default_policy=config.default_policy,

@@ -19,12 +19,20 @@ upstream and whose verdict digest matches on re-serve.
 Only *complete, deterministic* results are cacheable: a document with
 orchestration aborts (deadline, crashed shard) reflects the outage that
 produced it, not the circuit, and is rejected at :func:`cacheable`.
+
+With ``max_bytes`` set the store is additionally *size-bounded*: every
+promotion evicts least-recently-used documents (file mtime, refreshed on
+every served read) until the cache fits the budget again.  Eviction is a
+plain ``unlink`` of whole atomically-written documents, so a concurrent
+reader sees either the full document or a miss — never a torn one — and
+a cache wiped by eviction only costs re-solving, never correctness.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Optional
 
@@ -80,13 +88,20 @@ def cacheable(result_doc: dict) -> bool:
 class ResultStore:
     """The on-disk content-addressed store (see module docstring)."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        #: Read-side telemetry: served / missed / evicted-on-read.
+        self.max_bytes = max_bytes
+        #: Read-side telemetry: served / missed / evicted-on-read
+        #: (verification failures) / evicted-for-size (LRU).
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.size_evictions = 0
 
     def _path(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -101,8 +116,37 @@ class ResultStore:
         doc = dict(result_doc)
         doc["schema"] = RESULT_SCHEMA_VERSION
         doc["verdict_digest"] = verdict_digest(doc.get("records", []))
-        atomic_write_json(self._path(key), doc)
+        path = self._path(key)
+        atomic_write_json(path, doc)
+        if self.max_bytes is not None:
+            self._evict_lru(keep=path)
         return True
+
+    def _evict_lru(self, keep: Path) -> None:
+        """Unlink least-recently-used documents until the cache fits
+        ``max_bytes``.  The just-written ``keep`` document is never
+        evicted, so a promotion always lands even on a tiny budget."""
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        if total <= self.max_bytes:
+            return
+        # Oldest access first; name tie-break keeps the order stable on
+        # filesystems with coarse mtime granularity.
+        entries.sort(key=lambda e: (e[0], e[1]))
+        for _, _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            self.size_evictions += 1
+            total -= size
 
     def get(self, key: str, network: Network) -> Optional[dict]:
         """Fetch the certified result for ``key``, or None.
@@ -122,6 +166,13 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        if self.max_bytes is not None:
+            # Refresh the LRU clock: a served document is the last one
+            # size-bounded eviction should reclaim.
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # concurrently evicted; the served doc is still good
         return doc
 
     def _verify(self, doc: dict, network: Network) -> bool:
@@ -148,9 +199,22 @@ class ResultStore:
                 return False
         return True
 
+    def current_bytes(self) -> int:
+        """Total on-disk size of the cached documents."""
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def stats(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "size_evictions": self.size_evictions,
+            "max_bytes": self.max_bytes,
+            "current_bytes": self.current_bytes(),
         }

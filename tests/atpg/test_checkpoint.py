@@ -70,6 +70,20 @@ class TestRecordSerialization:
         assert back == record
         assert back.abort_reason == ABORT_BUDGET
 
+    def test_round_trip_propagations(self):
+        record = _record(decisions=7, conflicts=3, propagations=91)
+        payload = record_to_dict(record)
+        assert payload["propagations"] == 91
+        assert record_from_dict(payload).propagations == 91
+
+    def test_old_journal_without_propagations_defaults_to_zero(self):
+        # Journals written before the field existed must keep loading.
+        payload = record_to_dict(_record(propagations=91))
+        del payload["propagations"]
+        back = record_from_dict(payload)
+        assert back.propagations == 0
+        assert back.fault == Fault("n1", 1)
+
     @pytest.mark.parametrize(
         "status,reason,final",
         [

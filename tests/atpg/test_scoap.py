@@ -130,3 +130,68 @@ class TestDetectionCost:
         )
         # And observability grows with distance from the outputs.
         assert measures.co["a0"] > measures.co["a5"]
+
+
+class TestOrderingDeterminism:
+    """hardest_faults / order_faults must be pure functions of the
+    circuit — independent of net insertion order and PYTHONHASHSEED."""
+
+    def test_hardest_faults_tie_break_is_lexicographic(self):
+        # Symmetric circuit: both inputs of an AND tie at every cost.
+        measures_net = and2()
+        ranked = hardest_faults(measures_net, top=len(measures_net.nets) * 2)
+        costs = [cost for _, _, cost in ranked]
+        assert costs == sorted(costs, reverse=True)
+        for (na, va, ca), (nb, vb, cb) in zip(ranked, ranked[1:]):
+            if ca == cb:
+                assert (na, va) < (nb, vb), "equal costs must sort on (net, value)"
+
+    def test_order_faults_ties_break_on_fault(self):
+        from repro.atpg.faults import full_fault_list
+        from repro.atpg.scoap import order_faults
+
+        net = tech_decompose(ripple_carry_adder(4))
+        faults = full_fault_list(net)
+        ordered = order_faults(net, faults)
+        measures = compute_scoap(net)
+        keyed = [
+            (measures.detection_cost(f.net, f.value), f) for f in ordered
+        ]
+        assert keyed == sorted(keyed)
+        # Input order must not matter.
+        assert order_faults(net, list(reversed(faults))) == ordered
+
+    def test_ranking_is_hash_seed_independent(self):
+        """Re-rank in subprocesses under different PYTHONHASHSEED values:
+        the selection and its order must be bit-identical."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json, sys\n"
+            "from repro.atpg.scoap import hardest_faults, order_faults\n"
+            "from repro.atpg.faults import full_fault_list\n"
+            "from repro.circuits.decompose import tech_decompose\n"
+            "from repro.gen.structured import tmr_voted_adder\n"
+            "net = tech_decompose(tmr_voted_adder(2))\n"
+            "ranked = hardest_faults(net, top=30)\n"
+            "ordered = order_faults(net, full_fault_list(net))[:30]\n"
+            "print(json.dumps([ranked, [[f.net, f.value] for f in ordered]]))\n"
+        )
+        outputs = []
+        for seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in sys.path if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(json.loads(result.stdout))
+        assert outputs[0] == outputs[1] == outputs[2]

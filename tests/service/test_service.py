@@ -107,7 +107,13 @@ class TestResultStore:
         served = store.get(completed_doc["key"], completed_doc["network"])
         assert served is not None
         assert served["verdict_digest"] == completed_doc["doc"]["verdict_digest"]
-        assert store.stats() == {"hits": 1, "misses": 0, "evictions": 0}
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["evictions"] == 0
+        assert stats["size_evictions"] == 0
+        assert stats["max_bytes"] is None
+        assert stats["current_bytes"] > 0
 
     def test_miss_on_absent_key(self, completed_doc, tmp_path):
         store = ResultStore(tmp_path)
@@ -177,6 +183,104 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         with pytest.raises(ValueError):
             store._path("../../etc/passwd")
+
+
+class TestSizeBoundedEviction:
+    """LRU eviction of the CAS when ``max_bytes`` is set."""
+
+    KEYS = ["aa", "bb", "cc"]
+
+    def _filled_store(self, completed_doc, tmp_path, max_bytes):
+        """A store holding all KEYS with strictly increasing mtimes.
+
+        Filled unbounded so no eviction fires during setup, then
+        re-opened with the budget (the directory is the only state;
+        counters are per-process telemetry starting at zero).
+        """
+        import os
+
+        unbounded = ResultStore(tmp_path)
+        for index, key in enumerate(self.KEYS):
+            assert unbounded.put(key, completed_doc["doc"])
+            # Coarse-mtime filesystems would otherwise tie; pin a
+            # deterministic recency order: aa oldest, cc newest.
+            os.utime(unbounded._path(key), (1000.0 + index, 1000.0 + index))
+        return ResultStore(tmp_path, max_bytes=max_bytes)
+
+    def _doc_size(self, completed_doc, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        probe.put("aa", completed_doc["doc"])
+        return probe._path("aa").stat().st_size
+
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_bytes=-1)
+
+    def test_unbounded_store_never_size_evicts(self, completed_doc, tmp_path):
+        store = ResultStore(tmp_path)
+        for key in self.KEYS:
+            store.put(key, completed_doc["doc"])
+        assert store.size_evictions == 0
+        assert all(store._path(k).exists() for k in self.KEYS)
+
+    def test_oldest_evicted_first(self, completed_doc, tmp_path):
+        size = self._doc_size(completed_doc, tmp_path)
+        store = self._filled_store(completed_doc, tmp_path, max_bytes=2 * size)
+        # Budget fits two docs; a fourth promotion must evict aa (oldest).
+        assert store.put("dd", completed_doc["doc"])
+        assert not store._path("aa").exists()
+        assert not store._path("bb").exists()
+        assert store._path("cc").exists()
+        assert store._path("dd").exists()
+        assert store.size_evictions == 2
+        assert store.current_bytes() <= 2 * size
+
+    def test_just_written_doc_survives_tiny_budget(
+        self, completed_doc, tmp_path
+    ):
+        # A budget smaller than one document: the promotion still lands
+        # (keep= is exempt) and everything else is reclaimed.
+        store = self._filled_store(completed_doc, tmp_path, max_bytes=1)
+        assert store.put("dd", completed_doc["doc"])
+        assert store._path("dd").exists()
+        for key in self.KEYS:
+            assert not store._path(key).exists()
+
+    def test_served_read_refreshes_recency(self, completed_doc, tmp_path):
+        size = self._doc_size(completed_doc, tmp_path)
+        store = self._filled_store(completed_doc, tmp_path, max_bytes=2 * size)
+        # Serving aa must move it to the MRU end: the next promotion
+        # then reclaims bb (now the oldest) instead.
+        assert store.get("aa", completed_doc["network"]) is not None
+        assert store.put("dd", completed_doc["doc"])
+        assert store._path("aa").exists()
+        assert not store._path("bb").exists()
+        assert not store._path("cc").exists()
+
+    def test_stats_reflect_size_eviction(self, completed_doc, tmp_path):
+        size = self._doc_size(completed_doc, tmp_path)
+        store = self._filled_store(completed_doc, tmp_path, max_bytes=2 * size)
+        assert store.stats()["current_bytes"] == 3 * size
+        assert store.put("dd", completed_doc["doc"])
+        stats = store.stats()
+        assert stats["max_bytes"] == 2 * size
+        assert stats["size_evictions"] == 2  # aa and bb reclaimed
+        assert stats["evictions"] == 0  # no verification failures
+        assert stats["current_bytes"] <= 2 * size
+        # An evicted document reads as a plain miss, never an error.
+        assert store.get("aa", completed_doc["network"]) is None
+        assert store.stats()["misses"] == 1
+
+    def test_service_config_wires_cache_budget(self, tmp_path):
+        service = AtpgService(
+            ServiceConfig(data_dir=tmp_path, cache_max_mb=0.25)
+        )
+        assert service.results.max_bytes == int(0.25 * 1024 * 1024)
+        assert service.healthz()["cache"]["max_bytes"] == int(
+            0.25 * 1024 * 1024
+        )
 
 
 # ----------------------------------------------------------------------
