@@ -113,12 +113,36 @@ class CheckpointError(ValueError):
     """A journal could not be loaded (bad header, circuit mismatch)."""
 
 
+def _failpoint(name: str) -> None:
+    # Lazily bound: repro.service.__init__ imports modules that import
+    # this one, so a top-level import would cycle.  Rebinds itself on
+    # first use.
+    global _failpoint
+    from repro.service.failpoints import failpoint as _failpoint  # noqa: PLW0603
+
+    _failpoint(name)
+
+
 class CheckpointWriter:
     """Append-only JSONL journal of per-fault records.
 
     Safe to point at the journal being resumed: records are appended and
     duplicates resolve to the last line on load.  Every write is flushed
     so a killed run loses at most the line being written.
+
+    Args:
+        fence: optional write-side fencing guard (a callable raising
+            when ownership is lost, with a ``.token`` attribute — see
+            :class:`repro.service.lease.FenceGuard`).  When set, every
+            append first proves ownership and every record line is
+            stamped with the fencing token, so a journal tells exactly
+            which lease generation settled each fault and a zombie
+            writer dies at the append instead of corrupting the new
+            owner's journal.
+
+    Environmental write failures (``ENOSPC``/``EIO``) surface as
+    :class:`repro.io.atomic.StorageError` so the service can land the
+    job in FAILED-with-reason instead of a traceback.
     """
 
     def __init__(
@@ -126,9 +150,11 @@ class CheckpointWriter:
         path: str | Path,
         circuit: str,
         config: Optional[dict] = None,
+        fence=None,
     ) -> None:
         self.path = Path(path)
         self.circuit = circuit
+        self.fence = fence
         new_file = not self.path.exists() or self.path.stat().st_size == 0
         if not new_file:
             # A journal killed mid-write ends in a torn partial line with
@@ -154,12 +180,30 @@ class CheckpointWriter:
 
     def _write_line(self, payload: dict) -> None:
         assert self._fh is not None, "writer is closed"
-        self._fh.write(json.dumps(payload) + "\n")
-        self._fh.flush()
+        try:
+            _failpoint("journal.append.pre_flush")
+            self._fh.write(json.dumps(payload) + "\n")
+            self._fh.flush()
+            _failpoint("journal.append.post_flush")
+        except OSError as exc:
+            from repro.io.atomic import STORAGE_ERRNOS, StorageError
+
+            if exc.errno in STORAGE_ERRNOS:
+                raise StorageError("journal append", self.path, exc) from exc
+            raise
 
     def write_record(self, record: AtpgRecord) -> None:
-        """Journal one per-fault record (flushed immediately)."""
-        self._write_line(record_to_dict(record))
+        """Journal one per-fault record (flushed immediately).
+
+        With a fence installed, ownership is proven *before* the append
+        (:class:`repro.service.lease.StaleTokenError` on loss) and the
+        line carries the fencing token.
+        """
+        payload = record_to_dict(record)
+        if self.fence is not None:
+            self.fence()
+            payload["fence"] = self.fence.token
+        self._write_line(payload)
 
     def write_summary(self, summary: AtpgSummary) -> None:
         """Journal every record of a completed shard summary."""

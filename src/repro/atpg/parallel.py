@@ -386,6 +386,7 @@ class ParallelAtpgEngine:
         fault_dropping: bool = True,
         resume_from: Optional[str | Path] = None,
         checkpoint_to: Optional[str | Path] = None,
+        checkpoint_fence=None,
     ) -> AtpgSummary:
         """ATPG over a fault list, fanned out across supervised workers.
 
@@ -402,6 +403,13 @@ class ParallelAtpgEngine:
             checkpoint_to: journal per-fault records here as shards
                 complete (may equal ``resume_from`` to continue the same
                 journal).
+            checkpoint_fence: optional write-side ownership guard for
+                the journal (see
+                :class:`~repro.atpg.checkpoint.CheckpointWriter`); the
+                service passes its lease's
+                :class:`~repro.service.lease.FenceGuard` so a run whose
+                job was stolen dies at the next append instead of
+                interleaving with the new owner's journal.
 
         The returned summary is always *complete*: every requested fault
         has a record, with orchestration casualties (crashed / timed-out
@@ -479,6 +487,7 @@ class ParallelAtpgEngine:
                 writer = CheckpointWriter(
                     checkpoint_to,
                     circuit=self.network.name,
+                    fence=checkpoint_fence,
                     config={
                         "solver": self.solver,
                         "solver_mode": self.solver_mode,

@@ -544,6 +544,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers_per_job=args.workers,
         drain_timeout_s=args.drain_timeout,
         cache_max_mb=args.cache_max_mb,
+        node_id=args.node_id,
+        lease_ttl_s=args.lease_ttl,
+        scan_interval_s=args.scan_interval,
         backpressure=BackpressureConfig(
             hard_limit=args.queue_limit,
             soft_limit=args.queue_soft_limit,
@@ -856,6 +859,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="SIGTERM drain: wait this long for running jobs, then "
         "SIGKILL the runners and persist their jobs back to the queue",
+    )
+    p.add_argument(
+        "--node-id", default=None, metavar="ID",
+        help="this node's identity for multi-node lease ownership "
+        "(default: hostname; must be distinct per node when several "
+        "servers share one --data-dir on the same host)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=_positive_float, default=10.0,
+        metavar="SECONDS",
+        help="job-lease time-to-live: a dead node's jobs become "
+        "stealable this long after its last heartbeat (renewed at "
+        "ttl/3; lower = faster takeover, more lease traffic)",
+    )
+    p.add_argument(
+        "--scan-interval", type=_positive_float, default=1.0,
+        metavar="SECONDS",
+        help="how often to poll the shared store for foreign work "
+        "(peer submissions, expired leases)",
     )
     p.add_argument(
         "--tenant-max-conflicts", type=_positive_int, default=None,

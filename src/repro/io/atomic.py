@@ -1,12 +1,34 @@
-"""Atomic file replacement for JSON artifacts.
+"""Atomic file replacement for JSON artifacts, with typed disk faults.
 
-Benchmark documents, job metadata, and cached result records are all
-read by *other* processes (CI ratchets, a restarted server, a resumed
-run), so a crash mid-write must never leave a torn half-document where
-a consumer expects valid JSON.  POSIX ``rename(2)`` within one
-filesystem is atomic: writing to a temporary sibling and
-``os.replace``-ing it over the target means readers observe either the
-old complete file or the new complete file, never a prefix.
+Benchmark documents, job metadata, lease files, and cached result
+records are all read by *other* processes (CI ratchets, a restarted
+server, a peer node sharing the store), so a crash mid-write must never
+leave a torn half-document where a consumer expects valid JSON.  POSIX
+``rename(2)`` within one filesystem is atomic: writing to a temporary
+sibling and ``os.replace``-ing it over the target means readers observe
+either the old complete file or the new complete file, never a prefix.
+
+Two robustness contracts live here on top of that:
+
+* **No leaked temp files.**  The mkstemp sibling is removed in a
+  ``finally`` whatever raises — a full disk (``ENOSPC``) or dying
+  device (``EIO``) during write/fsync/replace must not also litter the
+  store with orphaned ``*.tmp`` files (the failpoint sweep asserts
+  this for every registered crash point).
+* **Typed disk faults.**  Environmental write failures surface as
+  :class:`StorageError` (an ``OSError`` subclass carrying the target
+  path), so callers can degrade deliberately — a job lands in FAILED
+  with a reason, a CAS promotion is skipped — instead of propagating a
+  bare traceback.  Programming errors (``ENOENT`` from a bogus
+  directory, ``EACCES``) still raise plain ``OSError``: those are bugs,
+  not weather.
+
+Callers in the persistence layers pass a *failpoint prefix*
+(``fp="cas.promote"``) which arms three deterministic crash points
+around the commit: ``<fp>.pre_write``, ``<fp>.pre_rename`` (temp
+written + fsynced, target not yet replaced), and ``<fp>.post_rename``
+(committed, caller not yet told).  See
+:mod:`repro.service.failpoints`.
 
 The checkpoint *journal* (:mod:`repro.atpg.checkpoint`) deliberately
 does not use this: it is append-only and torn-line tolerant by design,
@@ -16,38 +38,111 @@ writes a whole document in one shot should come through here.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Optional
+
+#: Errnos that are environmental storage faults (degradable weather),
+#: not caller bugs.  EDQUOT/EROFS behave like ENOSPC operationally.
+STORAGE_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EIO, errno.EDQUOT, errno.EROFS}
+)
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
+class StorageError(OSError):
+    """A persistence write failed for environmental reasons (full disk,
+    I/O error).  Carries the target path; ``.errno`` is preserved from
+    the underlying fault so callers can still distinguish ENOSPC from
+    EIO."""
+
+    def __init__(self, op: str, path: str | Path, cause: OSError) -> None:
+        super().__init__(
+            cause.errno,
+            f"{op} failed on {path}: {cause.strerror or cause}",
+        )
+        self.op = op
+        self.path = str(path)
+
+
+def _raise_typed(op: str, path: str | Path, exc: OSError) -> None:
+    """Re-raise ``exc`` as :class:`StorageError` when environmental."""
+    if exc.errno in STORAGE_ERRNOS:
+        raise StorageError(op, path, exc) from exc
+    raise exc
+
+
+def _failpoint(name: str) -> None:
+    # Lazily bound to avoid an import cycle (repro.service.__init__
+    # imports modules that import this one); rebinds itself on first
+    # use so steady-state cost is one extra function call, paid only
+    # by callers that opted into a failpoint prefix.
+    global _failpoint
+    from repro.service.failpoints import failpoint as _failpoint  # noqa: PLW0603
+
+    _failpoint(name)
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, fp: Optional[str] = None
+) -> None:
     """Write ``text`` to ``path`` via a same-directory temp file +
     ``os.replace``, so a crash never leaves a torn artifact.
 
     The temp file lives next to the target (``os.replace`` across
     filesystems is not atomic) and is fsynced before the rename, so the
-    rename can never be durable while the content is not.
+    rename can never be durable while the content is not.  The temp
+    file is unlinked on *every* failure path, and environmental write
+    failures raise :class:`StorageError` (see module docstring).
+
+    Args:
+        fp: optional failpoint prefix firing ``<fp>.pre_write`` /
+            ``<fp>.pre_rename`` / ``<fp>.post_rename`` around the
+            commit (zero overhead when omitted).
     """
     target = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
-    )
+    if fp is not None:
+        try:
+            _failpoint(f"{fp}.pre_write")
+        except OSError as exc:
+            _raise_typed("atomic write", target, exc)
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        _raise_typed("mkstemp", target, exc)
+    try:
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            if fp is not None:
+                _failpoint(f"{fp}.pre_rename")
+            os.replace(tmp_name, target)
+            if fp is not None:
+                # Fires with the commit already durable: a fault here
+                # still surfaces as StorageError so callers degrade the
+                # same way, and the sweep asserts the committed document
+                # survives intact.
+                _failpoint(f"{fp}.post_rename")
+        except OSError as exc:
+            _raise_typed("atomic write", target, exc)
+    finally:
+        # After a successful replace the temp name no longer exists;
+        # on any failure (including between mkstemp and fdopen, and
+        # inside _raise_typed) this is what prevents the leak.
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
-        raise
 
 
-def atomic_write_json(path: str | Path, payload, *, indent: int = 2) -> None:
+def atomic_write_json(
+    path: str | Path, payload, *, indent: int = 2, fp: Optional[str] = None
+) -> None:
     """Serialise ``payload`` and atomically write it to ``path``."""
-    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n", fp=fp)

@@ -1,0 +1,267 @@
+"""Deterministic failpoint injection for every persistence layer.
+
+A *failpoint* is a named hook compiled into a persistence path at an
+exact syscall boundary — just before the ``os.replace`` that commits a
+CAS promotion, just before the flush that durably appends a journal
+record, just before the ``link(2)`` that publishes a lease.  Disarmed
+(the normal case) a failpoint is one truthiness check on an empty dict;
+armed, it can
+
+* raise an injected disk fault (``raise:ENOSPC`` / ``raise:EIO``),
+* kill the process with SIGKILL at that exact instant (``kill``),
+* inject latency (``sleep:0.05``),
+
+which turns the handwritten chaos tests of the service layer into an
+exhaustive sweep: for *every* registered crash point, both the
+error-injection and the process-kill variant must leave the store
+recoverable.  ``tests/service/test_failpoints.py`` runs that sweep in
+tier-1; ``tools/chaos_matrix.py`` runs it against real ``repro serve``
+subprocesses in CI.
+
+Control surfaces:
+
+* per-test: :func:`activate` / :func:`deactivate` / :func:`reset`, or
+  the :func:`armed` context manager;
+* cross-process: the ``REPRO_FAILPOINTS`` environment variable, parsed
+  at import time (``"name=action;name=action"``), which is how the
+  chaos matrix injects faults into a served runner it never imports.
+
+Action grammar (one spec per failpoint)::
+
+    kill                 SIGKILL the current process at the failpoint
+    raise:ENOSPC         raise OSError(errno.ENOSPC) at the failpoint
+    raise:EIO            raise OSError(errno.EIO) at the failpoint
+    sleep:<seconds>      inject latency, then continue
+    <action>*<n>         fire only the first <n> times, then disarm
+
+Every persistence failpoint is pre-registered in :data:`MANIFEST`
+below — a single authoritative catalog, so sweeps enumerate crash
+points without having to import (and partially execute) every module
+that fires them.  :func:`activate` rejects unknown names: a typo in a
+chaos test must fail loudly, not silently test nothing.
+
+This module imports nothing from the rest of the package on purpose:
+``io/atomic.py`` and ``atpg/checkpoint.py`` (which service modules
+import) bind it lazily, so there is no import cycle through
+``repro.service.__init__``.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "MANIFEST",
+    "FailpointError",
+    "activate",
+    "armed",
+    "deactivate",
+    "failpoint",
+    "hits",
+    "load_env",
+    "register",
+    "registered",
+    "reset",
+]
+
+#: Environment variable consulted at import time (and re-parseable via
+#: :func:`load_env`): ``"cas.promote.pre_rename=kill;journal.append.pre_flush=raise:ENOSPC*1"``.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: The authoritative catalog of persistence crash points.  Grouped by
+#: the syscall boundary they sit at; ``pre_rename`` fires after the
+#: temp file is written+fsynced but before the committing
+#: ``os.replace``, ``post_rename`` fires after the commit but before
+#: the caller observes success — the two halves of every atomic write
+#: a crash can land between.
+MANIFEST = (
+    # job.json lifecycle document (service/jobs.py via io/atomic.py)
+    "job.meta.pre_write",
+    "job.meta.pre_rename",
+    "job.meta.post_rename",
+    # result.json final document (service/runner.py via io/atomic.py)
+    "job.result.pre_write",
+    "job.result.pre_rename",
+    "job.result.post_rename",
+    # content-addressed certified cache (service/store.py)
+    "cas.promote.pre_write",
+    "cas.promote.pre_rename",
+    "cas.promote.post_rename",
+    "cas.evict.pre_unlink",
+    # per-fault checkpoint journal (atpg/checkpoint.py)
+    "journal.append.pre_flush",
+    "journal.append.post_flush",
+    # lease files (service/lease.py)
+    "lease.acquire.pre_tomb",
+    "lease.acquire.pre_link",
+    "lease.acquire.post_link",
+    "lease.renew.pre_link",
+    "lease.release.pre_link",
+)
+
+_ERRNOS = {"ENOSPC": errno.ENOSPC, "EIO": errno.EIO}
+
+
+class FailpointError(ValueError):
+    """Unknown failpoint name or malformed action spec."""
+
+
+class _Action:
+    """One parsed, armed action with an optional remaining-fire count."""
+
+    __slots__ = ("spec", "kind", "arg", "remaining")
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+        body, star, count = spec.partition("*")
+        if star:
+            try:
+                self.remaining: Optional[int] = int(count)
+            except ValueError:
+                raise FailpointError(f"bad fire count in {spec!r}") from None
+            if self.remaining <= 0:
+                raise FailpointError(f"fire count must be > 0 in {spec!r}")
+        else:
+            self.remaining = None
+        kind, _, arg = body.partition(":")
+        if kind == "kill" and not arg:
+            self.kind, self.arg = "kill", None
+        elif kind == "raise" and arg in _ERRNOS:
+            self.kind, self.arg = "raise", _ERRNOS[arg]
+        elif kind == "sleep":
+            try:
+                self.kind, self.arg = "sleep", float(arg)
+            except ValueError:
+                raise FailpointError(f"bad sleep duration in {spec!r}") from None
+        else:
+            raise FailpointError(f"unknown failpoint action {spec!r}")
+
+    def fire(self, name: str) -> None:
+        if self.remaining is not None:
+            self.remaining -= 1
+            if self.remaining <= 0:
+                _ACTIVE.pop(name, None)
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            # SIGKILL is not deliverable to a traced/stopped process
+            # instantly in every environment; never fall through.
+            signal.pause()  # pragma: no cover
+        elif self.kind == "raise":
+            raise OSError(self.arg, f"injected {errno.errorcode[self.arg]}", name)
+        elif self.kind == "sleep":
+            time.sleep(self.arg)
+
+
+#: name -> cumulative fire-attempt count (even while disarmed), so
+#: sweep tests can prove a scenario actually covers a crash point.
+_HITS: dict[str, int] = {}
+#: Registered names (the manifest plus any test-registered extras).
+_REGISTRY: set[str] = set(MANIFEST)
+#: Armed actions.  Empty in production: the fast path below is a single
+#: truthiness check on this dict.
+_ACTIVE: dict[str, _Action] = {}
+#: When True (set by activate()/load_env()), fire() also counts hits.
+_COUNTING = False
+
+
+def failpoint(name: str) -> None:
+    """Fire the named failpoint.  Zero work unless armed or counting."""
+    if not _ACTIVE and not _COUNTING:
+        return
+    if _COUNTING:
+        if name not in _REGISTRY:
+            raise FailpointError(f"unregistered failpoint {name!r}")
+        _HITS[name] = _HITS.get(name, 0) + 1
+    action = _ACTIVE.get(name)
+    if action is not None:
+        action.fire(name)
+
+
+def register(name: str) -> str:
+    """Register an extra failpoint name (idempotent); returns it."""
+    _REGISTRY.add(name)
+    return name
+
+
+def registered() -> tuple[str, ...]:
+    """Every registered failpoint name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def activate(name: str, spec: str) -> None:
+    """Arm ``name`` with an action spec (see the module docstring)."""
+    if name not in _REGISTRY:
+        raise FailpointError(
+            f"unregistered failpoint {name!r} (registered: "
+            f"{', '.join(registered())})"
+        )
+    global _COUNTING
+    _COUNTING = True
+    _ACTIVE[name] = _Action(spec)
+
+
+def deactivate(name: str) -> None:
+    """Disarm ``name`` (no-op when not armed)."""
+    _ACTIVE.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm everything and clear hit counters (test teardown)."""
+    global _COUNTING
+    _ACTIVE.clear()
+    _HITS.clear()
+    _COUNTING = False
+
+
+def counting(enabled: bool = True) -> None:
+    """Enable hit counting without arming anything (sweep coverage)."""
+    global _COUNTING
+    _COUNTING = enabled
+
+
+def hits(name: str) -> int:
+    """Cumulative fire-attempt count for ``name`` since :func:`reset`.
+
+    Counting is only active once :func:`activate`, :func:`counting`, or
+    :func:`load_env` has run — the disarmed production path does not pay
+    for bookkeeping.
+    """
+    return _HITS.get(name, 0)
+
+
+@contextmanager
+def armed(name: str, spec: str) -> Iterator[None]:
+    """Context manager: arm ``name``, disarm on exit."""
+    activate(name, spec)
+    try:
+        yield
+    finally:
+        deactivate(name)
+
+
+def load_env(value: Optional[str] = None) -> int:
+    """Parse ``REPRO_FAILPOINTS`` (or an explicit string) and arm the
+    listed failpoints; returns how many were armed.  Called once at
+    import so forked/spawned service processes inherit injection
+    without any code knowing about it."""
+    if value is None:
+        value = os.environ.get(ENV_VAR, "")
+    count = 0
+    for item in value.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        name, eq, spec = item.partition("=")
+        if not eq:
+            raise FailpointError(f"malformed {ENV_VAR} entry {item!r}")
+        activate(name.strip(), spec.strip())
+        count += 1
+    return count
+
+
+load_env()

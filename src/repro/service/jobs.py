@@ -29,6 +29,17 @@ resumes from the journal, re-dispatching only unsettled faults.
 The job id is derived from the canonical job key
 (:mod:`repro.service.hashing`), which is what makes submission dedupe
 trivial: an identical submission maps onto the identical directory.
+
+Multi-node fencing: when several nodes share the store, ownership of a
+job is a lease (``lease.json`` next to ``job.json``, see
+:mod:`repro.service.lease`).  Every ``job.json`` write by an owner
+passes a :class:`~repro.service.lease.FenceGuard`; the store rejects
+writes bearing a stale fencing token
+(:class:`~repro.service.lease.StaleTokenError`), so a paused-then-
+resumed zombie runner can never clobber the new owner's state.  The
+last granted token is persisted in the meta (``fence_token``) and fed
+back as the acquisition floor, keeping tokens monotonic even over a
+destroyed lease file.
 """
 
 from __future__ import annotations
@@ -83,6 +94,9 @@ class JobStore:
     def meta_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "job.json"
 
+    def lease_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "lease.json"
+
     def circuit_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "circuit.bench"
 
@@ -122,6 +136,8 @@ class JobStore:
             "cache_hit": False,
             "adoptions": 0,
             "runner_pid": None,
+            "fence_token": 0,
+            "abort_reason": None,
             "submitted_at": time.time(),
             "started_at": None,
             "finished_at": None,
@@ -130,8 +146,13 @@ class JobStore:
         self.write_meta(meta)
         return meta
 
-    def write_meta(self, meta: dict) -> None:
-        atomic_write_json(self.meta_path(meta["id"]), meta)
+    def write_meta(self, meta: dict, fence=None) -> None:
+        """Atomically replace ``job.json``; with ``fence`` set, first
+        prove lease ownership (raises
+        :class:`~repro.service.lease.StaleTokenError` for a zombie)."""
+        if fence is not None:
+            fence()
+        atomic_write_json(self.meta_path(meta["id"]), meta, fp="job.meta")
 
     def load_meta(self, job_id: str) -> Optional[dict]:
         try:
@@ -141,14 +162,21 @@ class JobStore:
         except (OSError, json.JSONDecodeError):
             return None
 
-    def set_state(self, job_id: str, state: JobState, **fields) -> dict:
-        """Atomically transition ``job_id`` (read-modify-replace)."""
+    def set_state(
+        self, job_id: str, state: JobState, fence=None, **fields
+    ) -> dict:
+        """Atomically transition ``job_id`` (read-modify-replace).
+
+        ``fence`` (a :class:`~repro.service.lease.FenceGuard`) makes the
+        transition an *owner* write: a stale fencing token is rejected
+        before anything touches disk.
+        """
         meta = self.load_meta(job_id)
         if meta is None:
             raise KeyError(f"no such job {job_id!r}")
         meta["state"] = state.value
         meta.update(fields)
-        self.write_meta(meta)
+        self.write_meta(meta, fence=fence)
         return meta
 
     def load_result(self, job_id: str) -> Optional[dict]:
@@ -172,7 +200,42 @@ class JobStore:
         return metas
 
     # -- crash recovery -------------------------------------------------
-    def recover(self) -> list[dict]:
+    def sweep_temps(self) -> int:
+        """Remove orphaned atomic-write temp files.
+
+        A SIGKILL between ``mkstemp`` and ``os.replace`` leaks exactly
+        one fsynced-but-uncommitted ``*.tmp`` sibling (the error paths
+        unlink theirs, but no ``finally`` survives SIGKILL).  Harmless
+        to correctness — readers never look at temp names — but the
+        recovery sweep keeps the store clean and lets the chaos matrix
+        assert "no orphaned temp files" after every crash point.
+        """
+        removed = 0
+        for tmp in self.jobs_dir.glob("*/*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    def fail_exhausted(self, meta: dict, detail: str = "") -> dict:
+        """Land a job that burned its adoption budget in FAILED with a
+        machine-readable reason — it must never stall in QUEUED nor
+        poison the queue forever (surfaced at ``/healthz`` as
+        ``adoption_exhausted``)."""
+        return self.set_state(
+            meta["id"],
+            JobState.FAILED,
+            finished_at=time.time(),
+            abort_reason="adoption_exhausted",
+            error=(
+                f"abandoned after {meta['adoptions']} re-adoptions"
+                + (f" ({detail})" if detail else "")
+            ),
+        )
+
+    def recover(self, node_id: Optional[str] = None) -> list[dict]:
         """Re-adopt every non-terminal job after a restart.
 
         Returns the re-queued metas in submission order.  RUNNING jobs
@@ -180,27 +243,34 @@ class JobStore:
         alive: the previous server may have died (``kill -9``) while
         its forked runner kept going, and two writers on one journal is
         the one topology the torn-line tolerance cannot repair.  Jobs
-        past :data:`MAX_ADOPTIONS` are FAILED instead of re-queued —
-        a submission that kills every runner must not poison the queue
+        past :data:`MAX_ADOPTIONS` are FAILED with
+        ``abort_reason="adoption_exhausted"`` instead of re-queued — a
+        submission that kills every runner must not poison the queue
         forever.
+
+        Args:
+            node_id: when the store is shared between nodes, pass this
+                node's id — RUNNING jobs owned by a *live* lease of a
+                different node are left strictly alone (their owner is
+                healthy; stealing is the scan loop's job once the lease
+                expires).  ``None`` preserves the single-node
+                behaviour: every non-terminal job is this process's to
+                adopt.
         """
+        self.sweep_temps()
         adopted = []
         for meta in self.list_jobs():
             state = JobState(meta["state"])
             if state.terminal:
                 continue
             if state is JobState.RUNNING:
+                if node_id is not None and self._foreign_live_lease(
+                    meta["id"], node_id
+                ):
+                    continue
                 _kill_if_alive(meta.get("runner_pid"))
                 if meta["adoptions"] + 1 > MAX_ADOPTIONS:
-                    self.set_state(
-                        meta["id"],
-                        JobState.FAILED,
-                        finished_at=time.time(),
-                        error=(
-                            "abandoned after "
-                            f"{meta['adoptions']} re-adoptions"
-                        ),
-                    )
+                    self.fail_exhausted(meta)
                     continue
                 meta = self.set_state(
                     meta["id"],
@@ -210,6 +280,16 @@ class JobStore:
                 )
             adopted.append(meta)
         return adopted
+
+    def _foreign_live_lease(self, job_id: str, node_id: str) -> bool:
+        """True when ``job_id`` is owned by a live lease of another
+        node (lazy import: lease.py imports failpoints only)."""
+        from repro.service.lease import LeaseFile
+
+        # TTL is irrelevant for reading liveness; any positive value.
+        return LeaseFile(
+            self.lease_path(job_id), node_id, ttl_s=1.0
+        ).held_by_other()
 
 
 def _kill_if_alive(pid: Optional[int]) -> None:

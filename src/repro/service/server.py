@@ -34,6 +34,18 @@ SIGTERM/SIGINT drain gracefully: stop accepting (503), give running
 runners ``drain_timeout_s`` to finish, SIGKILL the stragglers (their
 journals are flushed per record, so nothing settled is lost), re-queue
 their jobs on disk, exit 0.
+
+Multi-node model: several ``repro serve`` processes may point at one
+shared ``--data-dir``.  Ownership of a dispatched job is a lease
+(:mod:`repro.service.lease`): acquired before the runner forks, renewed
+by this server's heartbeat task, stolen (with a fencing-token bump) by
+any peer once the heartbeat stops.  The scan loop polls the shared
+store for work this node does not own — freshly submitted jobs from
+peers, and RUNNING jobs whose lease expired because their owner died —
+and the fencing token stamped into every journal append / CAS
+promotion / ``job.json`` transition guarantees a paused-then-resumed
+zombie owner is rejected at its next write (see the multi-node runbook
+in the README).
 """
 
 from __future__ import annotations
@@ -41,11 +53,13 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.io.atomic import StorageError
 from repro.io.bench import BenchFormatError, loads_bench
 from repro.circuits.validate import ValidationError, check_network
 from repro.service.budgets import (
@@ -62,7 +76,14 @@ from repro.service.jobs import (
     MAX_ADOPTIONS,
     JobState,
     JobStore,
+    _kill_if_alive,
     job_id_for_key,
+)
+from repro.service.lease import (
+    LeaseFile,
+    LeaseHeldError,
+    LeaseLostError,
+    StaleTokenError,
 )
 from repro.service.runner import spawn_runner
 from repro.service.store import ResultStore
@@ -85,6 +106,18 @@ class ServiceConfig:
     workers_per_job: int = 1
     max_body_bytes: int = 8 * 1024 * 1024
     drain_timeout_s: float = 10.0
+    #: This node's identity for lease ownership.  Defaults to the
+    #: hostname, so a single-node restart re-adopts its own leases
+    #: immediately; multiple nodes on one host (tests, containers
+    #: sharing a volume) must pass distinct ``--node-id`` values.
+    node_id: Optional[str] = None
+    #: Lease time-to-live.  A dead node's jobs become stealable this
+    #: many seconds after its last heartbeat; the heartbeat renews at
+    #: a third of it.  Lower = faster takeover, more lease traffic.
+    lease_ttl_s: float = 10.0
+    #: How often the scan loop polls the shared store for foreign work
+    #: (peer submissions, expired leases).
+    scan_interval_s: float = 1.0
     #: Size bound for the certified result cache (LRU-evicted past it);
     #: ``None`` = unbounded (the pre-eviction behaviour).
     cache_max_mb: Optional[float] = None
@@ -113,6 +146,14 @@ class ServiceTotals:
     recovered: int = 0
     runner_crashes: int = 0
     solver_sat_calls: int = 0
+    #: Multi-node / robustness counters: RUNNING jobs taken over from
+    #: another node's expired lease; leases this node lost mid-run;
+    #: jobs FAILED for burning their adoption budget; jobs FAILED on a
+    #: disk fault (ENOSPC/EIO).
+    lease_steals: int = 0
+    lease_lost: int = 0
+    adoption_exhausted: int = 0
+    storage_errors: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -144,18 +185,157 @@ class AtpgService:
         )
         self.queue: list[str] = []
         self.running: dict[str, object] = {}  # job_id -> runner process
+        self.node_id = config.node_id or socket.gethostname()
+        #: Leases this node currently holds, job_id -> LeaseFile.  The
+        #: heartbeat task renews these; the monitor releases them.
+        self.leases: dict[str, LeaseFile] = {}
         self.totals = ServiceTotals()
         self.draining = False
         self.started_at = time.time()
 
+    # -- leases ---------------------------------------------------------
+    def _lease_for(self, job_id: str) -> LeaseFile:
+        return LeaseFile(
+            self.store.lease_path(job_id),
+            self.node_id,
+            ttl_s=self.config.lease_ttl_s,
+        )
+
+    def _adopt_running(self, meta: dict) -> Optional[dict]:
+        """Take over a RUNNING job whose lease is not live-and-foreign.
+
+        This is both the restart path (re-adopting our own jobs) and
+        the takeover path (stealing a dead peer's).  Acquiring bumps
+        the fencing token, so the previous owner's runner — if it is a
+        paused zombie rather than a corpse — is rejected at its next
+        write.  Returns the re-queued meta, or ``None`` when the job
+        was not adoptable (live foreign lease, lost race, exhausted
+        adoption budget, or a faulting disk).
+        """
+        job_id = meta["id"]
+        lease = self._lease_for(job_id)
+        previous = lease.peek()
+        try:
+            granted = lease.acquire(
+                token_floor=meta.get("fence_token") or 0
+            )
+        except LeaseHeldError:
+            return None  # owner is alive (or a peer beat us to it)
+        except StorageError:
+            return None  # disk fault: retry on the next scan tick
+        stolen = previous is not None and previous.owner != self.node_id
+        try:
+            _kill_if_alive(meta.get("runner_pid"))
+            if meta["adoptions"] + 1 > MAX_ADOPTIONS:
+                self.store.fail_exhausted(meta)
+                self.totals.adoption_exhausted += 1
+                self.totals.failed += 1
+                return None
+            meta = self.store.set_state(
+                job_id,
+                JobState.QUEUED,
+                fence=lease.guard(),
+                adoptions=meta["adoptions"] + 1,
+                runner_pid=None,
+                fence_token=granted.token,
+            )
+        except (StaleTokenError, LeaseLostError, StorageError):
+            return None
+        finally:
+            try:
+                lease.release()
+            except (LeaseLostError, StorageError):
+                pass
+        if stolen:
+            self.totals.lease_steals += 1
+        return meta
+
     # -- startup recovery ----------------------------------------------
     def recover(self) -> int:
-        """Re-adopt persisted queue state after a restart."""
-        adopted = self.store.recover()
+        """Re-adopt persisted queue state after a restart.
+
+        RUNNING jobs owned by a *live* lease of another node are left
+        strictly alone — their owner is healthy, and the scan loop will
+        steal them if its heartbeat ever stops.
+        """
+        self.store.sweep_temps()
+        adopted = []
+        for meta in self.store.list_jobs():
+            state = JobState(meta["state"])
+            if state.terminal:
+                continue
+            if state is JobState.RUNNING:
+                meta = self._adopt_running(meta)
+                if meta is None:
+                    continue
+            adopted.append(meta)
         for meta in adopted:
             self.queue.append(meta["id"])
         self.totals.recovered = len(adopted)
         return len(adopted)
+
+    # -- shared-store scan ----------------------------------------------
+    def scan_store(self) -> int:
+        """One pass over the shared store for work this node does not
+        track: QUEUED jobs a peer submitted, and RUNNING jobs whose
+        lease expired because their owner died.  Returns how many jobs
+        entered the local queue."""
+        tracked = set(self.queue) | set(self.running.keys())
+        picked = 0
+        for meta in self.store.list_jobs():
+            job_id = meta["id"]
+            if job_id in tracked:
+                continue
+            state = JobState(meta["state"])
+            if state.terminal:
+                continue
+            if state is JobState.RUNNING:
+                meta = self._adopt_running(meta)
+                if meta is None:
+                    continue
+            self.queue.append(job_id)
+            picked += 1
+        return picked
+
+    async def scan_loop(self) -> None:
+        """Poll the shared store on ``scan_interval_s``, forever."""
+        try:
+            while True:
+                await asyncio.sleep(self.config.scan_interval_s)
+                if not self.draining:
+                    self.scan_store()
+        except asyncio.CancelledError:
+            return
+
+    # -- heartbeat ------------------------------------------------------
+    def renew_leases(self) -> None:
+        """Renew every held lease; a lease someone stole out from under
+        us means *they* own the job now — kill our runner immediately
+        (two writers on one journal is the unrecoverable topology) and
+        leave the job's state strictly alone."""
+        for job_id, lease in list(self.leases.items()):
+            if lease.token is None:
+                self.leases.pop(job_id, None)
+                continue
+            try:
+                lease.renew()
+            except LeaseLostError:
+                self.totals.lease_lost += 1
+                self.leases.pop(job_id, None)
+                process = self.running.get(job_id)
+                if process is not None and process.is_alive():
+                    process.kill()
+            except StorageError:
+                pass  # disk fault: the lease stays valid until TTL
+
+    async def heartbeat_loop(self) -> None:
+        interval = max(self.config.lease_ttl_s / 3.0, _TICK)
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                self.renew_leases()
+        except asyncio.CancelledError:
+            return
 
     # -- admission ------------------------------------------------------
     def _queue_depth(self) -> int:
@@ -312,13 +492,40 @@ class AtpgService:
         meta = self.store.load_meta(job_id)
         if meta is None or JobState(meta["state"]).terminal:
             return
-        self.store.set_state(
-            job_id, JobState.RUNNING, started_at=time.time()
-        )
-        process = spawn_runner(self.store, job_id)
-        # Recorded before any await: crash recovery kills this pid if
-        # the server dies while the runner is still going.
-        self.store.set_state(job_id, JobState.RUNNING, runner_pid=process.pid)
+        if JobState(meta["state"]) is JobState.RUNNING:
+            # Raced a peer between scan and dispatch: adoptable only if
+            # its lease is dead, and then with the adoption bump.
+            meta = self._adopt_running(meta)
+            if meta is None:
+                return
+        lease = self._lease_for(job_id)
+        try:
+            granted = lease.acquire(token_floor=meta.get("fence_token") or 0)
+        except (LeaseHeldError, StorageError):
+            return  # a peer owns it (or the disk faulted): not ours
+        guard = lease.guard()
+        self.leases[job_id] = lease
+        try:
+            self.store.set_state(
+                job_id,
+                JobState.RUNNING,
+                fence=guard,
+                started_at=time.time(),
+                fence_token=granted.token,
+            )
+            process = spawn_runner(self.store, job_id, fence=guard)
+            # Recorded before any await: crash recovery kills this pid
+            # if the server dies while the runner is still going.
+            self.store.set_state(
+                job_id, JobState.RUNNING, fence=guard, runner_pid=process.pid
+            )
+        except (StaleTokenError, StorageError):
+            self.leases.pop(job_id, None)
+            try:
+                lease.release()
+            except (LeaseLostError, StorageError):
+                pass
+            return
         self.running[job_id] = process
         asyncio.get_running_loop().create_task(
             self._monitor_runner(job_id, process)
@@ -329,44 +536,70 @@ class AtpgService:
             await asyncio.sleep(_TICK)
         process.join()
         self.running.pop(job_id, None)
-        meta = self.store.load_meta(job_id)
-        if meta is None:
-            return
-        state = JobState(meta["state"])
-        if state is JobState.DONE:
-            self.totals.completed += 1
-            doc = self.store.load_result(job_id)
-            if doc is not None:
-                self.totals.solver_sat_calls += (
-                    doc.get("stats", {}).get("sat_calls", 0)
-                )
-        elif state is JobState.FAILED:
-            self.totals.failed += 1
-        else:
-            # Runner died without reaching a terminal state (OOM kill,
-            # segfault, drain SIGKILL): same re-adoption path a restart
-            # takes, with the same bounded attempts.
-            self.totals.runner_crashes += 1
-            if meta["adoptions"] + 1 > MAX_ADOPTIONS:
-                self.store.set_state(
-                    job_id,
-                    JobState.FAILED,
-                    finished_at=time.time(),
-                    error=(
-                        f"runner died (exit {process.exitcode}) after "
-                        f"{meta['adoptions']} re-adoptions"
-                    ),
-                )
+        lease = self.leases.pop(job_id, None)
+        owned = lease is not None and lease.token is not None
+        try:
+            meta = self.store.load_meta(job_id)
+            if meta is None:
+                return
+            state = JobState(meta["state"])
+            if state is JobState.DONE:
+                self.totals.completed += 1
+                doc = self.store.load_result(job_id)
+                if doc is not None:
+                    self.totals.solver_sat_calls += (
+                        doc.get("stats", {}).get("sat_calls", 0)
+                    )
+            elif state is JobState.FAILED:
                 self.totals.failed += 1
+                if meta.get("abort_reason") == "storage_error":
+                    self.totals.storage_errors += 1
+                elif meta.get("abort_reason") == "adoption_exhausted":
+                    self.totals.adoption_exhausted += 1
+            elif not owned or process.exitcode == 2:
+                # exit 2 = the runner fenced itself out; a missing
+                # lease = the heartbeat already saw the steal.  Either
+                # way the job belongs to its new owner — touch nothing.
+                if owned:
+                    self.totals.lease_lost += 1
             else:
-                self.store.set_state(
-                    job_id,
-                    JobState.QUEUED,
-                    adoptions=meta["adoptions"] + 1,
-                    runner_pid=None,
-                )
-                if not self.draining:
-                    self.queue.append(job_id)
+                # Runner died without reaching a terminal state (OOM
+                # kill, segfault, drain SIGKILL): same re-adoption path
+                # a restart takes, with the same bounded attempts.
+                self.totals.runner_crashes += 1
+                try:
+                    if meta["adoptions"] + 1 > MAX_ADOPTIONS:
+                        self.store.set_state(
+                            job_id,
+                            JobState.FAILED,
+                            fence=lease.guard(),
+                            finished_at=time.time(),
+                            abort_reason="adoption_exhausted",
+                            error=(
+                                f"runner died (exit {process.exitcode}) "
+                                f"after {meta['adoptions']} re-adoptions"
+                            ),
+                        )
+                        self.totals.failed += 1
+                        self.totals.adoption_exhausted += 1
+                    else:
+                        self.store.set_state(
+                            job_id,
+                            JobState.QUEUED,
+                            fence=lease.guard(),
+                            adoptions=meta["adoptions"] + 1,
+                            runner_pid=None,
+                        )
+                        if not self.draining:
+                            self.queue.append(job_id)
+                except (StaleTokenError, StorageError):
+                    pass  # stolen (or disk fault) mid-bookkeeping
+        finally:
+            if owned:
+                try:
+                    lease.release()
+                except (LeaseLostError, StorageError):
+                    pass
 
     async def drain(self) -> None:
         """SIGTERM/SIGINT path: persist the queue, bound the wait, exit
@@ -379,21 +612,45 @@ class AtpgService:
             if process.is_alive():
                 process.kill()
             process.join()
+            lease = self.leases.pop(job_id, None)
+            owned = lease is not None and lease.token is not None
             meta = self.store.load_meta(job_id)
-            if meta is not None and not JobState(meta["state"]).terminal:
+            if (
+                owned
+                and meta is not None
+                and not JobState(meta["state"]).terminal
+            ):
                 # Planned interruption, not a runner fault: re-queue
                 # without burning the job's re-adoption budget.
-                self.store.set_state(
-                    job_id, JobState.QUEUED, runner_pid=None
-                )
+                try:
+                    self.store.set_state(
+                        job_id,
+                        JobState.QUEUED,
+                        fence=lease.guard(),
+                        runner_pid=None,
+                    )
+                except (StaleTokenError, StorageError):
+                    pass  # stolen or faulting disk: leave it be
+            if owned:
+                try:
+                    lease.release()
+                except (LeaseLostError, StorageError):
+                    pass
             self.running.pop(job_id, None)
 
     # -- views ----------------------------------------------------------
     def healthz(self) -> dict:
         return {
             "state": "draining" if self.draining else "serving",
+            "node_id": self.node_id,
             "queue_depth": len(self.queue),
             "running": len(self.running),
+            "held_leases": sorted(
+                job_id
+                for job_id, lease in self.leases.items()
+                if lease.token is not None
+            ),
+            "lease_ttl_s": self.config.lease_ttl_s,
             "uptime_s": time.time() - self.started_at,
             "totals": self.totals.as_dict(),
             "cache": self.results.stats(),
@@ -660,12 +917,16 @@ async def _serve_async(config: ServiceConfig) -> int:
         loop.add_signal_handler(signum, stop.set)
 
     dispatcher = loop.create_task(service.dispatch_loop())
+    heartbeat = loop.create_task(service.heartbeat_loop())
+    scanner = loop.create_task(service.scan_loop())
     await stop.wait()
     print("drain: stopping intake", flush=True)
     server.close()
     await server.wait_closed()
     dispatcher.cancel()
+    scanner.cancel()
     await service.drain()
+    heartbeat.cancel()
     print(
         f"drained: {len(service.queue)} queued job(s) persisted; exit 0",
         flush=True,

@@ -40,7 +40,8 @@ from repro.atpg.certify import witness_ok
 from repro.atpg.checkpoint import record_from_dict
 from repro.atpg.engine import ABORT_BUDGET, ABORT_MEM, FaultStatus
 from repro.circuits.network import Network
-from repro.io.atomic import atomic_write_json
+from repro.io.atomic import StorageError, atomic_write_json
+from repro.service.failpoints import failpoint
 
 RESULT_SCHEMA_VERSION = 1
 
@@ -95,6 +96,13 @@ class ResultStore:
             raise ValueError("max_bytes must be > 0")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # A SIGKILL mid-promotion leaks one uncommitted temp sibling;
+        # sweep them at open so the store never accretes litter.
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
         self.max_bytes = max_bytes
         #: Read-side telemetry: served / missed / evicted-on-read
         #: (verification failures) / evicted-for-size (LRU).
@@ -102,22 +110,41 @@ class ResultStore:
         self.misses = 0
         self.evictions = 0
         self.size_evictions = 0
+        #: Promotions skipped because the disk faulted (ENOSPC/EIO):
+        #: the cache degrades to a bypass, never to a traceback.
+        self.write_errors = 0
 
     def _path(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
             raise ValueError(f"malformed result key {key!r}")
         return self.root / f"{key}.json"
 
-    def put(self, key: str, result_doc: dict) -> bool:
+    def put(self, key: str, result_doc: dict, fence=None) -> bool:
         """Promote a completed result; returns False (and skips the
-        write) for documents :func:`cacheable` rejects."""
+        write) for documents :func:`cacheable` rejects and for
+        promotions the disk refused (``ENOSPC``/``EIO`` degrade to a
+        cache bypass — the job's own result.json is the durable copy).
+
+        ``fence`` (a :class:`~repro.service.lease.FenceGuard`) makes
+        promotion an owner write: a zombie runner whose lease was stolen
+        raises :class:`~repro.service.lease.StaleTokenError` *before*
+        touching the shared CAS, and the promoted document records the
+        fencing token that produced it.
+        """
         if not cacheable(result_doc):
             return False
         doc = dict(result_doc)
         doc["schema"] = RESULT_SCHEMA_VERSION
         doc["verdict_digest"] = verdict_digest(doc.get("records", []))
+        if fence is not None:
+            fence()
+            doc["fence_token"] = fence.token
         path = self._path(key)
-        atomic_write_json(path, doc)
+        try:
+            atomic_write_json(path, doc, fp="cas.promote")
+        except StorageError:
+            self.write_errors += 1
+            return False
         if self.max_bytes is not None:
             self._evict_lru(keep=path)
         return True
@@ -144,7 +171,11 @@ class ResultStore:
         for _, _, size, path in entries:
             if total <= self.max_bytes:
                 break
-            path.unlink(missing_ok=True)
+            try:
+                failpoint("cas.evict.pre_unlink")
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue  # a faulting unlink only delays eviction
             self.size_evictions += 1
             total -= size
 
@@ -215,6 +246,7 @@ class ResultStore:
             "misses": self.misses,
             "evictions": self.evictions,
             "size_evictions": self.size_evictions,
+            "write_errors": self.write_errors,
             "max_bytes": self.max_bytes,
             "current_bytes": self.current_bytes(),
         }

@@ -28,7 +28,13 @@ TIMEOUT = 90.0
 
 
 class ServerProcess:
-    def __init__(self, data_dir: Path, log_path: Path):
+    def __init__(
+        self,
+        data_dir: Path,
+        log_path: Path,
+        *extra_args: str,
+        new_session: bool = False,
+    ):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO / "src")
         self.log_path = log_path
@@ -37,8 +43,13 @@ class ServerProcess:
             [
                 sys.executable, "-m", "repro", "serve",
                 "--data-dir", str(data_dir), "--port", "0",
+                *extra_args,
             ],
             stdout=self._log, stderr=subprocess.STDOUT, env=env, cwd=REPO,
+            # new_session puts the server (and the runners it forks) in
+            # their own process group so sigkill_group() can model a
+            # whole-machine crash.
+            start_new_session=new_session,
         )
         self.port = self._await_port()
 
@@ -100,6 +111,14 @@ class ServerProcess:
 
     def sigkill(self) -> None:
         self.process.kill()
+        self.process.wait(timeout=TIMEOUT)
+        self._log.close()
+
+    def sigkill_group(self) -> None:
+        """SIGKILL the server *and* its forked runners (requires
+        ``new_session=True``): the closest userspace model of the whole
+        node dying at once."""
+        os.killpg(os.getpgid(self.process.pid), signal.SIGKILL)
         self.process.wait(timeout=TIMEOUT)
         self._log.close()
 

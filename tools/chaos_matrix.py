@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""The CI chaos matrix: every failpoint x {error, kill}, automatically.
+
+This is the out-of-process companion to
+``tests/service/test_failpoints.py``: the failpoint list is enumerated
+from the registry (never hand-picked — a newly registered failpoint is
+swept on the next CI run with zero edits here), and each entry is
+exercised in two variants:
+
+* ``raise:ENOSPC`` — the scenario subprocess runs with the fault
+  injected at the exact syscall boundary; the run may fail or degrade,
+  but must never leave temp litter or a torn store.
+* ``kill`` — the subprocess is SIGKILLed *by itself* at the boundary
+  (``os.kill(os.getpid(), SIGKILL)`` inside the failpoint), the
+  strictest model of power loss at that instant.
+
+After every injection the verdict is the same: a clean re-run of
+``tools/chaos_scenario.py`` over the wounded store must converge to the
+baseline verdict digests, with no orphaned ``*.tmp`` files and every
+CAS entry parsing whole.  On any failure the wounded store — journals,
+``job.json``, ``lease.json`` and tombstones — is copied into the
+artifact directory for upload, and the matrix keeps going so one
+regression does not mask another.
+
+Usage::
+
+    python tools/chaos_matrix.py [--artifact-dir DIR] [--variants kill,error]
+
+Exit status 0 iff every cell of the matrix passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service import failpoints  # noqa: E402
+
+SCENARIO = REPO / "tools" / "chaos_scenario.py"
+
+VARIANT_SPECS = {
+    "error": "raise:ENOSPC",
+    "kill": "kill",
+}
+
+
+def _run_scenario(root: Path, spec: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop(failpoints.ENV_VAR, None)
+    if spec is not None:
+        env[failpoints.ENV_VAR] = spec
+    return subprocess.run(
+        [sys.executable, str(SCENARIO), str(root)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def _store_litter(root: Path) -> list[str]:
+    """Problems a crash must never leave behind: orphaned temps and
+    torn CAS entries."""
+    problems = [f"orphaned temp: {p}" for p in root.rglob("*.tmp")]
+    for entry in (root / "cas").glob("*.json"):
+        try:
+            json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            problems.append(f"torn CAS entry: {entry}")
+    return problems
+
+
+def _check_cell(
+    name: str, variant: str, baseline: list[str], workdir: Path
+) -> list[str]:
+    """Run one (failpoint, variant) cell; returns failure reasons."""
+    root = workdir / f"{name.replace('.', '_')}__{variant}"
+    spec = f"{name}={VARIANT_SPECS[variant]}"
+    injected = _run_scenario(root, spec)
+    failures: list[str] = []
+    if variant == "kill" and injected.returncode != -signal.SIGKILL:
+        failures.append(
+            f"expected SIGKILL at the failpoint, got rc={injected.returncode} "
+            f"stderr={injected.stderr[-500:]!r}"
+        )
+    if variant == "error" and _store_litter(root):
+        # Error paths clean up inline (no SIGKILL involved), so litter
+        # must be absent even *before* the recovery pass.
+        failures.append(f"litter before recovery: {_store_litter(root)}")
+    recovery = _run_scenario(root, None)
+    if recovery.returncode != 0:
+        failures.append(
+            f"recovery run failed rc={recovery.returncode} "
+            f"stderr={recovery.stderr[-500:]!r}"
+        )
+    else:
+        digests = json.loads(recovery.stdout)["digests"]
+        if digests != baseline:
+            failures.append(
+                f"recovered digests {digests} != baseline {baseline}"
+            )
+    failures.extend(_store_litter(root))
+    return failures
+
+
+def _save_artifacts(root: Path, artifact_dir: Path, cell: str) -> None:
+    """Copy the wounded store's evidence for upload: journals, job
+    metas, lease files and tombstones."""
+    dest = artifact_dir / cell
+    for pattern in ("jobs/*/journal.jsonl", "jobs/*/job.json",
+                    "jobs/*/lease.json*", "cas/*"):
+        for src in root.glob(pattern):
+            target = dest / src.relative_to(root)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy2(src, target)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifact-dir", type=Path, default=None,
+                        help="where to copy wounded stores on failure")
+    parser.add_argument("--variants", default="error,kill",
+                        help="comma list from {error,kill}")
+    args = parser.parse_args(argv[1:])
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    unknown = set(variants) - set(VARIANT_SPECS)
+    if unknown:
+        parser.error(f"unknown variants {sorted(unknown)}")
+
+    names = failpoints.registered()
+    workdir = Path(tempfile.mkdtemp(prefix="chaos-matrix-"))
+
+    # Baseline digests from an uninjected pass, which doubles as the
+    # coverage proof: every registered failpoint must fire during the
+    # scenario or the matrix silently stops being exhaustive.
+    failpoints.counting(True)
+    try:
+        sys.path.insert(0, str(REPO / "tools"))
+        import chaos_scenario
+
+        baseline = chaos_scenario.run_scenario(workdir / "baseline")["digests"]
+        missed = [n for n in names if failpoints.hits(n) == 0]
+    finally:
+        failpoints.reset()
+    if missed:
+        print(f"FATAL: scenario does not cover failpoints {missed}")
+        return 2
+
+    started = time.monotonic()
+    failed_cells: list[str] = []
+    for name in names:
+        for variant in variants:
+            cell = f"{name}:{variant}"
+            failures = _check_cell(name, variant, baseline, workdir)
+            if failures:
+                failed_cells.append(cell)
+                print(f"FAIL {cell}")
+                for reason in failures:
+                    print(f"     {reason}")
+                if args.artifact_dir is not None:
+                    _save_artifacts(
+                        workdir / f"{name.replace('.', '_')}__{variant}",
+                        args.artifact_dir,
+                        cell.replace(":", "_").replace(".", "_"),
+                    )
+            else:
+                print(f"ok   {cell}")
+    elapsed = time.monotonic() - started
+    total = len(names) * len(variants)
+    print(
+        f"chaos matrix: {total - len(failed_cells)}/{total} cells passed "
+        f"({len(names)} failpoints x {variants}) in {elapsed:.1f}s"
+    )
+    if failed_cells:
+        print(f"failed cells: {failed_cells}")
+        return 1
+    shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
